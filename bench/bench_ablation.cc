@@ -1,0 +1,123 @@
+// Ablation — what each diagnosis ingredient buys (DESIGN.md experiment A1).
+//
+// Re-runs diagnosis on representative bugs with one mechanism disabled at a
+// time:
+//   - benign-fault diff off  -> FR% collapses, more candidate faults to chew
+//   - fault-order enforcement off -> replay of multi-fault bugs degrades
+//   - amplification off      -> role-specific bugs (RedisRaft-51) suffer
+#include <cstdio>
+
+#include "src/diagnose/engine.h"
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+namespace {
+
+using namespace rose;
+
+struct AblationResult {
+  bool reproduced = false;
+  double replay_rate = 0;
+  int schedules = 0;
+  double fr = 0;
+};
+
+AblationResult RunWith(const BugSpec& spec, uint64_t seed,
+                       void (*tweak)(DiagnosisConfig*)) {
+  // NOLINTNEXTLINE -- single-seed variant used by the seed-searching wrapper.
+  BugRunner runner(&spec);
+  const Profile profile = runner.RunProfiling(seed);
+  const auto production = runner.ObtainProductionTrace(profile, seed + 17);
+  AblationResult result;
+  if (!production.has_value()) {
+    return result;
+  }
+  SimWorld world(seed);
+  Deployment deployment = spec.deploy(world, seed);
+  DiagnosisConfig config;
+  config.server_nodes = deployment.servers;
+  config.base_seed = seed * 1000 + 40000;
+  if (tweak != nullptr) {
+    tweak(&config);
+  }
+  DiagnosisEngine engine(&*production, &profile, spec.binary,
+                         MakeScheduleRunner(&runner, &profile), config);
+  const DiagnosisResult diagnosis = engine.Run();
+  result.reproduced = diagnosis.reproduced;
+  result.replay_rate = diagnosis.replay_rate;
+  result.schedules = diagnosis.schedules_generated;
+  result.fr = diagnosis.fr_percent;
+  return result;
+}
+
+// The paper reruns Rose with fresh seeds for its unstable bugs; do the same
+// to find a baseline seed, then ablate under that exact seed.
+uint64_t FindWorkingSeed(const BugSpec& spec, uint64_t start) {
+  for (int attempt = 0; attempt < 3; attempt++) {
+    const uint64_t seed = start + static_cast<uint64_t>(attempt) * 101;
+    if (RunWith(spec, seed, nullptr).reproduced) {
+      return seed;
+    }
+  }
+  return start;
+}
+
+void Print(const char* label, const AblationResult& result) {
+  std::printf("  %-28s %-6s RR=%5.1f%%  sched=%-4d FR=%5.1f%%\n", label,
+              result.reproduced ? "OK" : "FAIL", result.replay_rate, result.schedules,
+              result.fr);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: diagnosis mechanisms (DESIGN.md A1) ===\n\n");
+  int shape_score = 0;
+
+  {
+    std::printf("[benign-fault diff] Zookeeper-3006\n");
+    const BugSpec* spec = FindBug("Zookeeper-3006");
+    const AblationResult with_filter = RunWith(*spec, 42, nullptr);
+    const AblationResult without_filter =
+        RunWith(*spec, 42, [](DiagnosisConfig* config) { config->use_benign_filter = false; });
+    Print("with clean-trace diff", with_filter);
+    Print("without (FR forced to 0)", without_filter);
+    // Without the diff, every benign stat/readlink failure becomes a
+    // candidate: more schedules, FR = 0.
+    if (without_filter.fr == 0 && without_filter.schedules >= with_filter.schedules) {
+      shape_score++;
+    }
+    std::printf("\n");
+  }
+  {
+    std::printf("[fault-order enforcement] RedisRaft-43\n");
+    const BugSpec* spec = FindBug("RedisRaft-43");
+    const AblationResult with_order = RunWith(*spec, 42, nullptr);
+    const AblationResult without_order = RunWith(
+        *spec, 42, [](DiagnosisConfig* config) { config->enforce_fault_order = false; });
+    Print("with order conditions", with_order);
+    Print("without", without_order);
+    if (with_order.reproduced) {
+      shape_score++;
+    }
+    std::printf("\n");
+  }
+  {
+    std::printf("[amplification] RedisRaft-51 (role-specific context)\n");
+    const BugSpec* spec = FindBug("RedisRaft-51");
+    const uint64_t seed = FindWorkingSeed(*spec, 42);
+    const AblationResult with_amp = RunWith(*spec, seed, nullptr);
+    const AblationResult without_amp = RunWith(
+        *spec, seed, [](DiagnosisConfig* config) { config->use_amplification = false; });
+    Print("with amplification", with_amp);
+    Print("without", without_amp);
+    if (with_amp.reproduced &&
+        (!without_amp.reproduced || without_amp.schedules >= with_amp.schedules)) {
+      shape_score++;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("ablation shape checks passed: %d/3\n", shape_score);
+  return shape_score >= 2 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Figure 2 / §6.5 discussion — distribution of bugs across diagnosis levels.
+//
+// Reruns the full pipeline on all 20 bugs and reports how many were
+// reproduced at Level 1 (fault order/inputs only), Level 2 (invocation
+// sweeps and function chains), and Level 3 (intra-function offsets), plus
+// the per-level replay-rate statistics the paper discusses.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+int main() {
+  std::printf("=== Figure 2 / Discussion: diagnosis level distribution ===\n\n");
+  std::map<int, std::vector<const rose::BugSpec*>> by_level;
+  std::map<int, double> rate_sum;
+  int failed = 0;
+
+  for (const rose::BugSpec* spec : rose::AllBugs()) {
+    rose::RoseConfig config;
+    config.seed = 42;
+    const rose::RoseReport report = rose::ReproduceBugRobust(*spec, config);
+    if (!report.reproduced()) {
+      failed++;
+      continue;
+    }
+    by_level[report.diagnosis.level].push_back(spec);
+    rate_sum[report.diagnosis.level] += report.replay_rate();
+  }
+
+  for (int level = 1; level <= 3; level++) {
+    const auto& bugs = by_level[level];
+    std::printf("Level %d: %zu bugs", level, bugs.size());
+    if (!bugs.empty()) {
+      std::printf(" (mean RR %.0f%%):", rate_sum[level] / static_cast<double>(bugs.size()));
+      for (const rose::BugSpec* spec : bugs) {
+        std::printf(" %s", spec->id.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  if (failed > 0) {
+    std::printf("not reproduced: %d\n", failed);
+  }
+  std::printf("\npaper: Level 1 = 10 bugs (6 order-only, 4 syscall-input), Level 2 = 9 bugs\n"
+              "       (7 nth-invocation, 2 function chains), Level 3 = 1 bug.\n");
+  const bool shape = by_level[1].size() >= by_level[2].size() && by_level[3].size() <= 2 &&
+                     failed == 0;
+  std::printf("\nshape (most bugs at L1, few at L2, ~1 at L3): %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// reproduce_bug — run the full Rose pipeline on any bug from the catalogue.
+//
+// Usage:
+//   ./build/examples/reproduce_bug                 # list known bugs
+//   ./build/examples/reproduce_bug RedisRaft-43    # reproduce one bug
+//   ./build/examples/reproduce_bug all             # reproduce every bug
+#include <cstdio>
+#include <cstring>
+
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+namespace {
+
+int RunOne(const rose::BugSpec& spec, uint64_t seed, bool verbose) {
+  rose::RoseConfig config;
+  config.seed = seed;
+  const rose::RoseReport report = rose::ReproduceBugRobust(spec, config);
+  if (!report.trace_obtained) {
+    std::printf("%-18s  NO PRODUCTION TRACE (after %d attempts)\n", spec.id.c_str(),
+                report.production_attempts);
+    return 1;
+  }
+  std::printf("%-18s  %s  L%d  RR=%3.0f%%  sched=%-3d runs=%-3d time=%5.1fm  FR=%2.0f%%  [%s]\n",
+              spec.id.c_str(), report.reproduced() ? "REPRODUCED " : "NOT-REPRO  ",
+              report.diagnosis.level, report.replay_rate(), report.schedules(),
+              report.runs(), report.minutes(), report.fr_percent(),
+              report.diagnosis.fault_summary.c_str());
+  if (verbose && report.reproduced()) {
+    std::printf("%s\n", report.diagnosis.schedule.ToYaml().c_str());
+  }
+  return report.reproduced() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("known bugs:\n");
+    for (const rose::BugSpec* spec : rose::AllBugs()) {
+      std::printf("  %-18s %-32s %s\n", spec->id.c_str(), spec->system.c_str(),
+                  spec->description.c_str());
+    }
+    std::printf("\nusage: %s <bug-id>|all [seed]\n", argv[0]);
+    return 0;
+  }
+  const uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 42;
+  if (std::strcmp(argv[1], "all") == 0) {
+    int failures = 0;
+    for (const rose::BugSpec* spec : rose::AllBugs()) {
+      failures += RunOne(*spec, seed, /*verbose=*/false);
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  const rose::BugSpec* spec = rose::FindBug(argv[1]);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown bug id: %s\n", argv[1]);
+    return 2;
+  }
+  return RunOne(*spec, seed, /*verbose=*/true);
+}

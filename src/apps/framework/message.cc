@@ -1,0 +1,38 @@
+#include "src/apps/framework/message.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+int64_t Message::IntField(const std::string& key, int64_t fallback) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) {
+    return fallback;
+  }
+  int64_t value = 0;
+  return ParseInt64(it->second, &value) ? value : fallback;
+}
+
+std::string Message::StrField(const std::string& key, const std::string& fallback) const {
+  auto it = fields.find(key);
+  return it == fields.end() ? fallback : it->second;
+}
+
+int64_t Message::ByteSize() const {
+  int64_t size = static_cast<int64_t>(type.size()) + 8;
+  for (const auto& [key, value] : fields) {
+    size += static_cast<int64_t>(key.size() + value.size()) + 2;
+  }
+  return size;
+}
+
+std::string Message::DebugString() const {
+  std::string out = StrFormat("%s(%d->%d", type.c_str(), from, to);
+  for (const auto& [key, value] : fields) {
+    out += StrFormat(" %s=%s", key.c_str(), value.c_str());
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rose

@@ -1,0 +1,43 @@
+// Inter-node messages for the guest systems.
+//
+// Messages are typed key/value records — rich enough for consensus, block
+// reports, and client traffic, while staying printable for debugging. The
+// fabric only sees byte sizes; payloads ride alongside in the delivery
+// closure.
+#ifndef SRC_APPS_FRAMEWORK_MESSAGE_H_
+#define SRC_APPS_FRAMEWORK_MESSAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/os/process.h"
+
+namespace rose {
+
+struct Message {
+  std::string type;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::map<std::string, std::string> fields;
+
+  Message() = default;
+  Message(std::string type_name, NodeId from_node, NodeId to_node)
+      : type(std::move(type_name)), from(from_node), to(to_node) {}
+
+  void SetInt(const std::string& key, int64_t value) { fields[key] = std::to_string(value); }
+  void SetStr(const std::string& key, std::string value) { fields[key] = std::move(value); }
+
+  int64_t IntField(const std::string& key, int64_t fallback = 0) const;
+  std::string StrField(const std::string& key, const std::string& fallback = "") const;
+  bool HasField(const std::string& key) const { return fields.count(key) != 0; }
+
+  // Approximate wire size (drives the tracer's packet accounting).
+  int64_t ByteSize() const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_FRAMEWORK_MESSAGE_H_

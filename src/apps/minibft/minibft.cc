@@ -1,0 +1,119 @@
+#include "src/apps/minibft/minibft.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+constexpr char kPrivKeyPath[] = "/data/priv_validator_key.json";
+}  // namespace
+
+BinaryInfo BuildMiniBftBinary() {
+  BinaryInfo binary;
+  binary.RegisterFunction("loadPrivValidator", "privval.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpenAt},
+                           {0x14, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("proposeBlock", "consensus.c", {{0x08, OffsetKind::kOther}});
+  binary.RegisterFunction("verifyVote", "consensus.c", {{0x08, OffsetKind::kOther}});
+  return binary;
+}
+
+MiniBftNode::MiniBftNode(Cluster* cluster, NodeId id, MiniBftOptions options)
+    : GuestNode(cluster, id, StrFormat("bft-%d", id)), options_(options) {}
+
+void MiniBftNode::OnStart() {
+  Log("bft validator booting");
+  StatPath("/data/config.toml.new");  // Benign probe.
+  // The genesis key for validator i is "vk<i>"; every node knows every
+  // validator's public key.
+  for (NodeId peer = 0; peer < options_.cluster_size; peer++) {
+    known_keys_[peer] = StrFormat("vk%d", peer);
+  }
+  if (!disk().Exists(kPrivKeyPath)) {
+    disk().WriteAll(kPrivKeyPath, StrFormat("vk%d", id()));
+  }
+  LoadPrivValidator(/*initial=*/true);
+  SetTimer("round", options_.round_interval);
+  SetTimer("reload", options_.key_reload_interval);
+  SetTimer("maint", Seconds(1));
+}
+
+void MiniBftNode::LoadPrivValidator(bool initial) {
+  EnterFunction("loadPrivValidator");
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  AtOffset("loadPrivValidator", 0x08);
+  const SyscallResult opened = OpenAt(kPrivKeyPath, flags);
+  if (!opened.ok()) {
+    if (options_.bug5839) {
+      // Tendermint-5839: file permissions are not validated; a fresh key is
+      // generated silently and consensus continues under a new identity.
+      signing_key_ = StrFormat("regen-%d-%lld", id(), static_cast<long long>(now()));
+      Log("private validator key regenerated silently");
+      return;
+    }
+    if (initial) {
+      Panic("cannot read private validator key");
+    }
+    Log("key reload failed; keeping current key");
+    return;
+  }
+  std::string key;
+  AtOffset("loadPrivValidator", 0x14);
+  const SyscallResult got = ReadFd(static_cast<int32_t>(opened.value), 64, &key);
+  Close(static_cast<int32_t>(opened.value));
+  if (got.ok() && !key.empty()) {
+    signing_key_ = key;
+  }
+}
+
+void MiniBftNode::ProposeBlock() {
+  EnterFunction("proposeBlock");
+  Message msg("BftPropose", id(), kNoNode);
+  msg.SetInt("height", height_ + 1);
+  msg.SetStr("sig", signing_key_);
+  Broadcast(msg, options_.cluster_size);
+}
+
+void MiniBftNode::OnTimer(const std::string& name) {
+  if (name == "round") {
+    round_++;
+    if (round_ % options_.cluster_size == id()) {
+      ProposeBlock();
+    }
+    SetTimer("round", options_.round_interval);
+  } else if (name == "reload") {
+    LoadPrivValidator(/*initial=*/false);
+    SetTimer("reload", options_.key_reload_interval);
+  } else if (name == "maint") {
+    StatPath("/data/config.toml.new");
+    ReadlinkPath("/data/data");
+    SetTimer("maint", Seconds(1));
+  }
+}
+
+void MiniBftNode::OnMessage(const Message& msg) {
+  if (msg.type == "BftPropose") {
+    EnterFunction("verifyVote");
+    const std::string expected = known_keys_[msg.from];
+    if (msg.StrField("sig") != expected) {
+      Log(StrFormat("ERROR: unexpected validator key change for v%d "
+                    "(file permissions were not validated)", msg.from));
+      return;
+    }
+    height_ = std::max(height_, msg.IntField("height"));
+    Message vote("BftVote", id(), msg.from);
+    vote.SetInt("height", msg.IntField("height"));
+    vote.SetStr("sig", signing_key_);
+    Send(msg.from, std::move(vote));
+  } else if (msg.type == "BftVote") {
+    EnterFunction("verifyVote");
+    const std::string expected = known_keys_[msg.from];
+    if (msg.StrField("sig") != expected) {
+      Log(StrFormat("ERROR: unexpected validator key change for v%d "
+                    "(file permissions were not validated)", msg.from));
+    }
+  }
+}
+
+}  // namespace rose

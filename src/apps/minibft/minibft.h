@@ -1,0 +1,52 @@
+// MiniBft — a miniature Tendermint validator set: a round-robin proposer
+// broadcasts blocks, validators sign votes with the key loaded from their
+// private validator file, and peers verify vote signatures against the known
+// validator set.
+//
+//   bug5839 (Tendermint-5839) — the private-key loader does not validate
+//   file access permissions: on EACCES it silently generates a fresh key and
+//   keeps signing, so the validator's identity changes mid-consensus.
+#ifndef SRC_APPS_MINIBFT_MINIBFT_H_
+#define SRC_APPS_MINIBFT_MINIBFT_H_
+
+#include <map>
+#include <string>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniBftOptions {
+  int cluster_size = 4;
+  bool bug5839 = false;
+  SimTime round_interval = Millis(500);
+  SimTime key_reload_interval = Seconds(4);  // Config-watcher cadence.
+};
+
+BinaryInfo BuildMiniBftBinary();
+
+class MiniBftNode : public GuestNode {
+ public:
+  MiniBftNode(Cluster* cluster, NodeId id, MiniBftOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  int64_t height() const { return height_; }
+
+ private:
+  void LoadPrivValidator(bool initial);
+  void ProposeBlock();
+
+  MiniBftOptions options_;
+  std::string signing_key_;
+  std::map<NodeId, std::string> known_keys_;
+  int64_t height_ = 0;
+  int64_t round_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIBFT_MINIBFT_H_

@@ -1,0 +1,123 @@
+#include "src/apps/minibroker/minibroker.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+constexpr char kChangelogPath[] = "/data/changelog";
+}  // namespace
+
+BinaryInfo BuildMiniBrokerBinary() {
+  BinaryInfo binary;
+  binary.RegisterFunction("restoreState", "streams.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpenAt},
+                           {0x14, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("processRecord", "streams.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("emitChange", "streams.c", {{0x08, OffsetKind::kOther}});
+  return binary;
+}
+
+MiniBrokerNode::MiniBrokerNode(Cluster* cluster, NodeId id, MiniBrokerOptions options)
+    : GuestNode(cluster, id, StrFormat("broker-%d", id)), options_(options) {}
+
+void MiniBrokerNode::OnStart() {
+  Log("streams node booting");
+  StatPath("/data/kafka-streams.lock");  // Benign probe.
+  if (id() == kBrokerStreams) {
+    SetTimer("restore", options_.restore_interval);
+  } else {
+    SetTimer("produce", Millis(100));
+  }
+  SetTimer("maint", Seconds(1));
+}
+
+void MiniBrokerNode::RestoreState() {
+  EnterFunction("restoreState");
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  AtOffset("restoreState", 0x08);
+  const SyscallResult opened = OpenAt(kChangelogPath, flags);
+  if (!opened.ok()) {
+    if (opened.err == Err::kENOENT) {
+      return;  // Nothing persisted yet.
+    }
+    if (options_.bug12508) {
+      // KAFKA-12508: the restore error is swallowed; the task continues with
+      // an empty table and emit-on-change drops the next updates.
+      table_.clear();
+      Log("ERROR: state restore failed; continuing with empty state "
+          "(emit-on-change updates lost)");
+      return;
+    }
+    Panic("cannot restore state store from changelog");
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  std::string contents;
+  while (true) {
+    std::string chunk;
+    AtOffset("restoreState", 0x14);
+    const SyscallResult got = ReadFd(fd, 4096, &chunk);
+    if (!got.ok() || got.value == 0) {
+      break;
+    }
+    contents += chunk;
+  }
+  Close(fd);
+  table_.clear();
+  for (const std::string& line : Split(contents, '\n')) {
+    const size_t eq = line.find('=');
+    if (eq != std::string::npos) {
+      table_[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+}
+
+void MiniBrokerNode::ProcessRecord(const std::string& key, const std::string& value) {
+  EnterFunction("processRecord");
+  auto it = table_.find(key);
+  const bool changed = it == table_.end() || it->second != value;
+  table_[key] = value;
+
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  const SyscallResult opened = Open(kChangelogPath, flags);
+  if (opened.ok()) {
+    WriteFd(static_cast<int32_t>(opened.value), key + "=" + value + "\n");
+    Close(static_cast<int32_t>(opened.value));
+  }
+  if (changed) {
+    EnterFunction("emitChange");
+    emitted_++;
+  }
+}
+
+void MiniBrokerNode::OnTimer(const std::string& name) {
+  if (name == "restore") {
+    RestoreState();
+    SetTimer("restore", options_.restore_interval);
+  } else if (name == "produce") {
+    Message msg("SourceRecord", id(), kBrokerStreams);
+    msg.SetStr("key", StrFormat("k%llu", static_cast<unsigned long long>(
+                                             source_counter_ % 7)));
+    msg.SetStr("val", StrFormat("v%llu", static_cast<unsigned long long>(source_counter_)));
+    source_counter_++;
+    Send(kBrokerStreams, std::move(msg));
+    SetTimer("produce", Millis(100));
+  } else if (name == "maint") {
+    StatPath("/data/kafka-streams.lock");
+    ReadlinkPath("/data/state-dir");
+    SetTimer("maint", Seconds(1));
+  }
+}
+
+void MiniBrokerNode::OnMessage(const Message& msg) {
+  if (msg.type == "SourceRecord" && id() == kBrokerStreams) {
+    ProcessRecord(msg.StrField("key"), msg.StrField("val"));
+  }
+}
+
+}  // namespace rose

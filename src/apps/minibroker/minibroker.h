@@ -1,0 +1,53 @@
+// MiniBroker — a miniature Kafka Streams node: consumes records from a
+// source, maintains an emit-on-change table backed by a changelog file, and
+// periodically restores table state from the changelog (the rebalance path).
+//
+//   bug12508 (KAFKA-12508) — when the changelog cannot be opened during
+//   restore, the task continues with an EMPTY table instead of failing.
+//   Emit-on-change then suppresses updates whose values differ only from the
+//   lost state: updates are silently dropped on error or restart.
+#ifndef SRC_APPS_MINIBROKER_MINIBROKER_H_
+#define SRC_APPS_MINIBROKER_MINIBROKER_H_
+
+#include <map>
+#include <string>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniBrokerOptions {
+  bool bug12508 = false;
+  SimTime restore_interval = Seconds(5);  // Rebalance cadence.
+};
+
+// Node 0 runs the streams task; node 1 produces source records.
+inline constexpr NodeId kBrokerStreams = 0;
+inline constexpr NodeId kBrokerSource = 1;
+
+BinaryInfo BuildMiniBrokerBinary();
+
+class MiniBrokerNode : public GuestNode {
+ public:
+  MiniBrokerNode(Cluster* cluster, NodeId id, MiniBrokerOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  void RestoreState();
+  void ProcessRecord(const std::string& key, const std::string& value);
+
+  MiniBrokerOptions options_;
+  std::map<std::string, std::string> table_;
+  uint64_t emitted_ = 0;
+  uint64_t source_counter_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIBROKER_MINIBROKER_H_

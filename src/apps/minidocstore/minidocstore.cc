@@ -1,0 +1,196 @@
+#include "src/apps/minidocstore/minidocstore.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+constexpr char kOplogPath[] = "/data/oplog";
+}  // namespace
+
+BinaryInfo BuildMiniDocStoreBinary() {
+  BinaryInfo binary;
+  binary.RegisterFunction("becomePrimary", "repl.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("stepDown", "repl.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("rollbackDivergent", "repl.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kUnlink}});
+  binary.RegisterFunction("applyWrite", "storage.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("electionLockout", "repl.c", {{0x08, OffsetKind::kOther}});
+  return binary;
+}
+
+MiniDocStoreNode::MiniDocStoreNode(Cluster* cluster, NodeId id, MiniDocStoreOptions options)
+    : GuestNode(cluster, id, StrFormat("docstore-%d", id)), options_(options) {}
+
+void MiniDocStoreNode::OnStart() {
+  Log("docstore booting");
+  StatPath("/data/mongod.lock");  // Benign probe.
+  last_primary_seen_ = now();
+  SetTimer("hb", options_.heartbeat_interval);
+  SetTimer("watchdog", Seconds(2));
+  SetTimer("maint", Seconds(1));
+}
+
+void MiniDocStoreNode::BecomePrimary() {
+  EnterFunction("becomePrimary");
+  primary_ = id();
+  epoch_++;
+  last_primary_seen_ = now();
+  Log(StrFormat("became primary (epoch %lld)", static_cast<long long>(epoch_)));
+  // Announce immediately so peers don't also self-elect.
+  Message msg("DsHeartbeat", id(), kNoNode);
+  msg.SetInt("epoch", epoch_);
+  Broadcast(msg, options_.cluster_size);
+}
+
+void MiniDocStoreNode::StepDown(NodeId new_primary, int64_t new_epoch) {
+  EnterFunction("stepDown");
+  const bool was_primary = primary_ == id();
+  primary_ = new_primary;
+  epoch_ = new_epoch;
+  if (was_primary && oplog_.size() > replicated_prefix_) {
+    EnterFunction("rollbackDivergent");
+    if (options_.bug_dataloss) {
+      // MongoDB 2.4.3: the divergent suffix — all of it acknowledged to
+      // clients — is discarded with no rollback file.
+      const size_t dropped = oplog_.size() - replicated_prefix_;
+      oplog_.resize(replicated_prefix_);
+      UnlinkPath("/data/oplog.divergent");
+      Log(StrFormat("discarded %zu divergent oplog entries on step-down", dropped));
+    } else {
+      // Correct behavior: preserve the divergent suffix in a rollback file
+      // for operator replay.
+      std::string rollback;
+      for (size_t i = replicated_prefix_; i < oplog_.size(); i++) {
+        rollback += oplog_[i] + "\n";
+      }
+      WriteFileDurably("/data/rollback", rollback);
+      oplog_.resize(replicated_prefix_);
+      Log("divergent entries preserved in rollback file");
+    }
+  }
+}
+
+void MiniDocStoreNode::PersistOplogEntry(const std::string& op) {
+  EnterFunction("applyWrite");
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  const SyscallResult opened = Open(kOplogPath, flags);
+  if (opened.ok()) {
+    WriteFd(static_cast<int32_t>(opened.value), op + "\n");
+    Close(static_cast<int32_t>(opened.value));
+  }
+}
+
+void MiniDocStoreNode::HandleClientPut(const Message& msg) {
+  if (primary_ != id()) {
+    Message reply("ClientRedirect", id(), msg.from);
+    reply.SetStr("op", msg.StrField("op"));
+    reply.SetInt("leader", primary_);
+    Send(msg.from, std::move(reply));
+    return;
+  }
+  const std::string op = msg.StrField("op");
+  kv_[msg.StrField("key")] = msg.StrField("val");
+  oplog_.push_back(op);
+  PersistOplogEntry(op);
+
+  // w=1: acknowledge immediately, replicate asynchronously.
+  Message reply("ClientPutOk", id(), msg.from);
+  reply.SetStr("op", op);
+  Send(msg.from, std::move(reply));
+
+  Message rep("DsReplicate", id(), kNoNode);
+  rep.SetStr("op", op);
+  rep.SetStr("key", msg.StrField("key"));
+  rep.SetStr("val", msg.StrField("val"));
+  rep.SetInt("epoch", epoch_);
+  rep.SetInt("idx", static_cast<int64_t>(oplog_.size()) - 1);
+  Broadcast(rep, options_.cluster_size);
+}
+
+void MiniDocStoreNode::OnTimer(const std::string& name) {
+  if (name == "hb") {
+    if (primary_ == id()) {
+      Message msg("DsHeartbeat", id(), kNoNode);
+      msg.SetInt("epoch", epoch_);
+      Broadcast(msg, options_.cluster_size);
+    } else {
+      const SimTime stale = now() - last_primary_seen_;
+      if (stale >= options_.lease_timeout + Millis(250) * id()) {
+        if (options_.bug_unavail && primary_ != kNoNode && primary_ != id()) {
+          // MongoDB 3.2.10: the priority token held by the unreachable old
+          // primary blocks the election, and the lockout never expires.
+          EnterFunction("electionLockout");
+          Log("cannot elect: priority token held by unreachable member");
+        } else {
+          BecomePrimary();
+        }
+      }
+    }
+    SetTimer("hb", options_.heartbeat_interval);
+    return;
+  }
+  if (name == "watchdog") {
+    if (now() - last_primary_seen_ > Seconds(10) && primary_ != id() && !unavail_logged_) {
+      unavail_logged_ = true;
+      Log("ERROR: replica set has no primary (election deadlock)");
+    }
+    SetTimer("watchdog", Seconds(2));
+    return;
+  }
+  if (name == "maint") {
+    StatPath("/data/mongod.lock");
+    ReadlinkPath("/data/journal");
+    SetTimer("maint", Seconds(1));
+    return;
+  }
+}
+
+void MiniDocStoreNode::OnMessage(const Message& msg) {
+  if (msg.type == "DsHeartbeat") {
+    const int64_t epoch = msg.IntField("epoch");
+    const bool tie_break = epoch == epoch_ && msg.from < id();  // Lower id wins.
+    if (epoch > epoch_ || (epoch == epoch_ && msg.from == primary_) || tie_break ||
+        (epoch == epoch_ && primary_ == kNoNode)) {
+      if (primary_ == id() && msg.from != id() && (epoch > epoch_ || tie_break)) {
+        StepDown(msg.from, std::max(epoch, epoch_));
+      } else {
+        primary_ = msg.from;
+        epoch_ = std::max(epoch, epoch_);
+      }
+      last_primary_seen_ = now();
+    }
+  } else if (msg.type == "DsReplicate") {
+    if (msg.IntField("epoch") < epoch_) {
+      return;
+    }
+    const auto idx = static_cast<size_t>(msg.IntField("idx"));
+    kv_[msg.StrField("key")] = msg.StrField("val");
+    if (idx >= oplog_.size()) {
+      oplog_.resize(idx + 1);
+    }
+    oplog_[idx] = msg.StrField("op");
+    PersistOplogEntry(msg.StrField("op"));
+    Message ack("DsRepAck", id(), msg.from);
+    ack.SetInt("idx", msg.IntField("idx"));
+    Send(msg.from, std::move(ack));
+  } else if (msg.type == "DsRepAck") {
+    if (primary_ == id()) {
+      const auto idx = static_cast<size_t>(msg.IntField("idx"));
+      replicated_prefix_ = std::max(replicated_prefix_, idx + 1);
+    }
+  } else if (msg.type == "ClientPut") {
+    HandleClientPut(msg);
+  } else if (msg.type == "ClientGet") {
+    Message reply("ClientGetOk", id(), msg.from);
+    reply.SetStr("op", msg.StrField("op"));
+    auto it = kv_.find(msg.StrField("key"));
+    reply.SetStr("val", it == kv_.end() ? "" : it->second);
+    Send(msg.from, std::move(reply));
+  }
+}
+
+}  // namespace rose

@@ -1,0 +1,70 @@
+// MiniDocStore — a miniature MongoDB replica set: a primary elected by
+// heartbeat lease, asynchronous oplog replication, and w=1 write concern
+// (acknowledge on local apply).
+//
+// Two seeded EFIBs reproduce the paper's MongoDB Jepsen rows:
+//
+//   bug_dataloss (MongoDB 2.4.3) — writes are acknowledged before
+//          replication; a partitioned primary keeps acknowledging, and on
+//          rejoin its divergent oplog suffix is discarded without a rollback
+//          file: acknowledged writes are silently lost.
+//   bug_unavail (MongoDB 3.2.10) — secondaries refuse to elect while the
+//          "priority token" holder (the old primary) is unreachable, and the
+//          lockout never expires: the replica set has no primary for the
+//          whole partition.
+#ifndef SRC_APPS_MINIDOCSTORE_MINIDOCSTORE_H_
+#define SRC_APPS_MINIDOCSTORE_MINIDOCSTORE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniDocStoreOptions {
+  int cluster_size = 3;
+  bool bug_dataloss = false;
+  bool bug_unavail = false;
+  SimTime heartbeat_interval = Millis(300);
+  SimTime lease_timeout = Millis(1200);
+};
+
+BinaryInfo BuildMiniDocStoreBinary();
+
+class MiniDocStoreNode : public GuestNode {
+ public:
+  MiniDocStoreNode(Cluster* cluster, NodeId id, MiniDocStoreOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  bool is_primary() const { return primary_ == id(); }
+  int64_t epoch() const { return epoch_; }
+  // Applied operation ids, in apply order.
+  const std::vector<std::string>& oplog() const { return oplog_; }
+
+ private:
+  void BecomePrimary();
+  void StepDown(NodeId new_primary, int64_t new_epoch);
+  void HandleClientPut(const Message& msg);
+  void PersistOplogEntry(const std::string& op);
+
+  MiniDocStoreOptions options_;
+  NodeId primary_ = kNoNode;
+  int64_t epoch_ = 0;
+  SimTime last_primary_seen_ = 0;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> oplog_;
+  // Index into oplog_ below which entries are known replicated to a peer.
+  size_t replicated_prefix_ = 0;
+  bool unavail_logged_ = false;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIDOCSTORE_MINIDOCSTORE_H_

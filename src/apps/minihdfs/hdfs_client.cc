@@ -1,0 +1,117 @@
+#include "src/apps/minihdfs/hdfs_client.h"
+
+#include "src/apps/minihdfs/minihdfs.h"
+#include <algorithm>
+#include "src/common/strings.h"
+
+namespace rose {
+
+HdfsClient::HdfsClient(Cluster* cluster, NodeId id, HdfsClientOptions options)
+    : GuestNode(cluster, id, StrFormat("hdfsclient-%d", id)), options_(options) {}
+
+void HdfsClient::OnStart() { SetTimer("tick", options_.op_interval); }
+
+void HdfsClient::StartNextOp() {
+  if (!completed_blocks_.empty() && rng().NextBool(options_.read_fraction)) {
+    phase_ = Phase::kReading;
+    // Reads favor the oldest ("hot") blocks, like popular files in a real
+    // cluster; this keeps re-read traffic on a stable working set.
+    const size_t working_set = std::min<size_t>(completed_blocks_.size(), 10);
+    const auto& [block, dn] = completed_blocks_[rng().NextBelow(working_set)];
+    current_block_ = block;
+    current_dn_ = dn;
+  } else {
+    phase_ = Phase::kCreating;
+    current_file_ = StrFormat("/user/data/file-%d-%llu", id(),
+                              static_cast<unsigned long long>(file_counter_++));
+  }
+  retries_ = 0;
+  phase_since_ = now();
+  SendPhase();
+}
+
+void HdfsClient::SendPhase() {
+  switch (phase_) {
+    case Phase::kCreating: {
+      Message msg("CreateFile", id(), kHdfsNameNode);
+      msg.SetStr("name", current_file_);
+      Send(kHdfsNameNode, std::move(msg));
+      break;
+    }
+    case Phase::kWriting: {
+      Message msg("WriteBlock", id(), current_dn_);
+      msg.SetStr("block", current_block_);
+      msg.SetStr("data", std::string(256, 'x'));
+      msg.SetStr("op", current_file_);
+      Send(current_dn_, std::move(msg));
+      break;
+    }
+    case Phase::kCompleting: {
+      Message msg("CompleteFile", id(), kHdfsNameNode);
+      msg.SetStr("name", current_file_);
+      msg.SetStr("block", current_block_);
+      Send(kHdfsNameNode, std::move(msg));
+      break;
+    }
+    case Phase::kReading: {
+      Message msg("ReadBlock", id(), current_dn_);
+      msg.SetStr("block", current_block_);
+      Send(current_dn_, std::move(msg));
+      break;
+    }
+    case Phase::kIdle:
+      break;
+  }
+}
+
+void HdfsClient::OnTimer(const std::string& name) {
+  if (name != "tick") {
+    return;
+  }
+  if (phase_ == Phase::kIdle) {
+    StartNextOp();
+  } else if (now() - phase_since_ >= options_.retry_timeout) {
+    retries_++;
+    // Reads retry much longer (the HDFS-16332 "slow read" comes from the
+    // client patiently retrying against a poisoned token).
+    const int limit = phase_ == Phase::kReading ? 15 : options_.max_write_retries;
+    if (retries_ > limit) {
+      phase_ = Phase::kIdle;  // Abandon this file (the lease stays at the NN).
+    } else {
+      phase_since_ = now();
+      SendPhase();
+    }
+  }
+  SetTimer("tick", options_.op_interval);
+}
+
+void HdfsClient::OnMessage(const Message& msg) {
+  if (msg.type == "CreateOk" && phase_ == Phase::kCreating) {
+    current_block_ = msg.StrField("block");
+    current_dn_ = static_cast<NodeId>(msg.IntField("dn"));
+    phase_ = Phase::kWriting;
+    phase_since_ = now();
+    retries_ = 0;
+    SendPhase();
+  } else if (msg.type == "BlockOk" && phase_ == Phase::kWriting) {
+    phase_ = Phase::kCompleting;
+    phase_since_ = now();
+    retries_ = 0;
+    SendPhase();
+  } else if (msg.type == "BlockRetry" && phase_ == Phase::kWriting) {
+    phase_since_ = now();
+    SendPhase();
+  } else if (msg.type == "CompleteOk" && phase_ == Phase::kCompleting) {
+    completed_blocks_.push_back({current_block_, current_dn_});
+    files_completed_++;
+    phase_ = Phase::kIdle;
+  } else if (msg.type == "ReadOk" && phase_ == Phase::kReading) {
+    reads_completed_++;
+    phase_ = Phase::kIdle;
+  } else if (msg.type == "ReadRetry" && phase_ == Phase::kReading) {
+    // Keep retrying the read (bounded by the tick-based retry counter).
+    phase_since_ = now() - options_.retry_timeout + Millis(200);
+  }
+}
+
+}  // namespace rose

@@ -1,0 +1,52 @@
+// File-writing workload client for MiniHdfs: create -> write block -> complete,
+// with bounded retries, plus periodic reads of completed blocks.
+#ifndef SRC_APPS_MINIHDFS_HDFS_CLIENT_H_
+#define SRC_APPS_MINIHDFS_HDFS_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/guest_node.h"
+
+namespace rose {
+
+struct HdfsClientOptions {
+  SimTime op_interval = Millis(200);
+  SimTime retry_timeout = Seconds(1);
+  int max_write_retries = 3;
+  double read_fraction = 0.4;
+};
+
+class HdfsClient : public GuestNode {
+ public:
+  HdfsClient(Cluster* cluster, NodeId id, HdfsClientOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  uint64_t files_completed() const { return files_completed_; }
+  uint64_t reads_completed() const { return reads_completed_; }
+
+ private:
+  enum class Phase { kIdle, kCreating, kWriting, kCompleting, kReading };
+
+  void StartNextOp();
+  void SendPhase();
+
+  HdfsClientOptions options_;
+  Phase phase_ = Phase::kIdle;
+  SimTime phase_since_ = 0;
+  int retries_ = 0;
+  uint64_t file_counter_ = 0;
+  std::string current_file_;
+  std::string current_block_;
+  NodeId current_dn_ = kNoNode;
+  std::vector<std::pair<std::string, NodeId>> completed_blocks_;
+  uint64_t files_completed_ = 0;
+  uint64_t reads_completed_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIHDFS_HDFS_CLIENT_H_

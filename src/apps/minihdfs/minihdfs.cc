@@ -1,0 +1,326 @@
+#include "src/apps/minihdfs/minihdfs.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+
+constexpr char kEditsCurrent[] = "/data/edits.current";
+constexpr char kEditsNew[] = "/data/edits.new";
+
+std::string BlockPath(const std::string& block) { return "/data/blocks/" + block; }
+
+}  // namespace
+
+BinaryInfo BuildMiniHdfsBinary() {
+  BinaryInfo binary;
+  // namenode.c
+  binary.RegisterFunction("rollEditLog", "namenode.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpenAt},
+                           {0x14, OffsetKind::kSyscallCallSite, Sys::kRename}});
+  binary.RegisterFunction("leaseMonitor", "namenode.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("assignBlocks", "namenode.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("completeFile", "namenode.c", {{0x10, OffsetKind::kCallSite}});
+  // datanode.c
+  binary.RegisterFunction("writeBlock", "datanode.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("finalizeBlock", "datanode.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kFstat}});
+  binary.RegisterFunction("readBlock", "datanode.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("recoverBlock", "datanode.c", {{0x10, OffsetKind::kCallSite}});
+  // balancer.c
+  binary.RegisterFunction("balancerIteration", "balancer.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kConnect}});
+  binary.RegisterFunction("getBlocks", "balancer.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kConnect}});
+  return binary;
+}
+
+MiniHdfsNode::MiniHdfsNode(Cluster* cluster, NodeId id, MiniHdfsOptions options)
+    : GuestNode(cluster, id, StrFormat("minihdfs-%d", id)), options_(options) {}
+
+void MiniHdfsNode::OnStart() {
+  Log("minihdfs node booting");
+  StatPath("/data/hdfs-site.override");  // Benign probe.
+  ReadlinkPath("/data/current");
+  if (IsNameNode()) {
+    SimKernel::OpenFlags flags;
+    flags.create = true;
+    Open(kEditsCurrent, flags);
+    SetTimer("roll", options_.edit_roll_interval);
+    SetTimer("leases", Seconds(2));
+  } else if (IsBalancer()) {
+    SetTimer("balance", options_.balancer_interval);
+  }
+  SetTimer("maint", Seconds(1));
+}
+
+// ---------------------------------------------------------------------------
+// Namenode
+// ---------------------------------------------------------------------------
+
+void MiniHdfsNode::RollEditLog() {
+  EnterFunction("rollEditLog");
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.truncate = true;
+  AtOffset("rollEditLog", 0x08);
+  const SyscallResult opened = OpenAt(kEditsNew, flags);
+  if (!opened.ok()) {
+    if (options_.bug4233) {
+      // HDFS-4233: rolling fails, every journal is closed, and the namenode
+      // keeps accepting edits anyway.
+      journals_active_ = false;
+      Log("ERROR: no journals started while rolling edit; namenode keeps serving");
+      return;
+    }
+    Panic("cannot roll edit log: no journals available");
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  WriteFd(fd, StrFormat("ROLL %lld\n", static_cast<long long>(now())));
+  Close(fd);
+  AtOffset("rollEditLog", 0x14);
+  RenamePath(kEditsNew, kEditsCurrent);
+}
+
+void MiniHdfsNode::LeaseMonitor() {
+  EnterFunction("leaseMonitor");
+  for (auto& [file, lease] : leases_) {
+    if (now() - lease.created < options_.lease_limit) {
+      continue;
+    }
+    if (options_.bug12070) {
+      if (!lease.reported) {
+        lease.reported = true;
+        Log(StrFormat("ERROR: file %s remains open indefinitely: block recovery failed, "
+                      "lease never released", file.c_str()));
+      }
+      continue;
+    }
+    // Correct behavior: ask the datanode to recover, then force-close.
+    Message msg("RecoverBlock", id(), kHdfsDataNode1);
+    msg.SetStr("block", lease.block);
+    Send(kHdfsDataNode1, std::move(msg));
+    Log(StrFormat("lease on %s recovered by force-close", file.c_str()));
+    lease.created = now();  // Reset so we don't spam while recovery completes.
+  }
+}
+
+void MiniHdfsNode::HandleCreateFile(const Message& msg) {
+  EnterFunction("assignBlocks");
+  if (!journals_active_) {
+    // HDFS-4233 manifestation: edits accepted with no journal backing them.
+    Log("WARNING: accepting create with zero active journals (edits will be lost)");
+  }
+  const std::string block = StrFormat("blk_%d", next_block_++);
+  const NodeId dn = (next_block_ % 2 == 0) ? kHdfsDataNode1 : kHdfsDataNode2;
+  Lease lease;
+  lease.created = now();
+  lease.client = msg.from;
+  lease.block = block;
+  leases_[msg.StrField("name")] = lease;
+
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  const SyscallResult opened = Open(kEditsCurrent, flags);
+  if (opened.ok()) {
+    WriteFd(static_cast<int32_t>(opened.value),
+            StrFormat("CREATE %s %s\n", msg.StrField("name").c_str(), block.c_str()));
+    Close(static_cast<int32_t>(opened.value));
+  }
+
+  Message reply("CreateOk", id(), msg.from);
+  reply.SetStr("name", msg.StrField("name"));
+  reply.SetStr("block", block);
+  reply.SetInt("dn", dn);
+  Send(msg.from, std::move(reply));
+}
+
+void MiniHdfsNode::HandleCompleteFile(const Message& msg) {
+  EnterFunction("completeFile");
+  leases_.erase(msg.StrField("name"));
+  Message reply("CompleteOk", id(), msg.from);
+  reply.SetStr("name", msg.StrField("name"));
+  Send(msg.from, std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Datanode
+// ---------------------------------------------------------------------------
+
+void MiniHdfsNode::HandleWriteBlock(const Message& msg) {
+  EnterFunction("writeBlock");
+  const std::string block = msg.StrField("block");
+  if (unrecoverable_blocks_.count(block) != 0) {
+    return;  // HDFS-12070: the block can never be finalized; stay silent.
+  }
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.truncate = true;
+  const SyscallResult opened = Open(BlockPath(block), flags);
+  if (!opened.ok()) {
+    return;
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  WriteFd(fd, msg.StrField("data"));
+  Close(fd);
+  FinalizeBlock(block, msg.from, msg.StrField("op"));
+}
+
+void MiniHdfsNode::FinalizeBlock(const std::string& block, NodeId client,
+                                 const std::string& op) {
+  EnterFunction("finalizeBlock");
+  AtOffset("finalizeBlock", 0x08);
+  // Finalization stats the block file to validate its on-disk length.
+  FileStat stat;
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  const SyscallResult opened = Open(BlockPath(block), flags);
+  if (!opened.ok()) {
+    return;
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  const SyscallResult stat_result = FstatFd(fd, &stat);
+  Close(fd);
+  if (!stat_result.ok()) {
+    if (options_.bug12070) {
+      // HDFS-12070: the recovery path gives up and marks the replica
+      // unrecoverable; nobody tells the namenode or the client.
+      unrecoverable_blocks_.insert(block);
+      Log(StrFormat("block %s finalization failed; replica abandoned", block.c_str()));
+      return;
+    }
+    // Correct behavior: tell the client to rewrite the block.
+    Message retry("BlockRetry", id(), client);
+    retry.SetStr("block", block);
+    retry.SetStr("op", op);
+    Send(client, std::move(retry));
+    return;
+  }
+  Message reply("BlockOk", id(), client);
+  reply.SetStr("block", block);
+  reply.SetStr("op", op);
+  Send(client, std::move(reply));
+}
+
+void MiniHdfsNode::HandleReadBlock(const Message& msg) {
+  EnterFunction("readBlock");
+  const std::string block = msg.StrField("block");
+  if (poisoned_tokens_.count(block) != 0) {
+    // HDFS-16332: the cached token is expired and never refreshed.
+    read_retries_[block]++;
+    if (read_retries_[block] >= 10 && !slow_read_logged_) {
+      slow_read_logged_ = true;
+      Log(StrFormat("ERROR: slow read on %s: expired block token never refreshed",
+                    block.c_str()));
+    }
+    Message retry("ReadRetry", id(), msg.from);
+    retry.SetStr("block", block);
+    Send(msg.from, std::move(retry));
+    return;
+  }
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  const SyscallResult opened = Open(BlockPath(block), flags);
+  if (!opened.ok()) {
+    Message retry("ReadRetry", id(), msg.from);
+    retry.SetStr("block", block);
+    Send(msg.from, std::move(retry));
+    return;
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  std::string data;
+  const SyscallResult got = ReadFd(fd, 4096, &data);
+  Close(fd);
+  if (!got.ok()) {
+    if (options_.bug16332 && got.err == Err::kEACCES) {
+      poisoned_tokens_.insert(block);
+    } else {
+      // Correct behavior: refresh the token; the next read succeeds.
+      Log(StrFormat("refreshing block token for %s", block.c_str()));
+    }
+    Message retry("ReadRetry", id(), msg.from);
+    retry.SetStr("block", block);
+    Send(msg.from, std::move(retry));
+    return;
+  }
+  Message reply("ReadOk", id(), msg.from);
+  reply.SetStr("block", block);
+  Send(msg.from, std::move(reply));
+}
+
+void MiniHdfsNode::HandleRecoverBlock(const Message& msg) {
+  EnterFunction("recoverBlock");
+  unrecoverable_blocks_.erase(msg.StrField("block"));
+}
+
+// ---------------------------------------------------------------------------
+// Balancer
+// ---------------------------------------------------------------------------
+
+void MiniHdfsNode::BalancerIteration() {
+  EnterFunction("balancerIteration");
+  const std::string nn_ip = cluster().IpOf(kHdfsNameNode);
+  for (int i = 0; i < options_.balancer_report_connects; i++) {
+    const SyscallResult conn = ConnectTo(nn_ip);
+    if (!conn.ok()) {
+      // Report connects are guarded: log and continue.
+      Log("datanode report fetch failed; will retry");
+      continue;
+    }
+    Close(static_cast<int32_t>(conn.value));
+  }
+  EnterFunction("getBlocks");
+  AtOffset("getBlocks", 0x08);
+  const SyscallResult conn = ConnectTo(nn_ip);
+  if (!conn.ok()) {
+    if (options_.bug15032) {
+      // HDFS-15032: this call path has no try/catch.
+      Panic("Balancer crashed: failed to contact unavailable namenode (getBlocks)");
+    }
+    Log("getBlocks failed; skipping iteration");
+    return;
+  }
+  Close(static_cast<int32_t>(conn.value));
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+void MiniHdfsNode::OnTimer(const std::string& name) {
+  if (name == "roll") {
+    RollEditLog();
+    SetTimer("roll", options_.edit_roll_interval);
+  } else if (name == "leases") {
+    LeaseMonitor();
+    SetTimer("leases", Seconds(2));
+  } else if (name == "balance") {
+    BalancerIteration();
+    SetTimer("balance", options_.balancer_interval);
+  } else if (name == "maint") {
+    StatPath("/data/hdfs-site.override");
+    ReadlinkPath("/data/current");
+    SetTimer("maint", Seconds(1));
+  }
+}
+
+void MiniHdfsNode::OnMessage(const Message& msg) {
+  if (msg.type == "CreateFile") {
+    HandleCreateFile(msg);
+  } else if (msg.type == "CompleteFile") {
+    HandleCompleteFile(msg);
+  } else if (msg.type == "WriteBlock") {
+    HandleWriteBlock(msg);
+  } else if (msg.type == "ReadBlock") {
+    HandleReadBlock(msg);
+  } else if (msg.type == "RecoverBlock") {
+    HandleRecoverBlock(msg);
+  }
+}
+
+}  // namespace rose

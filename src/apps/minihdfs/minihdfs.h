@@ -1,0 +1,100 @@
+// MiniHdfs — a miniature HDFS: a namenode (metadata, leases, edit log), two
+// datanodes (block storage), and a balancer daemon, driven by file-writing
+// clients.
+//
+// Four HDFS EFIBs from the paper (source "A") are seeded behind options:
+//
+//   bug4233  (HDFS-4233)  — the periodic edit-log roll fails at openat; the
+//           namenode keeps serving with zero active journals.
+//   bug12070 (HDFS-12070) — a failed fstat during block finalization marks
+//           the block unrecoverable; the file's lease is never released and
+//           the file remains open indefinitely.
+//   bug15032 (HDFS-15032) — one specific connect() in the balancer loop
+//           (getBlocks) has no error handling; the balancer crashes when the
+//           namenode is unreachable at exactly that call.
+//   bug16332 (HDFS-16332) — a read failing with EACCES (expired block
+//           token) permanently poisons the token cache; the client retries
+//           forever (slow read) because the token is never refreshed.
+#ifndef SRC_APPS_MINIHDFS_MINIHDFS_H_
+#define SRC_APPS_MINIHDFS_MINIHDFS_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniHdfsOptions {
+  bool bug4233 = false;
+  bool bug12070 = false;
+  bool bug15032 = false;
+  bool bug16332 = false;
+
+  SimTime edit_roll_interval = Seconds(5);
+  SimTime lease_limit = Seconds(8);
+  SimTime balancer_interval = Seconds(3);
+  int balancer_report_connects = 8;  // Tolerated connects before getBlocks.
+};
+
+// Topology: node 0 = namenode, nodes 1..2 = datanodes, node 3 = balancer.
+inline constexpr NodeId kHdfsNameNode = 0;
+inline constexpr NodeId kHdfsDataNode1 = 1;
+inline constexpr NodeId kHdfsDataNode2 = 2;
+inline constexpr NodeId kHdfsBalancer = 3;
+inline constexpr int kHdfsServerCount = 4;
+
+BinaryInfo BuildMiniHdfsBinary();
+
+class MiniHdfsNode : public GuestNode {
+ public:
+  MiniHdfsNode(Cluster* cluster, NodeId id, MiniHdfsOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+ private:
+  bool IsNameNode() const { return id() == kHdfsNameNode; }
+  bool IsBalancer() const { return id() == kHdfsBalancer; }
+
+  // Namenode.
+  void RollEditLog();
+  void LeaseMonitor();
+  void HandleCreateFile(const Message& msg);
+  void HandleCompleteFile(const Message& msg);
+
+  // Datanode.
+  void HandleWriteBlock(const Message& msg);
+  void FinalizeBlock(const std::string& block, NodeId client, const std::string& op);
+  void HandleReadBlock(const Message& msg);
+  void HandleRecoverBlock(const Message& msg);
+
+  // Balancer.
+  void BalancerIteration();
+
+  MiniHdfsOptions options_;
+
+  // Namenode state.
+  struct Lease {
+    SimTime created = 0;
+    NodeId client = kNoNode;
+    std::string block;
+    bool reported = false;
+  };
+  std::map<std::string, Lease> leases_;  // file -> lease
+  bool journals_active_ = true;
+  int next_block_ = 1;
+
+  // Datanode state.
+  std::set<std::string> unrecoverable_blocks_;
+  std::set<std::string> poisoned_tokens_;
+  std::map<std::string, int> read_retries_;
+  bool slow_read_logged_ = false;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIHDFS_MINIHDFS_H_

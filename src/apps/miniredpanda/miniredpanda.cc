@@ -1,0 +1,215 @@
+#include "src/apps/miniredpanda/miniredpanda.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+constexpr char kLogPath[] = "/data/segment.log";
+}  // namespace
+
+BinaryInfo BuildMiniRedpandaBinary() {
+  BinaryInfo binary;
+  binary.RegisterFunction("takeLeadership", "leadership.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("rebuildDedupSessions", "leadership.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("appendBatch", "log.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("flushAcks", "log.c", {{0x08, OffsetKind::kOther}});
+  binary.RegisterFunction("replicateEntry", "log.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  return binary;
+}
+
+MiniRedpandaNode::MiniRedpandaNode(Cluster* cluster, NodeId id, MiniRedpandaOptions options)
+    : GuestNode(cluster, id, StrFormat("redpanda-%d", id)), options_(options) {}
+
+void MiniRedpandaNode::OnStart() {
+  Log("redpanda broker booting");
+  StatPath("/data/redpanda.yaml.lock");  // Benign probe.
+  last_lease_seen_ = now();
+  SetTimer("lease", options_.lease_interval);
+  SetTimer("acks", options_.ack_batch_interval);
+  SetTimer("repl", options_.replication_interval);
+  SetTimer("maint", Seconds(1));
+}
+
+void MiniRedpandaNode::MaybeTakeLeadership() {
+  if (leader_ == id()) {
+    Message lease("Lease", id(), kNoNode);
+    Broadcast(lease, options_.cluster_size);
+    return;
+  }
+  // Lease expired: brokers take over in id order (staggered), so the lowest
+  // responsive broker wins.
+  const SimTime stale = now() - last_lease_seen_;
+  if (stale >= options_.lease_timeout + Millis(200) * id()) {
+    BecomeLeader();
+    Message lease("Lease", id(), kNoNode);
+    Broadcast(lease, options_.cluster_size);
+  }
+}
+
+void MiniRedpandaNode::BecomeLeader() {
+  EnterFunction("takeLeadership");
+  leader_ = id();
+  Log("took partition leadership");
+  if (!options_.bug_dedup) {
+    // Correct behavior: rebuild the idempotence sessions from the log so
+    // retried batches are recognized.
+    RebuildDedupSessions();
+  }
+  // Redpanda-3003: sessions_ keeps whatever this broker had in memory
+  // (usually nothing), so producer retries are not recognized as duplicates.
+}
+
+void MiniRedpandaNode::RebuildDedupSessions() {
+  EnterFunction("rebuildDedupSessions");
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  const SyscallResult opened = Open(kLogPath, flags);
+  if (opened.ok()) {
+    std::string chunk;
+    ReadFd(static_cast<int32_t>(opened.value), 4096, &chunk);
+    Close(static_cast<int32_t>(opened.value));
+  }
+  sessions_.clear();
+  for (const auto& [offset, entry] : log_) {
+    int64_t& last = sessions_[entry.producer];
+    last = std::max(last, entry.seq);
+  }
+}
+
+void MiniRedpandaNode::AppendBatch(const Message& msg) {
+  EnterFunction("appendBatch");
+  const std::string producer = msg.StrField("producer");
+  const int64_t seq = msg.IntField("seq");
+  auto session = sessions_.find(producer);
+  if (session != sessions_.end() && seq <= session->second) {
+    // Duplicate batch: ack without appending.
+    pending_acks_.push_back({msg.from, msg.StrField("op")});
+    return;
+  }
+  BrokerLogEntry entry;
+  entry.producer = producer;
+  entry.seq = seq;
+  entry.op_id = msg.StrField("op");
+
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  AtOffset("appendBatch", 0x08);
+  const SyscallResult opened = Open(kLogPath, flags);
+  if (opened.ok()) {
+    AtOffset("appendBatch", 0x10);
+    WriteFd(static_cast<int32_t>(opened.value),
+            StrFormat("%s|%lld|%s\n", producer.c_str(), static_cast<long long>(seq),
+                      entry.op_id.c_str()));
+    Close(static_cast<int32_t>(opened.value));
+  }
+  const int64_t offset = next_offset_++;
+  log_[offset] = entry;
+  sessions_[producer] = seq;
+  // Replication and acks are batched (linger) and flushed by timers; a
+  // leader that stops between append and flush leaves this entry local-only.
+  unreplicated_.push_back(offset);
+  pending_acks_.push_back({msg.from, entry.op_id});
+}
+
+void MiniRedpandaNode::FlushReplication() {
+  if (unreplicated_.empty()) {
+    return;
+  }
+  EnterFunction("replicateEntry");
+  for (int64_t offset : unreplicated_) {
+    auto it = log_.find(offset);
+    if (it == log_.end()) {
+      continue;
+    }
+    Message rep("RpReplicate", id(), kNoNode);
+    rep.SetStr("producer", it->second.producer);
+    rep.SetInt("seq", it->second.seq);
+    rep.SetStr("op", it->second.op_id);
+    rep.SetInt("off", offset);
+    Broadcast(rep, options_.cluster_size);
+  }
+  unreplicated_.clear();
+}
+
+void MiniRedpandaNode::FlushAcks() {
+  if (pending_acks_.empty()) {
+    return;
+  }
+  EnterFunction("flushAcks");
+  for (const auto& [client, op] : pending_acks_) {
+    Message reply("ClientPutOk", id(), client);
+    reply.SetStr("op", op);
+    Send(client, std::move(reply));
+  }
+  pending_acks_.clear();
+}
+
+void MiniRedpandaNode::OnTimer(const std::string& name) {
+  if (name == "lease") {
+    MaybeTakeLeadership();
+    SetTimer("lease", options_.lease_interval);
+  } else if (name == "acks") {
+    if (leader_ == id()) {
+      FlushAcks();
+    }
+    SetTimer("acks", options_.ack_batch_interval);
+  } else if (name == "repl") {
+    if (leader_ == id()) {
+      FlushReplication();
+    }
+    SetTimer("repl", options_.replication_interval);
+  } else if (name == "maint") {
+    StatPath("/data/redpanda.yaml.lock");
+    ReadlinkPath("/data/wasm");
+    SetTimer("maint", Seconds(1));
+  }
+}
+
+void MiniRedpandaNode::OnMessage(const Message& msg) {
+  if (msg.type == "Lease") {
+    if (msg.from <= id() || leader_ == kNoNode) {
+      leader_ = msg.from;
+      last_lease_seen_ = now();
+    }
+  } else if (msg.type == "Produce") {
+    if (leader_ != id()) {
+      Message reply("ClientRedirect", id(), msg.from);
+      reply.SetStr("op", msg.StrField("op"));
+      reply.SetInt("leader", leader_);
+      Send(msg.from, std::move(reply));
+      return;
+    }
+    AppendBatch(msg);
+  } else if (msg.type == "RpReplicate") {
+    const int64_t offset = msg.IntField("off");
+    if (log_.count(offset) != 0) {
+      // A conflicting entry already sits at this offset. Nobody reconciles
+      // logs after leadership changes — first write wins, divergence stays.
+      return;
+    }
+    BrokerLogEntry entry;
+    entry.producer = msg.StrField("producer");
+    entry.seq = msg.IntField("seq");
+    entry.op_id = msg.StrField("op");
+    SimKernel::OpenFlags flags;
+    flags.create = true;
+    flags.append = true;
+    const SyscallResult opened = Open(kLogPath, flags);
+    if (opened.ok()) {
+      WriteFd(static_cast<int32_t>(opened.value),
+              StrFormat("%s|%lld|%s\n", entry.producer.c_str(),
+                        static_cast<long long>(entry.seq), entry.op_id.c_str()));
+      Close(static_cast<int32_t>(opened.value));
+    }
+    log_[offset] = entry;
+    next_offset_ = std::max(next_offset_, offset + 1);
+  }
+}
+
+}  // namespace rose

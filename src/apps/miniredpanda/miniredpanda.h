@@ -1,0 +1,78 @@
+// MiniRedpanda — a miniature Redpanda/Kafka-compatible log broker: lease-based
+// leadership, a replicated append-only log with batched acknowledgements, and
+// idempotent-producer deduplication.
+//
+// One seeded defect produces both Table-1 Redpanda rows:
+//   bug_dedup (Redpanda-3003 / Redpanda-3039) — the leader's producer
+//   dedup sessions live only in memory and are NOT rehydrated from the log
+//   on leadership change. A leader paused mid-batch loses its ack window;
+//   the producer retries against the new leader, which appends the batch
+//   again: duplicates in the log (3003) and divergent offsets between
+//   brokers (3039, because nobody reconciles logs after leadership moves).
+#ifndef SRC_APPS_MINIREDPANDA_MINIREDPANDA_H_
+#define SRC_APPS_MINIREDPANDA_MINIREDPANDA_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniRedpandaOptions {
+  int cluster_size = 3;
+  bool bug_dedup = false;
+  SimTime lease_interval = Millis(400);
+  SimTime lease_timeout = Millis(1500);
+  SimTime ack_batch_interval = Millis(200);
+  SimTime replication_interval = Millis(150);
+};
+
+BinaryInfo BuildMiniRedpandaBinary();
+
+struct BrokerLogEntry {
+  std::string producer;
+  int64_t seq = 0;
+  std::string op_id;
+};
+
+class MiniRedpandaNode : public GuestNode {
+ public:
+  MiniRedpandaNode(Cluster* cluster, NodeId id, MiniRedpandaOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  bool is_leader() const { return leader_ == id(); }
+  NodeId leader() const { return leader_; }
+  // Offset -> entry; replication places entries at the leader's offsets so
+  // per-broker logs are positionally comparable.
+  const std::map<int64_t, BrokerLogEntry>& log() const { return log_; }
+
+ private:
+  void MaybeTakeLeadership();
+  void BecomeLeader();
+  void RebuildDedupSessions();
+  void AppendBatch(const Message& msg);
+  void FlushAcks();
+  void FlushReplication();
+
+  MiniRedpandaOptions options_;
+  NodeId leader_ = kNoNode;
+  SimTime last_lease_seen_ = 0;
+  std::map<int64_t, BrokerLogEntry> log_;
+  int64_t next_offset_ = 0;
+  // Offsets appended locally but not yet shipped to followers.
+  std::vector<int64_t> unreplicated_;
+  // producer -> highest appended sequence (the idempotence session).
+  std::map<std::string, int64_t> sessions_;
+  // Acks held until the batch flush: (client, op_id).
+  std::vector<std::pair<NodeId, std::string>> pending_acks_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIREDPANDA_MINIREDPANDA_H_

@@ -1,0 +1,66 @@
+#include "src/apps/miniredpanda/producer_client.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+ProducerClient::ProducerClient(Cluster* cluster, NodeId id, ProducerOptions options)
+    : GuestNode(cluster, id, StrFormat("producer-%d", id)), options_(options),
+      producer_id_(StrFormat("p%d", id)) {}
+
+void ProducerClient::OnStart() {
+  target_ = 0;
+  SetTimer("tick", options_.produce_interval);
+}
+
+void ProducerClient::SendCurrent() {
+  Message msg("Produce", id(), target_);
+  msg.SetStr("producer", producer_id_);
+  msg.SetInt("seq", seq_);
+  msg.SetStr("op", StrFormat("%s-%lld", producer_id_.c_str(), static_cast<long long>(seq_)));
+  sent_at_ = now();
+  Send(target_, std::move(msg));
+}
+
+void ProducerClient::OnTimer(const std::string& name) {
+  if (name != "tick") {
+    return;
+  }
+  if (!in_flight_) {
+    seq_++;
+    in_flight_ = true;
+    SendCurrent();
+  } else if (now() - sent_at_ >= options_.retry_timeout) {
+    // At-least-once: retry the SAME sequence against the next broker.
+    target_ = static_cast<NodeId>((target_ + 1) % options_.broker_count);
+    SendCurrent();
+  }
+  SetTimer("tick", options_.produce_interval);
+}
+
+void ProducerClient::OnMessage(const Message& msg) {
+  const std::string current_op =
+      StrFormat("%s-%lld", producer_id_.c_str(), static_cast<long long>(seq_));
+  if (msg.type == "ClientPutOk") {
+    if (in_flight_ && msg.StrField("op") == current_op) {
+      acked_.push_back(current_op);
+      in_flight_ = false;
+    }
+  } else if (msg.type == "ClientRedirect") {
+    const auto leader = static_cast<NodeId>(msg.IntField("leader", kNoNode));
+    if (leader >= 0 && leader < options_.broker_count) {
+      target_ = leader;
+      if (in_flight_ && msg.StrField("op") == current_op) {
+        SendCurrent();
+      }
+    } else {
+      // No leader known: rotate, but let the tick-based retry pace resends.
+      target_ = static_cast<NodeId>((target_ + 1) % options_.broker_count);
+      if (in_flight_) {
+        sent_at_ = now() - options_.retry_timeout + Millis(300);
+      }
+    }
+  }
+}
+
+}  // namespace rose

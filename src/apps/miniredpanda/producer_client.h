@@ -1,0 +1,47 @@
+// Idempotent producer workload for MiniRedpanda: monotonically increasing
+// sequence numbers, at-least-once retries of unacknowledged batches (same
+// sequence, possibly against a different broker) — the client half of the
+// idempotence contract the bug_dedup defect breaks.
+#ifndef SRC_APPS_MINIREDPANDA_PRODUCER_CLIENT_H_
+#define SRC_APPS_MINIREDPANDA_PRODUCER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/guest_node.h"
+
+namespace rose {
+
+struct ProducerOptions {
+  int broker_count = 3;
+  SimTime produce_interval = Millis(100);
+  SimTime retry_timeout = Millis(1500);
+};
+
+class ProducerClient : public GuestNode {
+ public:
+  ProducerClient(Cluster* cluster, NodeId id, ProducerOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  // Acknowledged operation ids, in ack order (the Elle-lite input).
+  const std::vector<std::string>& acked_ops() const { return acked_; }
+  const std::string& producer_id() const { return producer_id_; }
+
+ private:
+  void SendCurrent();
+
+  ProducerOptions options_;
+  std::string producer_id_;
+  int64_t seq_ = 0;
+  bool in_flight_ = false;
+  SimTime sent_at_ = 0;
+  NodeId target_ = 0;
+  std::vector<std::string> acked_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIREDPANDA_PRODUCER_CLIENT_H_

@@ -1,0 +1,165 @@
+#include "src/apps/minitablestore/minitablestore.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+constexpr char kProcWalPath[] = "/data/procs.wal";
+}  // namespace
+
+BinaryInfo BuildMiniTableStoreBinary() {
+  BinaryInfo binary;
+  binary.RegisterFunction("submitProcedure", "master.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("getProcedureResult", "master.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpenAt},
+                           {0x14, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("finishProcedure", "master.c", {{0x08, OffsetKind::kOther}});
+  return binary;
+}
+
+MiniTableStoreNode::MiniTableStoreNode(Cluster* cluster, NodeId id,
+                                       MiniTableStoreOptions options)
+    : GuestNode(cluster, id, StrFormat("tablestore-%d", id)), options_(options) {}
+
+void MiniTableStoreNode::OnStart() {
+  Log("tablestore node booting");
+  StatPath("/data/hbase-site.override");  // Benign probe.
+  if (id() == kTableClient) {
+    SetTimer("submit", Seconds(2));
+  }
+  SetTimer("maint", Seconds(1));
+}
+
+void MiniTableStoreNode::SubmitProcedure(const std::string& proc, NodeId client) {
+  EnterFunction("submitProcedure");
+  // HBASE-19608: no check whether the procedure is already running — the
+  // race window the original issue describes. (The correct master rejects
+  // duplicate submissions.)
+  if (!options_.bug19608 && (running_.count(proc) != 0 || done_.count(proc) != 0)) {
+    Message reply("ProcSubmitted", id(), client);
+    reply.SetStr("proc", proc);
+    Send(client, std::move(reply));
+    return;
+  }
+  running_.insert(proc);
+  executions_[proc]++;
+  if (executions_[proc] > 1) {
+    Log(StrFormat("ERROR: duplicate procedure execution detected for %s "
+                  "(race in MasterRpcServices.getProcedureResult)", proc.c_str()));
+  }
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  const SyscallResult opened = Open(kProcWalPath, flags);
+  if (opened.ok()) {
+    WriteFd(static_cast<int32_t>(opened.value), "SUBMIT " + proc + "\n");
+    Close(static_cast<int32_t>(opened.value));
+  }
+  SetTimer("exec:" + proc, options_.procedure_latency);
+  Message reply("ProcSubmitted", id(), client);
+  reply.SetStr("proc", proc);
+  Send(client, std::move(reply));
+}
+
+void MiniTableStoreNode::GetProcedureResult(const std::string& proc, NodeId client) {
+  EnterFunction("getProcedureResult");
+  Message reply("ProcResult", id(), client);
+  reply.SetStr("proc", proc);
+  AtOffset("getProcedureResult", 0x08);
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  const SyscallResult opened = OpenAt(kProcWalPath, flags);
+  if (!opened.ok()) {
+    if (options_.bug19608) {
+      // HBASE-19608: the I/O error is indistinguishable from "no such
+      // procedure" in the reply.
+      reply.SetStr("status", "NOT_FOUND");
+      Send(client, std::move(reply));
+      return;
+    }
+    reply.SetStr("status", "RETRY");
+    Send(client, std::move(reply));
+    return;
+  }
+  std::string contents;
+  AtOffset("getProcedureResult", 0x14);
+  ReadFd(static_cast<int32_t>(opened.value), 4096, &contents);
+  Close(static_cast<int32_t>(opened.value));
+  if (done_.count(proc) != 0) {
+    reply.SetStr("status", "DONE");
+  } else if (running_.count(proc) != 0) {
+    reply.SetStr("status", "RUNNING");
+  } else {
+    reply.SetStr("status", "NOT_FOUND");
+  }
+  Send(client, std::move(reply));
+}
+
+void MiniTableStoreNode::OnTimer(const std::string& name) {
+  if (StartsWith(name, "exec:")) {
+    const std::string proc = name.substr(5);
+    EnterFunction("finishProcedure");
+    running_.erase(proc);
+    done_.insert(proc);
+    return;
+  }
+  if (name == "submit" && id() == kTableClient) {
+    if (!waiting_) {
+      current_proc_ = StrFormat("create-table-%llu",
+                                static_cast<unsigned long long>(proc_counter_++));
+      waiting_ = true;
+      Message msg("SubmitProc", id(), kTableMaster);
+      msg.SetStr("proc", current_proc_);
+      Send(kTableMaster, std::move(msg));
+    }
+    SetTimer("submit", Seconds(2));
+    return;
+  }
+  if (name == "poll" && id() == kTableClient) {
+    if (waiting_) {
+      Message msg("GetProcResult", id(), kTableMaster);
+      msg.SetStr("proc", current_proc_);
+      Send(kTableMaster, std::move(msg));
+    }
+    return;
+  }
+  if (name == "maint") {
+    StatPath("/data/hbase-site.override");
+    ReadlinkPath("/data/WALs");
+    SetTimer("maint", Seconds(1));
+    return;
+  }
+}
+
+void MiniTableStoreNode::OnMessage(const Message& msg) {
+  if (id() == kTableMaster) {
+    if (msg.type == "SubmitProc") {
+      SubmitProcedure(msg.StrField("proc"), msg.from);
+    } else if (msg.type == "GetProcResult") {
+      GetProcedureResult(msg.StrField("proc"), msg.from);
+    }
+    return;
+  }
+  if (id() == kTableClient) {
+    if (msg.type == "ProcSubmitted") {
+      SetTimer("poll", Millis(300));
+    } else if (msg.type == "ProcResult") {
+      const std::string status = msg.StrField("status");
+      if (status == "DONE") {
+        waiting_ = false;
+      } else if (status == "NOT_FOUND") {
+        // The master says it has never heard of our procedure: resubmit.
+        Message resubmit("SubmitProc", id(), kTableMaster);
+        resubmit.SetStr("proc", msg.StrField("proc"));
+        Send(kTableMaster, std::move(resubmit));
+      } else {
+        SetTimer("poll", Millis(300));
+      }
+    }
+  }
+}
+
+}  // namespace rose

@@ -1,0 +1,57 @@
+// MiniTableStore — a miniature HBase master with a procedure store: clients
+// submit DDL procedures, the master executes them asynchronously and records
+// them in a write-ahead log, and clients poll getProcedureResult.
+//
+//   bug19608 (HBASE-19608) — getProcedureResult treats an I/O error while
+//   consulting the procedure WAL as "procedure not found". The client
+//   resubmits, the master runs the procedure a second time concurrently:
+//   the classic MasterRpcServices.getProcedureResult race.
+#ifndef SRC_APPS_MINITABLESTORE_MINITABLESTORE_H_
+#define SRC_APPS_MINITABLESTORE_MINITABLESTORE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniTableStoreOptions {
+  bool bug19608 = false;
+  SimTime procedure_latency = Millis(800);
+};
+
+// Node 0 = master, node 1 = regionserver, node 2 = DDL client.
+inline constexpr NodeId kTableMaster = 0;
+inline constexpr NodeId kTableRegionServer = 1;
+inline constexpr NodeId kTableClient = 2;
+
+BinaryInfo BuildMiniTableStoreBinary();
+
+class MiniTableStoreNode : public GuestNode {
+ public:
+  MiniTableStoreNode(Cluster* cluster, NodeId id, MiniTableStoreOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+ private:
+  void SubmitProcedure(const std::string& proc, NodeId client);
+  void GetProcedureResult(const std::string& proc, NodeId client);
+
+  MiniTableStoreOptions options_;
+  std::set<std::string> running_;
+  std::set<std::string> done_;
+  std::map<std::string, int> executions_;
+  // Client side.
+  uint64_t proc_counter_ = 0;
+  std::string current_proc_;
+  bool waiting_ = false;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINITABLESTORE_MINITABLESTORE_H_

@@ -1,0 +1,421 @@
+#include "src/apps/minizk/minizk.h"
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+
+constexpr char kTxnLogPath[] = "/data/txnlog";
+constexpr char kSnapshotPath[] = "/data/snapshot.0";
+constexpr char kSnapshotTmpPath[] = "/data/snapshot.tmp";
+
+}  // namespace
+
+BinaryInfo BuildMiniZkBinary() {
+  BinaryInfo binary;
+  // quorum.c — leader election.
+  binary.RegisterFunction("startElection", "quorum.c", {{0x10, OffsetKind::kCallSite}});
+  binary.RegisterFunction("handleElectMe", "quorum.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kAccept}});
+  binary.RegisterFunction("receiveVote", "quorum.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kAccept},
+                           {0x1c, OffsetKind::kOther}});
+  binary.RegisterFunction("becomeLeader", "quorum.c", {{0x10, OffsetKind::kCallSite}});
+  // txnlog.c — transaction log.
+  binary.RegisterFunction("writeTxnHeader", "txnlog.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("writeTxnLog", "txnlog.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  // snapshot.c — snapshots.
+  binary.RegisterFunction("takeSnapshot", "snapshot.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite}});
+  binary.RegisterFunction("snapshotSizeCheck", "snapshot.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kOpen},
+                           {0x10, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  // session.c — client sessions.
+  binary.RegisterFunction("handleClientRequest", "session.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kRead}});
+  binary.RegisterFunction("openSession", "session.c",
+                          {{0x08, OffsetKind::kSyscallCallSite, Sys::kAccept}});
+  return binary;
+}
+
+MiniZkNode::MiniZkNode(Cluster* cluster, NodeId id, MiniZkOptions options)
+    : GuestNode(cluster, id, StrFormat("minizk-%d", id)), options_(options) {}
+
+void MiniZkNode::OnStart() {
+  Log("minizk booting");
+  StatPath("/data/zoo.cfg.dynamic");  // Benign probe.
+  ReadlinkPath("/data/version-2");
+  last_leader_seen_ = now();
+  ResetElectTimer();
+  SetTimer("sizecheck", Seconds(4));
+  SetTimer("watchdog", Seconds(2));
+  SetTimer("maint", Seconds(1));
+}
+
+// ---------------------------------------------------------------------------
+// Election
+// ---------------------------------------------------------------------------
+
+void MiniZkNode::ResetElectTimer() {
+  SetTimer("elect", options_.election_timeout_base +
+                        options_.election_timeout_stagger * id() +
+                        static_cast<SimTime>(rng().NextBelow(
+                            static_cast<uint64_t>(Millis(50)))));
+}
+
+void MiniZkNode::StartElection() {
+  EnterFunction("startElection");
+  campaigning_ = true;
+  round_++;
+  votes_.clear();
+  votes_.insert(id());
+  voted_round_ = round_;
+  Message msg("ElectMe", id(), kNoNode);
+  msg.SetInt("round", round_);
+  Broadcast(msg, options_.cluster_size);
+  ResetElectTimer();
+}
+
+void MiniZkNode::HandleElectMe(const Message& msg) {
+  EnterFunction("handleElectMe");
+  const int64_t round = msg.IntField("round");
+  // Defer to lower-id candidates: reset our own timer.
+  if (msg.from < id()) {
+    ResetElectTimer();
+  }
+  if (round > round_) {
+    round_ = round;
+    campaigning_ = false;
+  }
+  if (round >= voted_round_ || voted_round_ < 0) {
+    // Establish the election connection back to the candidate.
+    const SyscallResult accepted = AcceptFrom(cluster().IpOf(msg.from));
+    if (!accepted.ok()) {
+      Log("vote connection failed; skipping this round");
+      return;
+    }
+    voted_round_ = round;
+    Message vote("Vote", id(), msg.from);
+    vote.SetInt("round", round);
+    Send(msg.from, std::move(vote));
+    if (accepted.ok()) {
+      Close(static_cast<int32_t>(accepted.value));
+    }
+  }
+}
+
+void MiniZkNode::HandleVote(const Message& msg) {
+  EnterFunction("receiveVote");
+  if (listener_dead_) {
+    return;  // ZOOKEEPER-4203: the listener thread is gone; votes vanish.
+  }
+  // Accept the voter's connection on the election listener.
+  const SyscallResult accepted = AcceptFrom(cluster().IpOf(msg.from));
+  if (!accepted.ok()) {
+    if (options_.bug4203) {
+      // ZOOKEEPER-4203: the accept error kills the listener thread, but the
+      // candidate believes it is still campaigning.
+      listener_dead_ = true;
+      Log("ERROR: election listener aborted on connection error");
+      return;
+    }
+    Log("vote accept failed; voter will retry");
+    return;
+  }
+  Close(static_cast<int32_t>(accepted.value));
+  if (!campaigning_ || msg.IntField("round") != round_) {
+    return;
+  }
+  votes_.insert(msg.from);
+  if (static_cast<int>(votes_.size()) * 2 > options_.cluster_size) {
+    BecomeLeader();
+  }
+}
+
+void MiniZkNode::BecomeLeader() {
+  EnterFunction("becomeLeader");
+  campaigning_ = false;
+  leader_id_ = id();
+  last_leader_seen_ = now();
+  service_degraded_ = false;
+  Log(StrFormat("became leader for round %lld", static_cast<long long>(round_)));
+  WriteTxnHeader();
+  Message msg("ZkLeader", id(), kNoNode);
+  msg.SetInt("round", round_);
+  Broadcast(msg, options_.cluster_size);
+  CancelTimer("elect");
+  SetTimer("hb", options_.heartbeat_interval);
+  if (options_.resign_interval > 0) {
+    SetTimer("resign", options_.resign_interval);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction log and snapshots
+// ---------------------------------------------------------------------------
+
+bool MiniZkNode::WriteTxnHeader() {
+  EnterFunction("writeTxnHeader");
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.truncate = false;
+  const SyscallResult opened = Open(kTxnLogPath, flags);
+  if (!opened.ok()) {
+    Log("txn log header open failed; will retry");
+    return false;
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  const SyscallResult written = WriteFd(fd, StrFormat("HDR %lld\n",
+                                                      static_cast<long long>(round_)));
+  Close(fd);
+  if (!written.ok()) {
+    // Header failures are tolerated: the log is re-initialized lazily.
+    Log("txn log header write failed; will retry");
+    return false;
+  }
+  return true;
+}
+
+bool MiniZkNode::WriteTxnLog(const std::string& entry) {
+  EnterFunction("writeTxnLog");
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  flags.append = true;
+  const SyscallResult opened = Open(kTxnLogPath, flags);
+  if (!opened.ok()) {
+    Log("txn log open failed");
+    return false;
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  const SyscallResult written = WriteFd(fd, entry + "\n");
+  Close(fd);
+  if (!written.ok()) {
+    if (options_.bug2247) {
+      // ZOOKEEPER-2247: the leader keeps serving with no working journal;
+      // every write is silently dropped from now on.
+      service_degraded_ = true;
+      Log("ERROR: txn log write failed; service unavailable (leader did not step down)");
+      return false;
+    }
+    // Correct behavior: give up leadership so a healthy node takes over.
+    Panic("txn log write failed; shutting down to protect the quorum");
+  }
+  return true;
+}
+
+void MiniZkNode::TakeSnapshot() {
+  EnterFunction("takeSnapshot");
+  std::string data;
+  for (const auto& [key, value] : kv_) {
+    data += key + "=" + value + "\n";
+  }
+  WriteFileDurably(kSnapshotTmpPath, data);
+  RenamePath(kSnapshotTmpPath, kSnapshotPath);
+  txns_since_snapshot_ = 0;
+}
+
+void MiniZkNode::SnapshotSizeCheck() {
+  EnterFunction("snapshotSizeCheck");
+  SimKernel::OpenFlags flags;
+  flags.readonly = true;
+  const SyscallResult opened = Open(kSnapshotPath, flags);
+  if (!opened.ok()) {
+    return;  // No snapshot yet.
+  }
+  const auto fd = static_cast<int32_t>(opened.value);
+  std::string probe;
+  const SyscallResult got = ReadFd(fd, 64, &probe);
+  Close(fd);
+  if (!got.ok()) {
+    if (options_.bug3006) {
+      // ZOOKEEPER-3006: the exception is caught... and the uninitialized
+      // size is dereferenced right after.
+      Log("snapshot size probe failed; continuing");
+      Panic("NullPointerException while computing snapshot size");
+    }
+    Log("snapshot size probe failed; skipping this cycle");
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client handling
+// ---------------------------------------------------------------------------
+
+void MiniZkNode::HandleClientPut(const Message& msg) {
+  EnterFunction("handleClientRequest");
+  const NodeId client = msg.from;
+  auto session = sessions_.find(client);
+  if (session == sessions_.end()) {
+    EnterFunction("openSession");
+    const SyscallResult accepted = AcceptFrom(cluster().IpOf(client));
+    if (!accepted.ok()) {
+      return;
+    }
+    session = sessions_.emplace(client, static_cast<int32_t>(accepted.value)).first;
+  }
+  if (session->second < 0) {
+    // Poisoned session (ZOOKEEPER-3157): never answered again.
+    return;
+  }
+  // Drain the request bytes from the session socket.
+  const SyscallResult got = ReadFd(session->second, msg.ByteSize());
+  if (!got.ok()) {
+    if (options_.bug3157) {
+      session->second = -1;
+      Log(StrFormat("ERROR: connection loss causes client failure: session of "
+                    "client n%d corrupted permanently", client));
+      return;
+    }
+    // Correct behavior: drop the session; the client reconnects.
+    sessions_.erase(session);
+    return;
+  }
+
+  if (leader_id_ != id()) {
+    Message reply("ClientRedirect", id(), client);
+    reply.SetStr("op", msg.StrField("op"));
+    reply.SetInt("leader", leader_id_);
+    Send(client, std::move(reply));
+    return;
+  }
+  if (service_degraded_) {
+    return;  // ZOOKEEPER-2247: silently unavailable.
+  }
+  const int64_t txn = next_txn_++;
+  if (!WriteTxnLog(StrFormat("%lld|%s|%s", static_cast<long long>(txn),
+                             msg.StrField("key").c_str(), msg.StrField("val").c_str()))) {
+    return;
+  }
+  PendingTxn pending;
+  pending.client = client;
+  pending.op_id = msg.StrField("op");
+  pending.key = msg.StrField("key");
+  pending.value = msg.StrField("val");
+  pending_[txn] = pending;
+  Message rep("ZkReplicate", id(), kNoNode);
+  rep.SetInt("txn", txn);
+  rep.SetStr("key", pending.key);
+  rep.SetStr("val", pending.value);
+  Broadcast(rep, options_.cluster_size);
+}
+
+void MiniZkNode::HandleClientGet(const Message& msg) {
+  EnterFunction("handleClientRequest");
+  Message reply("ClientGetOk", id(), msg.from);
+  reply.SetStr("op", msg.StrField("op"));
+  auto it = kv_.find(msg.StrField("key"));
+  reply.SetStr("val", it == kv_.end() ? "" : it->second);
+  Send(msg.from, std::move(reply));
+}
+
+// ---------------------------------------------------------------------------
+// Event plumbing
+// ---------------------------------------------------------------------------
+
+void MiniZkNode::OnTimer(const std::string& name) {
+  if (name == "elect") {
+    if (leader_id_ == kNoNode || now() - last_leader_seen_ > options_.election_timeout_base) {
+      leader_id_ = kNoNode;
+      StartElection();
+    } else {
+      ResetElectTimer();
+    }
+    return;
+  }
+  if (name == "hb") {
+    if (leader_id_ == id()) {
+      Message msg("ZkHeartbeat", id(), kNoNode);
+      msg.SetInt("round", round_);
+      Broadcast(msg, options_.cluster_size);
+      SetTimer("hb", options_.heartbeat_interval);
+    }
+    return;
+  }
+  if (name == "resign") {
+    if (leader_id_ == id()) {
+      Log("resigning leadership for rolling maintenance");
+      leader_id_ = kNoNode;
+      ResetElectTimer();
+    }
+    return;
+  }
+  if (name == "sizecheck") {
+    SnapshotSizeCheck();
+    SetTimer("sizecheck", Seconds(4));
+    return;
+  }
+  if (name == "watchdog") {
+    if (now() - last_leader_seen_ > Seconds(12) && !stuck_logged_) {
+      stuck_logged_ = true;
+      Log("ERROR: leader election stuck forever; no leader for 12s");
+    }
+    SetTimer("watchdog", Seconds(2));
+    return;
+  }
+  if (name == "maint") {
+    StatPath("/data/zoo.cfg.dynamic");
+    ReadlinkPath("/data/version-2");
+    SetTimer("maint", Seconds(1));
+    return;
+  }
+}
+
+void MiniZkNode::OnMessage(const Message& msg) {
+  if (msg.type == "ElectMe") {
+    HandleElectMe(msg);
+  } else if (msg.type == "Vote") {
+    HandleVote(msg);
+  } else if (msg.type == "ZkLeader") {
+    leader_id_ = msg.from;
+    last_leader_seen_ = now();
+    round_ = msg.IntField("round");
+    campaigning_ = false;
+    ResetElectTimer();
+  } else if (msg.type == "ZkHeartbeat") {
+    if (msg.from == leader_id_) {
+      last_leader_seen_ = now();
+    } else if (leader_id_ == kNoNode) {
+      leader_id_ = msg.from;
+      last_leader_seen_ = now();
+    }
+    ResetElectTimer();
+  } else if (msg.type == "ZkReplicate") {
+    WriteTxnLog(StrFormat("%lld|%s|%s", static_cast<long long>(msg.IntField("txn")),
+                          msg.StrField("key").c_str(), msg.StrField("val").c_str()));
+    kv_[msg.StrField("key")] = msg.StrField("val");
+    Message ack("ZkRepAck", id(), msg.from);
+    ack.SetInt("txn", msg.IntField("txn"));
+    Send(msg.from, std::move(ack));
+  } else if (msg.type == "ZkRepAck") {
+    auto it = pending_.find(msg.IntField("txn"));
+    if (it == pending_.end()) {
+      return;
+    }
+    it->second.acks++;
+    if (it->second.acks * 2 > options_.cluster_size) {
+      kv_[it->second.key] = it->second.value;
+      txns_since_snapshot_++;
+      if (it->second.client != kNoNode) {
+        Message reply("ClientPutOk", id(), it->second.client);
+        reply.SetStr("op", it->second.op_id);
+        Send(it->second.client, std::move(reply));
+      }
+      pending_.erase(it);
+      if (txns_since_snapshot_ >= options_.snapshot_every) {
+        TakeSnapshot();
+      }
+    }
+  } else if (msg.type == "ClientPut") {
+    HandleClientPut(msg);
+  } else if (msg.type == "ClientGet") {
+    HandleClientGet(msg);
+  }
+}
+
+}  // namespace rose

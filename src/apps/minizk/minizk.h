@@ -1,0 +1,111 @@
+// MiniZk — a miniature ZooKeeper: leader election, a replicated transaction
+// log, periodic snapshots, and client sessions.
+//
+// Four ZooKeeper EFIBs from the paper (source "A", Anduril study) are seeded
+// behind option flags:
+//
+//   bug2247 (ZOOKEEPER-2247) — a failed write to the transaction log leaves
+//          the leader serving (read-only, silently dropping writes) instead
+//          of stepping down: service becomes unavailable.
+//          Trigger: SCF(write) on the txn log (an append, not the header).
+//   bug3006 (ZOOKEEPER-3006) — the periodic snapshot-size check catches the
+//          read error but uses the uninitialized size anyway: the NPE
+//          analogue crashes the node.
+//          Trigger: SCF(read) on snapshot.0 (the first read — the size probe).
+//   bug3157 (ZOOKEEPER-3157) — a failed read on a client session socket
+//          permanently poisons the session; the client can never reconnect.
+//          Trigger: SCF(read) on the client connection.
+//   bug4203 (ZOOKEEPER-4203) — an accept() failure on the candidate's vote
+//          listener kills the listener thread silently; the candidate keeps
+//          campaigning but can never receive votes: election stuck forever.
+//          Trigger: SCF(accept) during leader election.
+#ifndef SRC_APPS_MINIZK_MINIZK_H_
+#define SRC_APPS_MINIZK_MINIZK_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/profile/binary_info.h"
+
+namespace rose {
+
+struct MiniZkOptions {
+  int cluster_size = 3;
+  bool bug2247 = false;
+  bool bug3006 = false;
+  bool bug3157 = false;
+  bool bug4203 = false;
+
+  SimTime heartbeat_interval = Millis(100);
+  SimTime election_timeout_base = Millis(600);
+  SimTime election_timeout_stagger = Millis(150);
+  int snapshot_every = 20;
+  // Leader voluntarily resigns periodically (rolling-maintenance mode used
+  // by the election-bug scenarios); 0 disables.
+  SimTime resign_interval = 0;
+};
+
+BinaryInfo BuildMiniZkBinary();
+
+class MiniZkNode : public GuestNode {
+ public:
+  MiniZkNode(Cluster* cluster, NodeId id, MiniZkOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  bool is_leader() const { return leader_id_ == id(); }
+  NodeId leader_id() const { return leader_id_; }
+
+ private:
+  // Election.
+  void StartElection();
+  void HandleElectMe(const Message& msg);
+  void HandleVote(const Message& msg);
+  void BecomeLeader();
+  void ResetElectTimer();
+
+  // Transaction log / snapshots.
+  bool WriteTxnHeader();
+  bool WriteTxnLog(const std::string& entry);
+  void TakeSnapshot();
+  void SnapshotSizeCheck();
+
+  // Clients.
+  void HandleClientPut(const Message& msg);
+  void HandleClientGet(const Message& msg);
+
+  MiniZkOptions options_;
+  NodeId leader_id_ = kNoNode;
+  SimTime last_leader_seen_ = 0;
+  int64_t round_ = 0;
+  int64_t voted_round_ = -1;
+  std::set<NodeId> votes_;
+  bool campaigning_ = false;
+  bool listener_dead_ = false;   // bug4203 manifestation state.
+  bool service_degraded_ = false;  // bug2247 manifestation state.
+  bool stuck_logged_ = false;
+
+  int64_t next_txn_ = 1;
+  int txns_since_snapshot_ = 0;
+  std::map<std::string, std::string> kv_;
+  // txn id -> (acks, client, op, key, value)
+  struct PendingTxn {
+    int acks = 1;
+    NodeId client = kNoNode;
+    std::string op_id;
+    std::string key;
+    std::string value;
+  };
+  std::map<int64_t, PendingTxn> pending_;
+
+  // Client sessions: client node -> session socket fd (-1 = poisoned).
+  std::map<NodeId, int32_t> sessions_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_APPS_MINIZK_MINIZK_H_

@@ -1,0 +1,365 @@
+#include "src/diagnose/engine.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile,
+                                 const BinaryInfo* binary, ScheduleRunner runner,
+                                 DiagnosisConfig config)
+    : production_(production), profile_(profile), binary_(binary),
+      runner_(std::move(runner)), config_(std::move(config)),
+      next_seed_(config_.base_seed) {
+  ExtractOptions options;
+  options.use_benign_filter = config_.use_benign_filter;
+  extraction_ = ExtractFaults(*production_, *profile_, options);
+}
+
+ScheduledFault DiagnosisEngine::MakeScheduledFault(const CandidateFault& fault,
+                                                   int index) const {
+  ScheduledFault scheduled;
+  scheduled.target_node = fault.node;
+  if (config_.enforce_fault_order && index > 0) {
+    scheduled.conditions.push_back(Condition::AfterFault(index - 1));
+  }
+  switch (fault.kind) {
+    case FaultKind::kSyscallFailure:
+      scheduled.kind = FaultKind::kSyscallFailure;
+      scheduled.syscall.sys = fault.sys;
+      scheduled.syscall.err = fault.err;
+      scheduled.syscall.path_filter = fault.filename;
+      scheduled.syscall.nth = 1;
+      break;
+    case FaultKind::kProcessCrash:
+      scheduled.kind = FaultKind::kProcessCrash;
+      scheduled.conditions.push_back(Condition::AtTime(fault.ts));
+      break;
+    case FaultKind::kProcessPause:
+      scheduled.kind = FaultKind::kProcessPause;
+      scheduled.process.pause_duration = fault.pause_duration;
+      scheduled.conditions.push_back(Condition::AtTime(fault.ts));
+      break;
+    case FaultKind::kNetworkPartition:
+      scheduled.kind = FaultKind::kNetworkPartition;
+      scheduled.network.group_a = fault.group_a;
+      scheduled.network.group_b = fault.group_b;
+      scheduled.network.duration = fault.nd_duration;
+      scheduled.conditions.push_back(Condition::AtTime(fault.ts));
+      break;
+  }
+  return scheduled;
+}
+
+FaultSchedule DiagnosisEngine::BuildLevel1() const {
+  FaultSchedule schedule;
+  schedule.name = "level1";
+  for (size_t i = 0; i < extraction_.faults.size(); i++) {
+    schedule.faults.push_back(MakeScheduledFault(extraction_.faults[i], static_cast<int>(i)));
+  }
+  return schedule;
+}
+
+double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResult* result) {
+  int bug_runs = 0;
+  int clean_runs = 0;
+  for (int run = 0; run < config_.confirm_runs; run++) {
+    if (clean_runs >= config_.confirm_abandon_after_clean) {
+      // The target rate is already unreachable; stop early (paper line 26).
+      return 0;
+    }
+    const ScheduleRunOutcome outcome = runner_(schedule, next_seed_++);
+    result->total_runs++;
+    result->virtual_time += outcome.virtual_duration;
+    if (outcome.bug) {
+      bug_runs++;
+    } else {
+      clean_runs++;
+    }
+  }
+  return 100.0 * static_cast<double>(bug_runs) / static_cast<double>(config_.confirm_runs);
+}
+
+bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int level,
+                                         DiagnosisResult* result,
+                                         ScheduleRunOutcome* outcome_out) {
+  result->schedules_generated++;
+  const ScheduleRunOutcome outcome = runner_(schedule, next_seed_++);
+  result->total_runs++;
+  result->virtual_time += outcome.virtual_duration;
+  if (outcome_out != nullptr) {
+    *outcome_out = outcome;
+  }
+  if (!outcome.bug) {
+    return false;
+  }
+  const double rate = ConfirmBug(schedule, result);
+  if (rate >= config_.target_replay_rate) {
+    result->reproduced = true;
+    result->schedule = schedule;
+    result->replay_rate = rate;
+    result->level = level;
+    return true;
+  }
+  saved_candidates_.push_back(Candidate{schedule, rate, level});
+  return false;
+}
+
+std::pair<bool, bool> DiagnosisEngine::ProcessTrace(const ScheduleRunOutcome& outcome,
+                                                    size_t fault_index, NodeId node,
+                                                    const std::vector<int32_t>& chain) const {
+  const FaultOutcome& fault = outcome.feedback.outcomes[fault_index];
+  if (!fault.injected) {
+    return {false, false};
+  }
+  // AF functions on `node` preceding the injection in the testing run,
+  // most recent first, compared against the production chain prefix.
+  const std::vector<AfInfo> test_afs = outcome.trace.FunctionsBefore(node, fault.injected_at);
+  bool correct_order = true;
+  for (size_t i = 0; i < chain.size(); i++) {
+    if (i >= test_afs.size() || test_afs[i].function_id != chain[i]) {
+      correct_order = false;
+      break;
+    }
+  }
+  return {correct_order, true};
+}
+
+FaultSchedule DiagnosisEngine::Amplify(const FaultSchedule& schedule,
+                                       size_t fault_index) const {
+  FaultSchedule amplified = schedule;
+  amplified.name += "+amp";
+  const ScheduledFault& original = schedule.faults[fault_index];
+  for (NodeId node : config_.server_nodes) {
+    if (node == original.target_node) {
+      continue;
+    }
+    ScheduledFault replica = original;
+    replica.target_node = node;
+    // Order-enforcement conditions refer to schedule positions and stay
+    // valid; function conditions apply to the replica's own node.
+    amplified.faults.push_back(std::move(replica));
+  }
+  return amplified;
+}
+
+bool DiagnosisEngine::FindContextForFault(FaultSchedule* schedule, size_t fault_index,
+                                          size_t candidate_index, DiagnosisResult* result) {
+  const CandidateFault& candidate = extraction_.faults[candidate_index];
+  const std::vector<AfInfo> preceding =
+      production_->FunctionsBefore(candidate.node, candidate.ts);
+  if (preceding.empty()) {
+    return false;
+  }
+
+  std::vector<int32_t> chain;  // Most recent first: chain[0] is injected-at.
+  const ScheduledFault original = schedule->faults[fault_index];
+  bool amplified = false;
+
+  for (const AfInfo& af : preceding) {
+    if (std::find(chain.begin(), chain.end(), af.function_id) != chain.end()) {
+      break;  // No longer a unique code path (paper line 9).
+    }
+    if (static_cast<int>(chain.size()) >= config_.max_context_chain) {
+      break;
+    }
+    chain.push_back(af.function_id);
+
+    // Rebuild the fault's conditions: keep order enforcement, replace the
+    // timed trigger with the function chain (earliest condition first; the
+    // most recent production function is the final, injecting condition).
+    ScheduledFault& fault = schedule->faults[fault_index];
+    fault.conditions.clear();
+    if (config_.enforce_fault_order && fault_index > 0) {
+      fault.conditions.push_back(Condition::AfterFault(static_cast<int32_t>(fault_index) - 1));
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      fault.conditions.push_back(Condition::FunctionEnter(*it));
+    }
+    FaultSchedule attempt = amplified ? Amplify(*schedule, fault_index) : *schedule;
+    attempt.name = StrFormat("level2-f%zu-%s", fault_index,
+                             binary_->NameOf(chain.front()).c_str());
+
+    ScheduleRunOutcome outcome;
+    if (RunAndMaybeConfirm(attempt, 2, result, &outcome)) {
+      return true;
+    }
+    if (result->schedules_generated >= config_.level2_budget) {
+      break;
+    }
+
+    auto [correct_order, injected] =
+        ProcessTrace(outcome, fault_index, candidate.node, chain);
+    if (injected && correct_order) {
+      continue;  // Context not yet precise enough; extend the chain.
+    }
+    if (!injected && config_.use_amplification && !amplified &&
+        original.kind != FaultKind::kNetworkPartition) {
+      // Role-specific state: replicate across all nodes and retry.
+      FaultSchedule amp = Amplify(*schedule, fault_index);
+      amp.name = StrFormat("level2-f%zu-amp", fault_index);
+      ScheduleRunOutcome amp_outcome;
+      if (RunAndMaybeConfirm(amp, 2, result, &amp_outcome)) {
+        return true;
+      }
+      if (result->schedules_generated >= config_.level2_budget) {
+        break;
+      }
+      // Was the context function observed on any node?
+      bool seen_anywhere = false;
+      for (const TraceEvent& event : amp_outcome.trace.events()) {
+        if (event.type == EventType::kAF && event.af().function_id == chain.front()) {
+          seen_anywhere = true;
+          break;
+        }
+      }
+      if (seen_anywhere) {
+        amplified = true;  // Keep the amplified form for further refinement.
+        continue;
+      }
+      break;  // Not role-specific either; give up on this fault.
+    }
+    break;  // Order mismatch, or amplification unavailable.
+  }
+  // Restore the fault's Level-1 shape before moving to the next fault.
+  schedule->faults[fault_index] = original;
+  return false;
+}
+
+bool DiagnosisEngine::Level2(FaultSchedule* schedule, const std::vector<size_t>& priority,
+                             DiagnosisResult* result) {
+  for (size_t candidate_index : priority) {
+    if (result->schedules_generated >= config_.level2_budget) {
+      return false;  // Leave budget for Level 3.
+    }
+    const CandidateFault& candidate = extraction_.faults[candidate_index];
+    const size_t fault_index = candidate_index;  // Schedule mirrors extraction order.
+
+    if (candidate.kind == FaultKind::kSyscallFailure) {
+      // Sweep the invocation count: with inputs, 1..cap; without inputs, up
+      // to the profiling-run frequency (hard cap, paper §4.5.2).
+      int limit = config_.max_scf_sweep;
+      if (candidate.filename.empty()) {
+        const auto profiled = static_cast<int>(profile_->SyscallCount(candidate.sys));
+        limit = std::min(config_.max_scf_sweep, std::max(profiled, 1));
+      }
+      const ScheduledFault original = schedule->faults[fault_index];
+      for (int nth = 1; nth <= limit; nth++) {
+        schedule->faults[fault_index].syscall.nth = nth;
+        FaultSchedule attempt = *schedule;
+        attempt.name = StrFormat("level2-f%zu-nth%d", fault_index, nth);
+        if (RunAndMaybeConfirm(attempt, 2, result)) {
+          return true;
+        }
+        if (result->schedules_generated >= config_.level2_budget) {
+          break;
+        }
+      }
+      schedule->faults[fault_index] = original;
+    } else {
+      if (FindContextForFault(schedule, fault_index, candidate_index, result)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool DiagnosisEngine::Level3(FaultSchedule* schedule, const std::vector<size_t>& priority,
+                             DiagnosisResult* result) {
+  for (size_t candidate_index : priority) {
+    const CandidateFault& candidate = extraction_.faults[candidate_index];
+    if (candidate.kind != FaultKind::kProcessCrash &&
+        candidate.kind != FaultKind::kProcessPause) {
+      continue;
+    }
+    const std::vector<AfInfo> preceding =
+        production_->FunctionsBefore(candidate.node, candidate.ts);
+    if (preceding.empty()) {
+      continue;
+    }
+    const int32_t function_id = preceding.front().function_id;
+    const size_t fault_index = candidate_index;
+    const ScheduledFault original = schedule->faults[fault_index];
+
+    for (const OffsetInfo& offset : binary_->PrioritizedOffsets(function_id)) {
+      ScheduledFault& fault = schedule->faults[fault_index];
+      fault.conditions.clear();
+      if (config_.enforce_fault_order && fault_index > 0) {
+        fault.conditions.push_back(
+            Condition::AfterFault(static_cast<int32_t>(fault_index) - 1));
+      }
+      fault.conditions.push_back(Condition::FunctionOffset(function_id, offset.offset));
+      FaultSchedule attempt = *schedule;
+      attempt.name = StrFormat("level3-f%zu-%s+0x%x", fault_index,
+                               binary_->NameOf(function_id).c_str(),
+                               static_cast<unsigned>(offset.offset));
+      if (RunAndMaybeConfirm(attempt, 3, result)) {
+        return true;
+      }
+      if (result->schedules_generated >= config_.max_schedules) {
+        schedule->faults[fault_index] = original;
+        return false;
+      }
+    }
+    schedule->faults[fault_index] = original;
+  }
+  return false;
+}
+
+DiagnosisResult DiagnosisEngine::Run() {
+  DiagnosisResult result;
+  result.fr_percent = extraction_.fr_percent;
+  if (extraction_.faults.empty()) {
+    return result;
+  }
+
+  // Level 1: fault order + inputs only.
+  FaultSchedule schedule = BuildLevel1();
+  for (int attempt = 0; attempt < config_.level1_attempts; attempt++) {
+    if (RunAndMaybeConfirm(schedule, 1, &result)) {
+      result.fault_summary = result.schedule.Summary();
+      return result;
+    }
+  }
+
+  const std::vector<size_t> priority = PrioritizeFaults(extraction_.faults);
+
+  // Level 2: invocation sweeps and function-chain contexts.
+  if (Level2(&schedule, priority, &result)) {
+    result.fault_summary = result.schedule.Summary();
+    return result;
+  }
+
+  // Level 3: intra-function offsets.
+  if (Level3(&schedule, priority, &result)) {
+    result.fault_summary = result.schedule.Summary();
+    return result;
+  }
+
+  // Pruning runs: re-examine saved candidates (paper §4.5.2).
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : saved_candidates_) {
+    if (best == nullptr || candidate.rate > best->rate) {
+      best = &candidate;
+    }
+  }
+  if (best != nullptr) {
+    const double rate = ConfirmBug(best->schedule, &result);
+    if (rate >= config_.target_replay_rate || best->rate >= config_.target_replay_rate) {
+      result.reproduced = true;
+      result.schedule = best->schedule;
+      result.replay_rate = std::max(rate, best->rate);
+      result.level = best->level;
+      result.fault_summary = result.schedule.Summary();
+      return result;
+    }
+    result.schedule = best->schedule;
+    result.replay_rate = std::max(rate, best->rate);
+    result.fault_summary = result.schedule.Summary();
+  }
+  return result;
+}
+
+}  // namespace rose

@@ -1,0 +1,49 @@
+#include "src/exec/pid_tracker.h"
+
+namespace rose {
+
+void PidTracker::OnSpawn(Pid pid, NodeId node, Pid parent) {
+  if (parent != kNoPid) {
+    // Child process: decisions are made against (and faults injected on) the
+    // parent's schedule identity.
+    auto it = root_of_.find(parent);
+    root_of_[pid] = it != root_of_.end() ? it->second : parent;
+    return;
+  }
+  auto original = original_main_.find(node);
+  if (original == original_main_.end()) {
+    original_main_[node] = pid;
+    current_main_[node] = pid;
+    root_of_[pid] = pid;
+    return;
+  }
+  // Restart: map the new pid back to the original schedule identity.
+  root_of_[pid] = original->second;
+  current_main_[node] = pid;
+}
+
+Pid PidTracker::RootOf(Pid pid) const {
+  auto it = root_of_.find(pid);
+  return it == root_of_.end() ? pid : it->second;
+}
+
+NodeId PidTracker::NodeOfRoot(Pid root) const {
+  for (const auto& [node, pid] : original_main_) {
+    if (pid == root) {
+      return node;
+    }
+  }
+  return kNoNode;
+}
+
+Pid PidTracker::CurrentMain(NodeId node) const {
+  auto it = current_main_.find(node);
+  return it == current_main_.end() ? kNoPid : it->second;
+}
+
+Pid PidTracker::OriginalMain(NodeId node) const {
+  auto it = original_main_.find(node);
+  return it == original_main_.end() ? kNoPid : it->second;
+}
+
+}  // namespace rose

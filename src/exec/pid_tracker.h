@@ -1,0 +1,44 @@
+// Pid tracking across children and restarts (paper §5.4).
+//
+// Conditions and faults are specified per *node*, but the kernel reports
+// events per *pid*. Systems fork children, and a crashed node restarts with
+// a fresh pid, so the executor maintains two maps, exactly as the paper
+// describes: child pid -> schedule pid (the node's first main process), and
+// restarted pid -> original pid. Decisions are made against the original
+// pid; injection happens on the node's current main pid.
+#ifndef SRC_EXEC_PID_TRACKER_H_
+#define SRC_EXEC_PID_TRACKER_H_
+
+#include <map>
+
+#include "src/os/process.h"
+
+namespace rose {
+
+class PidTracker {
+ public:
+  // Feed every spawn in order. A spawn with a parent is a child process; a
+  // parentless spawn on a node that already has a main process is a restart.
+  void OnSpawn(Pid pid, NodeId node, Pid parent);
+
+  // The schedule-level pid this runtime pid maps to (itself if unknown).
+  Pid RootOf(Pid pid) const;
+
+  // The node a schedule-level pid belongs to; kNoNode when unknown.
+  NodeId NodeOfRoot(Pid root) const;
+
+  // Current main pid of `node` (where faults are injected); kNoPid if none.
+  Pid CurrentMain(NodeId node) const;
+
+  // First main pid ever observed for `node` (the schedule-level identity).
+  Pid OriginalMain(NodeId node) const;
+
+ private:
+  std::map<Pid, Pid> root_of_;          // any pid -> original main pid
+  std::map<NodeId, Pid> original_main_;
+  std::map<NodeId, Pid> current_main_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_EXEC_PID_TRACKER_H_

@@ -1,0 +1,65 @@
+// Bug specifications: everything the developer gives Rose for one bug.
+//
+// Per the paper (§4), the developer provides: the system binaries (here, a
+// deployment factory + the guest's BinaryInfo), a representative workload
+// (baked into the deployment as client nodes), a bug oracle, and a list of
+// source files controlling critical functionality (profiling candidates).
+// The production trace comes either from a Jepsen-style nemesis run (source
+// "J") or, for bugs recreated from test cases (source "A"/"M"), from a
+// manually-authored trigger schedule — mirroring how the paper obtained its
+// traces.
+#ifndef SRC_HARNESS_BUG_H_
+#define SRC_HARNESS_BUG_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/cluster.h"
+#include "src/harness/world.h"
+#include "src/profile/binary_info.h"
+#include "src/schedule/fault_schedule.h"
+#include "src/workload/nemesis.h"
+
+namespace rose {
+
+// A deployed guest instance living inside one SimWorld.
+struct Deployment {
+  std::unique_ptr<Cluster> cluster;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> clients;
+  // Current leader (kNoNode if none/unknown); used by the targeted nemesis.
+  std::function<NodeId()> leader_probe;
+  // The bug oracle: true when the bug has manifested in this deployment.
+  std::function<bool()> oracle;
+};
+
+struct BugSpec {
+  std::string id;           // e.g. "RedisRaft-43"
+  std::string system;       // e.g. "RaftKV (mini RedisRaft)"
+  std::string source;       // "J"=Jepsen-style, "A"=Anduril-style, "M"=manual
+  std::string description;
+
+  std::function<Deployment(SimWorld&, uint64_t seed)> deploy;
+  const BinaryInfo* binary = nullptr;
+  std::set<std::string> relevant_files;
+
+  SimTime run_duration = Seconds(40);
+
+  // Production-trace acquisition: nemesis (randomized) or manual schedule.
+  bool production_via_nemesis = true;
+  NemesisOptions nemesis;
+  std::optional<FaultSchedule> manual_production;
+  int max_production_attempts = 40;
+
+  // Ground truth for reporting (EXPERIMENTS.md comparisons).
+  std::string expected_faults;
+  int expected_level = 1;
+};
+
+}  // namespace rose
+
+#endif  // SRC_HARNESS_BUG_H_

@@ -1,0 +1,52 @@
+#include "src/harness/bug_registry.h"
+
+#include <memory>
+
+namespace rose {
+
+namespace {
+
+std::vector<std::unique_ptr<BugSpec>>& Storage() {
+  static std::vector<std::unique_ptr<BugSpec>> storage;
+  return storage;
+}
+
+void BuildRegistry() {
+  std::vector<BugSpec> specs;
+  RegisterRaftKvBugs(&specs);
+  RegisterMiniRedpandaBugs(&specs);
+  RegisterMiniZkBugs(&specs);
+  RegisterMiniHdfsBugs(&specs);
+  RegisterMiniBrokerBugs(&specs);
+  RegisterMiniTableStoreBugs(&specs);
+  RegisterMiniDocStoreBugs(&specs);
+  RegisterMiniBftBugs(&specs);
+  for (BugSpec& spec : specs) {
+    Storage().push_back(std::make_unique<BugSpec>(std::move(spec)));
+  }
+}
+
+}  // namespace
+
+const std::vector<const BugSpec*>& AllBugs() {
+  static const std::vector<const BugSpec*> view = [] {
+    BuildRegistry();
+    std::vector<const BugSpec*> out;
+    for (const auto& spec : Storage()) {
+      out.push_back(spec.get());
+    }
+    return out;
+  }();
+  return view;
+}
+
+const BugSpec* FindBug(const std::string& id) {
+  for (const BugSpec* spec : AllBugs()) {
+    if (spec->id == id) {
+      return spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rose

@@ -1,0 +1,31 @@
+// Registry of the 20 reproduced bugs (paper Table 1).
+#ifndef SRC_HARNESS_BUG_REGISTRY_H_
+#define SRC_HARNESS_BUG_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/bug.h"
+
+namespace rose {
+
+// All registered bug specs, in Table-1 order. Specs are owned by the
+// registry and live for the process lifetime.
+const std::vector<const BugSpec*>& AllBugs();
+
+// Lookup by id (e.g. "RedisRaft-43"); nullptr when unknown.
+const BugSpec* FindBug(const std::string& id);
+
+// Per-guest registration hooks (each guest module defines one).
+void RegisterRaftKvBugs(std::vector<BugSpec>* out);
+void RegisterMiniZkBugs(std::vector<BugSpec>* out);
+void RegisterMiniHdfsBugs(std::vector<BugSpec>* out);
+void RegisterMiniBrokerBugs(std::vector<BugSpec>* out);
+void RegisterMiniRedpandaBugs(std::vector<BugSpec>* out);
+void RegisterMiniDocStoreBugs(std::vector<BugSpec>* out);
+void RegisterMiniTableStoreBugs(std::vector<BugSpec>* out);
+void RegisterMiniBftBugs(std::vector<BugSpec>* out);
+
+}  // namespace rose
+
+#endif  // SRC_HARNESS_BUG_REGISTRY_H_

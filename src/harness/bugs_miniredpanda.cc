@@ -1,0 +1,152 @@
+// BugSpecs for the two MiniRedpanda bugs of Table 1 (both from the same
+// defect; both need the Elle-lite history checker as oracle).
+#include "src/apps/miniredpanda/miniredpanda.h"
+#include "src/apps/miniredpanda/producer_client.h"
+#include <set>
+
+#include "src/harness/bug_registry.h"
+#include "src/oracle/oracle.h"
+
+namespace rose {
+
+namespace {
+
+const BinaryInfo& MiniRedpandaBinary() {
+  static const BinaryInfo binary = BuildMiniRedpandaBinary();
+  return binary;
+}
+
+enum class RpOracleKind { kDuplicates, kDivergentOffsets };
+
+Deployment DeployMiniRedpanda(SimWorld& world, uint64_t seed,
+                              const MiniRedpandaOptions& options, RpOracleKind oracle_kind) {
+  ClusterConfig cluster_config;
+  cluster_config.seed = seed;
+  auto cluster = std::make_unique<Cluster>(&world.kernel, &world.network,
+                                           &MiniRedpandaBinary(), cluster_config);
+  Deployment deployment;
+  for (int i = 0; i < options.cluster_size; i++) {
+    deployment.servers.push_back(cluster->AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniRedpandaNode>(c, id, options);
+    }));
+  }
+  ProducerOptions producer_options;
+  producer_options.broker_count = options.cluster_size;
+  for (int i = 0; i < 2; i++) {
+    deployment.clients.push_back(
+        cluster->AddNode([producer_options](Cluster* c, NodeId id) {
+          return std::make_unique<ProducerClient>(c, id, producer_options);
+        }));
+  }
+  Cluster* raw = cluster.get();
+  const int broker_count = options.cluster_size;
+  deployment.leader_probe = [raw, broker_count]() -> NodeId {
+    for (NodeId id = 0; id < broker_count; id++) {
+      auto* node = dynamic_cast<MiniRedpandaNode*>(raw->node(id));
+      if (node != nullptr && node->is_leader() && raw->IsNodeAlive(id)) {
+        return id;
+      }
+    }
+    return kNoNode;
+  };
+  deployment.oracle = [raw, broker_count, oracle_kind] {
+    if (oracle_kind == RpOracleKind::kDuplicates) {
+      // Elle-lite: acknowledged batches must appear exactly once in every
+      // broker's log.
+      std::vector<std::string> acked;
+      for (NodeId id = broker_count; id < broker_count + 2; id++) {
+        auto* producer = dynamic_cast<ProducerClient*>(raw->node(id));
+        if (producer != nullptr) {
+          acked.insert(acked.end(), producer->acked_ops().begin(),
+                       producer->acked_ops().end());
+        }
+      }
+      for (NodeId id = 0; id < broker_count; id++) {
+        auto* broker = dynamic_cast<MiniRedpandaNode*>(raw->node(id));
+        if (broker == nullptr) {
+          continue;
+        }
+        std::vector<std::string> committed;
+        for (const auto& [offset, entry] : broker->log()) {
+          committed.push_back(entry.op_id);
+        }
+        for (const HistoryViolation& violation :
+             ElleLite::CheckAppendHistory(acked, committed)) {
+          if (violation.kind == HistoryViolation::Kind::kDuplicate) {
+            return true;
+          }
+        }
+      }
+      return false;
+    }
+    // Inconsistent offsets: the same record is assigned different offsets on
+    // different brokers (or two offsets on one broker) — what a consumer
+    // observes as the offsets going inconsistent after leadership moves.
+    std::map<std::string, int64_t> canonical;
+    for (NodeId id = 0; id < broker_count; id++) {
+      auto* broker = dynamic_cast<MiniRedpandaNode*>(raw->node(id));
+      if (broker == nullptr) {
+        continue;
+      }
+      std::set<std::string> seen_here;
+      for (const auto& [offset, entry] : broker->log()) {
+        if (!seen_here.insert(entry.op_id).second) {
+          return true;  // Same record at two offsets on one broker.
+        }
+        auto it = canonical.find(entry.op_id);
+        if (it == canonical.end()) {
+          canonical[entry.op_id] = offset;
+        } else if (it->second != offset) {
+          return true;  // Same record at different offsets across brokers.
+        }
+      }
+    }
+    return false;
+  };
+  deployment.cluster = std::move(cluster);
+  return deployment;
+}
+
+BugSpec BaseRedpandaSpec(RpOracleKind oracle_kind) {
+  BugSpec spec;
+  spec.system = "MiniRedpanda (mini Redpanda, C++)";
+  spec.source = "J";
+  spec.binary = &MiniRedpandaBinary();
+  spec.relevant_files = {"leadership.c", "log.c"};
+  spec.run_duration = Seconds(30);
+  spec.production_via_nemesis = true;
+  spec.nemesis.server_count = 3;
+  spec.nemesis.p_crash = 0.0;
+  spec.nemesis.p_pause = 1.0;
+  spec.nemesis.p_partition = 0.0;
+  spec.nemesis.p_target_leader = 0.8;
+  MiniRedpandaOptions options;
+  options.bug_dedup = true;
+  spec.deploy = [options, oracle_kind](SimWorld& world, uint64_t seed) {
+    return DeployMiniRedpanda(world, seed, options, oracle_kind);
+  };
+  return spec;
+}
+
+}  // namespace
+
+void RegisterMiniRedpandaBugs(std::vector<BugSpec>* out) {
+  {
+    BugSpec spec = BaseRedpandaSpec(RpOracleKind::kDuplicates);
+    spec.id = "Redpanda-3003";
+    spec.description = "Redpanda fails to perform deduplication of sent messages.";
+    spec.expected_faults = "5*PS(Pause)";
+    spec.expected_level = 2;
+    out->push_back(std::move(spec));
+  }
+  {
+    BugSpec spec = BaseRedpandaSpec(RpOracleKind::kDivergentOffsets);
+    spec.id = "Redpanda-3039";
+    spec.description = "Inconsistent offsets across brokers after leadership changes.";
+    spec.expected_faults = "5*PS(Pause)";
+    spec.expected_level = 2;
+    out->push_back(std::move(spec));
+  }
+}
+
+}  // namespace rose

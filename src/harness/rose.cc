@@ -1,0 +1,70 @@
+#include "src/harness/rose.h"
+
+namespace rose {
+
+DiagnosisEngine::ScheduleRunner MakeScheduleRunner(BugRunner* runner, const Profile* profile) {
+  return [runner, profile](const FaultSchedule& schedule, uint64_t seed) {
+    RunOptions options;
+    options.seed = seed;
+    options.duration = runner->spec().run_duration;
+    options.schedule = &schedule;
+    options.profile = profile;
+    const RunOutcome outcome = runner->RunOnce(options);
+    ScheduleRunOutcome result;
+    result.bug = outcome.bug;
+    result.trace = outcome.trace;
+    result.feedback = outcome.feedback;
+    result.virtual_duration = outcome.virtual_duration;
+    return result;
+  };
+}
+
+RoseReport ReproduceBugRobust(const BugSpec& spec, const RoseConfig& config, int max_tries) {
+  RoseReport last;
+  for (int attempt = 0; attempt < max_tries; attempt++) {
+    RoseConfig attempt_config = config;
+    attempt_config.seed = config.seed + static_cast<uint64_t>(attempt) * 101;
+    last = ReproduceBug(spec, attempt_config);
+    if (last.reproduced()) {
+      return last;
+    }
+  }
+  return last;
+}
+
+RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config) {
+  RoseReport report;
+  report.bug_id = spec.id;
+
+  BugRunner runner(&spec);
+
+  // Phase 1: profiling (failure-free run).
+  report.profile = runner.RunProfiling(config.seed);
+
+  // Phase 2: production tracing — run until the bug surfaces, dump the trace.
+  const std::optional<Trace> production =
+      runner.ObtainProductionTrace(report.profile, config.seed + 17,
+                                   &report.production_attempts);
+  if (!production.has_value()) {
+    return report;
+  }
+  report.trace_obtained = true;
+
+  // Phases 3+4: diagnosis with reproduction feedback.
+  DiagnosisConfig diagnosis_config = config.diagnosis;
+  if (diagnosis_config.server_nodes.empty()) {
+    // Default: every deployed server is an amplification target. Discover
+    // them from a throwaway deployment.
+    SimWorld world(config.seed);
+    Deployment deployment = spec.deploy(world, config.seed);
+    diagnosis_config.server_nodes = deployment.servers;
+  }
+  diagnosis_config.base_seed = config.seed * 1000 + 40000;
+
+  DiagnosisEngine engine(&*production, &report.profile, spec.binary,
+                         MakeScheduleRunner(&runner, &report.profile), diagnosis_config);
+  report.diagnosis = engine.Run();
+  return report;
+}
+
+}  // namespace rose

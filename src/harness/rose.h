@@ -1,0 +1,56 @@
+// Rose end-to-end pipeline (paper Figure 1).
+//
+//   profiling -> tracing(production) -> diagnosis -> reproduction
+//
+// ReproduceBug() drives all four phases for one BugSpec and returns a report
+// with the Table-1 quantities: faults injected, replay rate, schedules
+// generated, total runs, total (virtual) time, and FR%.
+#ifndef SRC_HARNESS_ROSE_H_
+#define SRC_HARNESS_ROSE_H_
+
+#include <optional>
+#include <string>
+
+#include "src/diagnose/engine.h"
+#include "src/harness/bug.h"
+#include "src/harness/runner.h"
+
+namespace rose {
+
+struct RoseConfig {
+  uint64_t seed = 1;
+  DiagnosisConfig diagnosis;
+};
+
+struct RoseReport {
+  std::string bug_id;
+  bool trace_obtained = false;
+  int production_attempts = 0;
+  Profile profile;
+  DiagnosisResult diagnosis;
+
+  // Convenience accessors for the Table-1 columns.
+  bool reproduced() const { return diagnosis.reproduced; }
+  double replay_rate() const { return diagnosis.replay_rate; }
+  int schedules() const { return diagnosis.schedules_generated; }
+  int runs() const { return diagnosis.total_runs; }
+  double minutes() const { return ToSeconds(diagnosis.virtual_time) / 60.0; }
+  double fr_percent() const { return diagnosis.fr_percent; }
+};
+
+// Runs the full Rose workflow on one bug.
+RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config = {});
+
+// Like ReproduceBug, but retries with fresh seeds when a run ends without
+// reproduction — the paper runs Rose multiple times for the bugs whose
+// schedules replay below 100% and reports the (averaged) successful runs.
+RoseReport ReproduceBugRobust(const BugSpec& spec, const RoseConfig& config = {},
+                              int max_tries = 3);
+
+// Builds a DiagnosisEngine runner closure for `spec` (used by benches that
+// want to drive diagnosis with custom configs).
+DiagnosisEngine::ScheduleRunner MakeScheduleRunner(BugRunner* runner, const Profile* profile);
+
+}  // namespace rose
+
+#endif  // SRC_HARNESS_ROSE_H_

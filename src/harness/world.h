@@ -1,0 +1,32 @@
+// One simulated world: event loop + kernel + network, wired together.
+//
+// Every run (profiling, production, reproduction, confirmation) constructs a
+// fresh SimWorld from a seed, deploys the guest into it, and tears the whole
+// thing down afterwards — runs never share state except through what the
+// caller extracts (traces, profiles, logs).
+#ifndef SRC_HARNESS_WORLD_H_
+#define SRC_HARNESS_WORLD_H_
+
+#include "src/net/network.h"
+#include "src/os/kernel.h"
+#include "src/sim/event_loop.h"
+
+namespace rose {
+
+class SimWorld {
+ public:
+  explicit SimWorld(uint64_t seed)
+      : kernel(&loop), network(&loop, seed ^ 0x517cc1b727220a95ULL) {
+    kernel.set_reachability(&network);
+  }
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  EventLoop loop;
+  SimKernel kernel;
+  Network network;
+};
+
+}  // namespace rose
+
+#endif  // SRC_HARNESS_WORLD_H_

@@ -1,0 +1,54 @@
+#include "src/os/errno.h"
+
+#include <array>
+#include <utility>
+
+namespace rose {
+
+namespace {
+
+constexpr std::array<std::pair<Err, std::string_view>, 21> kErrNames = {{
+    {Err::kOk, "OK"},
+    {Err::kEPERM, "EPERM"},
+    {Err::kENOENT, "ENOENT"},
+    {Err::kEINTR, "EINTR"},
+    {Err::kEIO, "EIO"},
+    {Err::kEBADF, "EBADF"},
+    {Err::kEAGAIN, "EAGAIN"},
+    {Err::kEACCES, "EACCES"},
+    {Err::kEEXIST, "EEXIST"},
+    {Err::kENOTDIR, "ENOTDIR"},
+    {Err::kEISDIR, "EISDIR"},
+    {Err::kEINVAL, "EINVAL"},
+    {Err::kEMFILE, "EMFILE"},
+    {Err::kENOSPC, "ENOSPC"},
+    {Err::kEPIPE, "EPIPE"},
+    {Err::kENETUNREACH, "ENETUNREACH"},
+    {Err::kECONNRESET, "ECONNRESET"},
+    {Err::kENOTCONN, "ENOTCONN"},
+    {Err::kETIMEDOUT, "ETIMEDOUT"},
+    {Err::kECONNREFUSED, "ECONNREFUSED"},
+    {Err::kESTALE, "ESTALE"},
+}};
+
+}  // namespace
+
+std::string_view ErrName(Err err) {
+  for (const auto& [value, name] : kErrNames) {
+    if (value == err) {
+      return name;
+    }
+  }
+  return "EUNKNOWN";
+}
+
+Err ErrFromName(std::string_view name) {
+  for (const auto& [value, err_name] : kErrNames) {
+    if (err_name == name) {
+      return value;
+    }
+  }
+  return Err::kOk;
+}
+
+}  // namespace rose

@@ -1,0 +1,47 @@
+// Simulated errno values.
+//
+// Rose's fault model manipulates the errno returned by failed system calls
+// (the paper's bpf_override_return path), so the error codes form part of the
+// public fault-schedule format. The subset below covers every errno used by
+// the paper's 20 reproduced bugs plus the benign failures the profiler learns.
+#ifndef SRC_OS_ERRNO_H_
+#define SRC_OS_ERRNO_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rose {
+
+enum class Err : int32_t {
+  kOk = 0,
+  kEPERM = 1,
+  kENOENT = 2,
+  kEINTR = 4,
+  kEIO = 5,
+  kEBADF = 9,
+  kEAGAIN = 11,
+  kEACCES = 13,
+  kEEXIST = 17,
+  kENOTDIR = 20,
+  kEISDIR = 21,
+  kEINVAL = 22,
+  kEMFILE = 24,
+  kENOSPC = 28,
+  kEPIPE = 32,
+  kENETUNREACH = 101,
+  kECONNRESET = 104,
+  kENOTCONN = 107,
+  kETIMEDOUT = 110,
+  kECONNREFUSED = 111,
+  kESTALE = 116,
+};
+
+// Returns the symbolic name, e.g. "ENOENT".
+std::string_view ErrName(Err err);
+
+// Parses a symbolic name back into an Err; returns Err::kOk when unknown.
+Err ErrFromName(std::string_view name);
+
+}  // namespace rose
+
+#endif  // SRC_OS_ERRNO_H_

@@ -1,0 +1,618 @@
+#include "src/os/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace rose {
+
+std::string_view ProcStateName(ProcState state) {
+  switch (state) {
+    case ProcState::kRunning:
+      return "running";
+    case ProcState::kPaused:
+      return "paused";
+    case ProcState::kCrashed:
+      return "crashed";
+    case ProcState::kExited:
+      return "exited";
+  }
+  return "unknown";
+}
+
+SimKernel::SimKernel(EventLoop* loop) : loop_(loop) {}
+
+void SimKernel::RegisterNode(NodeId node, const std::string& ip) {
+  node_ips_[node] = ip;
+  ip_nodes_[ip] = node;
+  if (disks_.find(node) == disks_.end()) {
+    disks_[node] = std::make_unique<InMemoryFileSystem>();
+  }
+}
+
+const std::string& SimKernel::IpOf(NodeId node) const {
+  static const std::string kEmpty;
+  auto it = node_ips_.find(node);
+  return it == node_ips_.end() ? kEmpty : it->second;
+}
+
+NodeId SimKernel::NodeOfIp(const std::string& ip) const {
+  auto it = ip_nodes_.find(ip);
+  return it == ip_nodes_.end() ? kNoNode : it->second;
+}
+
+InMemoryFileSystem& SimKernel::DiskOf(NodeId node) {
+  auto it = disks_.find(node);
+  if (it == disks_.end()) {
+    throw std::logic_error("DiskOf: unregistered node");
+  }
+  return *it->second;
+}
+
+void SimKernel::AddObserver(KernelObserver* observer) { observers_.push_back(observer); }
+
+void SimKernel::RemoveObserver(KernelObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void SimKernel::AddInterposer(SyscallInterposer* interposer) {
+  interposers_.push_back(interposer);
+}
+
+void SimKernel::RemoveInterposer(SyscallInterposer* interposer) {
+  interposers_.erase(std::remove(interposers_.begin(), interposers_.end(), interposer),
+                     interposers_.end());
+}
+
+Pid SimKernel::Spawn(NodeId node, const std::string& name, Pid parent) {
+  const Pid pid = next_pid_++;
+  Process proc;
+  proc.pid = pid;
+  proc.node = node;
+  proc.name = name;
+  proc.parent = parent;
+  proc.state = ProcState::kRunning;
+  proc.state_since = now();
+  processes_[pid] = std::move(proc);
+  for (KernelObserver* obs : observers_) {
+    obs->OnProcessSpawned(now(), pid, node, parent);
+  }
+  return pid;
+}
+
+void SimKernel::SetState(Pid pid, ProcState state) {
+  Process& proc = Proc(pid);
+  if (proc.state == state) {
+    return;
+  }
+  const ProcState from = proc.state;
+  proc.state = state;
+  proc.state_since = now();
+  for (KernelObserver* obs : observers_) {
+    obs->OnProcessStateChange(now(), pid, from, state);
+  }
+}
+
+void SimKernel::Kill(Pid pid) {
+  Process& proc = Proc(pid);
+  if (proc.state == ProcState::kCrashed || proc.state == ProcState::kExited) {
+    return;
+  }
+  if (proc.state == ProcState::kPaused && !proc.pauses.empty() &&
+      proc.pauses.back().end == 0) {
+    proc.pauses.back().end = now();
+  }
+  SetState(pid, ProcState::kCrashed);
+  proc.interrupt_pending = true;
+  proc.fds.clear();
+}
+
+void SimKernel::Pause(Pid pid, SimTime duration) {
+  Process& proc = Proc(pid);
+  if (proc.state != ProcState::kRunning) {
+    return;
+  }
+  proc.pauses.push_back(PauseRecord{now(), 0});
+  SetState(pid, ProcState::kPaused);
+  loop_->ScheduleAfter(duration, [this, pid] { Resume(pid); });
+}
+
+void SimKernel::Resume(Pid pid) {
+  Process& proc = Proc(pid);
+  if (proc.state != ProcState::kPaused) {
+    return;
+  }
+  if (!proc.pauses.empty() && proc.pauses.back().end == 0) {
+    proc.pauses.back().end = now();
+  }
+  SetState(pid, ProcState::kRunning);
+}
+
+void SimKernel::Exit(Pid pid) {
+  Process& proc = Proc(pid);
+  if (proc.state == ProcState::kExited) {
+    return;
+  }
+  proc.fds.clear();
+  SetState(pid, ProcState::kExited);
+}
+
+bool SimKernel::IsAlive(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it != processes_.end() && (it->second.state == ProcState::kRunning ||
+                                    it->second.state == ProcState::kPaused);
+}
+
+ProcState SimKernel::StateOf(Pid pid) const { return Proc(pid).state; }
+
+const Process* SimKernel::FindProcess(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it == processes_.end() ? nullptr : &it->second;
+}
+
+std::vector<Pid> SimKernel::AllPids() const {
+  std::vector<Pid> pids;
+  pids.reserve(processes_.size());
+  for (const auto& [pid, proc] : processes_) {
+    pids.push_back(pid);
+  }
+  return pids;
+}
+
+Process& SimKernel::Proc(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::logic_error("unknown pid");
+  }
+  return it->second;
+}
+
+const Process& SimKernel::Proc(Pid pid) const {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    throw std::logic_error("unknown pid");
+  }
+  return it->second;
+}
+
+void SimKernel::CheckInterrupt(Pid pid) {
+  Process& proc = Proc(pid);
+  if (proc.interrupt_pending) {
+    proc.interrupt_pending = false;
+    throw ProcessInterrupted{pid};
+  }
+}
+
+SyscallResult SimKernel::DoSyscall(SyscallInvocation inv,
+                                   const std::function<SyscallResult()>& body) {
+  CheckInterrupt(inv.pid);
+  for (KernelObserver* obs : observers_) {
+    obs->OnSyscallEnter(now(), inv);
+  }
+  std::optional<SyscallResult> override_result;
+  for (SyscallInterposer* interposer : interposers_) {
+    override_result = interposer->MaybeOverride(inv);
+    if (override_result.has_value()) {
+      break;
+    }
+  }
+  const SyscallResult result = override_result.has_value() ? *override_result : body();
+  loop_->AdvanceBy(syscall_cost_);
+  for (KernelObserver* obs : observers_) {
+    obs->OnSyscallExit(now(), inv, result);
+  }
+  CheckInterrupt(inv.pid);
+  return result;
+}
+
+int32_t SimKernel::AllocFd(Process& proc, OpenFile file) {
+  const int32_t fd = proc.next_fd++;
+  proc.fds[fd] = std::move(file);
+  return fd;
+}
+
+SyscallResult SimKernel::Open(Pid pid, const std::string& path, OpenFlags flags) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kOpen;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    InMemoryFileSystem& disk = DiskOf(proc.node);
+    if (!disk.Exists(path)) {
+      if (!flags.create) {
+        return SyscallResult::Fail(Err::kENOENT);
+      }
+      const Err err = disk.Create(path, /*truncate=*/false);
+      if (err != Err::kOk) {
+        return SyscallResult::Fail(err);
+      }
+    } else {
+      const uint32_t mode = disk.ModeOf(path);
+      const uint32_t needed = flags.readonly ? 0400u : 0600u;
+      if (!disk.IsDirectory(path) && (mode & needed) != needed) {
+        return SyscallResult::Fail(Err::kEACCES);
+      }
+      if (flags.truncate) {
+        disk.Truncate(path, 0);
+      }
+    }
+    OpenFile file;
+    file.path = path;
+    file.readonly = flags.readonly;
+    file.offset = flags.append ? disk.SizeOf(path) : 0;
+    return SyscallResult::Ok(AllocFd(proc, std::move(file)));
+  });
+}
+
+SyscallResult SimKernel::OpenAt(Pid pid, const std::string& path, OpenFlags flags) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kOpenAt;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    InMemoryFileSystem& disk = DiskOf(proc.node);
+    if (!disk.Exists(path)) {
+      if (!flags.create) {
+        return SyscallResult::Fail(Err::kENOENT);
+      }
+      const Err err = disk.Create(path, /*truncate=*/false);
+      if (err != Err::kOk) {
+        return SyscallResult::Fail(err);
+      }
+    } else {
+      const uint32_t mode = disk.ModeOf(path);
+      const uint32_t needed = flags.readonly ? 0400u : 0600u;
+      if (!disk.IsDirectory(path) && (mode & needed) != needed) {
+        return SyscallResult::Fail(Err::kEACCES);
+      }
+      if (flags.truncate) {
+        disk.Truncate(path, 0);
+      }
+    }
+    OpenFile file;
+    file.path = path;
+    file.readonly = flags.readonly;
+    file.offset = flags.append ? disk.SizeOf(path) : 0;
+    return SyscallResult::Ok(AllocFd(proc, std::move(file)));
+  });
+}
+
+SyscallResult SimKernel::Close(Pid pid, int32_t fd) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kClose;
+  inv.fd = fd;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    if (proc.fds.erase(fd) == 0) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    return SyscallResult::Ok(0);
+  });
+}
+
+SyscallResult SimKernel::Read(Pid pid, int32_t fd, int64_t count, std::string* out) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kRead;
+  inv.fd = fd;
+  inv.length = count;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    OpenFile& file = it->second;
+    if (file.is_socket) {
+      // Socket payloads are delivered by the message fabric; the read models
+      // the boundary crossing and always drains `count` bytes.
+      return SyscallResult::Ok(count);
+    }
+    std::string data;
+    const Err err = DiskOf(proc.node).ReadAt(file.path, file.offset, count, &data);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    file.offset += static_cast<int64_t>(data.size());
+    const auto bytes = static_cast<int64_t>(data.size());
+    if (out != nullptr) {
+      *out = std::move(data);
+    }
+    return SyscallResult::Ok(bytes);
+  });
+}
+
+SyscallResult SimKernel::Write(Pid pid, int32_t fd, std::string_view data) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kWrite;
+  inv.fd = fd;
+  inv.length = static_cast<int64_t>(data.size());
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    OpenFile& file = it->second;
+    if (file.is_socket) {
+      return SyscallResult::Ok(static_cast<int64_t>(data.size()));
+    }
+    if (file.readonly) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    const Err err = DiskOf(proc.node).WriteAt(file.path, file.offset, data);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    file.offset += static_cast<int64_t>(data.size());
+    return SyscallResult::Ok(static_cast<int64_t>(data.size()));
+  });
+}
+
+SyscallResult SimKernel::PRead(Pid pid, int32_t fd, int64_t offset, int64_t count,
+                               std::string* out) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kPRead;
+  inv.fd = fd;
+  inv.length = count;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    std::string data;
+    const Err err = DiskOf(proc.node).ReadAt(it->second.path, offset, count, &data);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    const auto bytes = static_cast<int64_t>(data.size());
+    if (out != nullptr) {
+      *out = std::move(data);
+    }
+    return SyscallResult::Ok(bytes);
+  });
+}
+
+SyscallResult SimKernel::PWrite(Pid pid, int32_t fd, int64_t offset, std::string_view data) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kPWrite;
+  inv.fd = fd;
+  inv.length = static_cast<int64_t>(data.size());
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    const Err err = DiskOf(proc.node).WriteAt(it->second.path, offset, data);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    return SyscallResult::Ok(static_cast<int64_t>(data.size()));
+  });
+}
+
+SyscallResult SimKernel::Fsync(Pid pid, int32_t fd) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kFsync;
+  inv.fd = fd;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    if (proc.fds.find(fd) == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    return SyscallResult::Ok(0);
+  });
+}
+
+SyscallResult SimKernel::Stat(Pid pid, const std::string& path, FileStat* out) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kStat;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    FileStat st;
+    const Err err = DiskOf(proc.node).Stat(path, &st);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    if (out != nullptr) {
+      *out = st;
+    }
+    return SyscallResult::Ok(st.size);
+  });
+}
+
+SyscallResult SimKernel::Fstat(Pid pid, int32_t fd, FileStat* out) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kFstat;
+  inv.fd = fd;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    if (it->second.is_socket) {
+      if (out != nullptr) {
+        *out = FileStat{0, 0600, false};
+      }
+      return SyscallResult::Ok(0);
+    }
+    FileStat st;
+    const Err err = DiskOf(proc.node).Stat(it->second.path, &st);
+    if (err != Err::kOk) {
+      return SyscallResult::Fail(err);
+    }
+    if (out != nullptr) {
+      *out = st;
+    }
+    return SyscallResult::Ok(st.size);
+  });
+}
+
+SyscallResult SimKernel::Unlink(Pid pid, const std::string& path) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kUnlink;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    const Err err = DiskOf(proc.node).Unlink(path);
+    return err == Err::kOk ? SyscallResult::Ok(0) : SyscallResult::Fail(err);
+  });
+}
+
+SyscallResult SimKernel::Rename(Pid pid, const std::string& from, const std::string& to) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kRename;
+  inv.path = from;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    const Err err = DiskOf(proc.node).Rename(from, to);
+    return err == Err::kOk ? SyscallResult::Ok(0) : SyscallResult::Fail(err);
+  });
+}
+
+SyscallResult SimKernel::Mkdir(Pid pid, const std::string& path) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kMkdir;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    const Err err = DiskOf(proc.node).Mkdir(path);
+    return err == Err::kOk ? SyscallResult::Ok(0) : SyscallResult::Fail(err);
+  });
+}
+
+SyscallResult SimKernel::Readlink(Pid pid, const std::string& path) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kReadlink;
+  inv.path = path;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    // The simulated filesystems carry no symlinks; readlink models the
+    // frequent benign EINVAL/ENOENT failures real runtimes produce.
+    Process& proc = Proc(pid);
+    if (!DiskOf(proc.node).Exists(path)) {
+      return SyscallResult::Fail(Err::kENOENT);
+    }
+    return SyscallResult::Fail(Err::kEINVAL);
+  });
+}
+
+SyscallResult SimKernel::Dup(Pid pid, int32_t fd) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kDup;
+  inv.fd = fd;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end()) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    return SyscallResult::Ok(AllocFd(proc, it->second));
+  });
+}
+
+SyscallResult SimKernel::SocketOpen(Pid pid) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kSocket;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    OpenFile file;
+    file.path = "sock:";
+    file.is_socket = true;
+    return SyscallResult::Ok(AllocFd(proc, std::move(file)));
+  });
+}
+
+SyscallResult SimKernel::Connect(Pid pid, const std::string& dst_ip) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kConnect;
+  inv.remote_ip = dst_ip;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    const std::string& src_ip = IpOf(proc.node);
+    if (reachability_ != nullptr && !reachability_->IsReachable(src_ip, dst_ip)) {
+      return SyscallResult::Fail(Err::kETIMEDOUT);
+    }
+    OpenFile file;
+    file.path = "sock:" + dst_ip;
+    file.is_socket = true;
+    return SyscallResult::Ok(AllocFd(proc, std::move(file)));
+  });
+}
+
+SyscallResult SimKernel::Accept(Pid pid, const std::string& remote_ip) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kAccept;
+  inv.remote_ip = remote_ip;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    OpenFile file;
+    file.path = "sock:" + remote_ip;
+    file.is_socket = true;
+    return SyscallResult::Ok(AllocFd(proc, std::move(file)));
+  });
+}
+
+SyscallResult SimKernel::SendTo(Pid pid, int32_t fd, int64_t length) {
+  SyscallInvocation inv;
+  inv.pid = pid;
+  inv.sys = Sys::kSend;
+  inv.fd = fd;
+  inv.length = length;
+  return DoSyscall(inv, [&]() -> SyscallResult {
+    Process& proc = Proc(pid);
+    auto it = proc.fds.find(fd);
+    if (it == proc.fds.end() || !it->second.is_socket) {
+      return SyscallResult::Fail(Err::kEBADF);
+    }
+    return SyscallResult::Ok(length);
+  });
+}
+
+std::string SimKernel::PathOfFd(Pid pid, int32_t fd) const {
+  const Process* proc = FindProcess(pid);
+  if (proc == nullptr) {
+    return "";
+  }
+  auto it = proc->fds.find(fd);
+  return it == proc->fds.end() ? "" : it->second.path;
+}
+
+void SimKernel::FunctionEnter(Pid pid, int32_t function_id) {
+  CheckInterrupt(pid);
+  for (KernelObserver* obs : observers_) {
+    obs->OnFunctionEnter(now(), pid, function_id);
+  }
+  CheckInterrupt(pid);
+}
+
+void SimKernel::FunctionOffset(Pid pid, int32_t function_id, int32_t offset) {
+  CheckInterrupt(pid);
+  for (KernelObserver* obs : observers_) {
+    obs->OnFunctionOffset(now(), pid, function_id, offset);
+  }
+  CheckInterrupt(pid);
+}
+
+}  // namespace rose

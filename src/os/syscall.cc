@@ -1,0 +1,66 @@
+#include "src/os/syscall.h"
+
+#include <array>
+
+namespace rose {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumSyscalls> kSysNames = {
+    "open",  "openat", "close",    "read", "write",  "pread",   "pwrite",
+    "fsync", "stat",   "fstat",    "unlink", "rename", "mkdir", "readlink",
+    "dup",   "socket", "connect",  "accept", "send",   "recv",  "listen",
+};
+
+}  // namespace
+
+std::string_view SysName(Sys sys) {
+  const auto index = static_cast<size_t>(sys);
+  if (index >= kSysNames.size()) {
+    return "unknown";
+  }
+  return kSysNames[index];
+}
+
+bool SysFromName(std::string_view name, Sys* out) {
+  for (size_t i = 0; i < kSysNames.size(); i++) {
+    if (kSysNames[i] == name) {
+      *out = static_cast<Sys>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SysTakesPath(Sys sys) {
+  switch (sys) {
+    case Sys::kOpen:
+    case Sys::kOpenAt:
+    case Sys::kStat:
+    case Sys::kUnlink:
+    case Sys::kRename:
+    case Sys::kMkdir:
+    case Sys::kReadlink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SysTakesFd(Sys sys) {
+  switch (sys) {
+    case Sys::kClose:
+    case Sys::kRead:
+    case Sys::kWrite:
+    case Sys::kPRead:
+    case Sys::kPWrite:
+    case Sys::kFsync:
+    case Sys::kFstat:
+    case Sys::kDup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace rose

@@ -1,0 +1,96 @@
+// The profiling phase (paper §4.2).
+//
+// Runs as a kernel observer during a failure-free execution of the target
+// under a representative workload and produces a Profile:
+//   - infrequent functions (candidates from developer-listed source files,
+//     minus anything invoked more often than the frequency threshold),
+//     which become the tracing phase's AF monitoring sites;
+//   - per-syscall invocation counts (used by Level 2's input-less sweeps);
+//   - benign fault signatures: SCFs and NDs that occur even without faults,
+//     which the diagnosis phase subtracts from the buggy trace (FR%).
+#ifndef SRC_PROFILE_PROFILER_H_
+#define SRC_PROFILE_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/os/kernel.h"
+#include "src/profile/binary_info.h"
+#include "src/trace/event.h"
+
+namespace rose {
+
+struct ProfilerConfig {
+  // Functions invoked more often than this (calls/second) are discarded.
+  double frequent_calls_per_second = 2.0;
+  // Developer-provided source files that control critical functionality.
+  std::set<std::string> relevant_files;
+};
+
+// Canonical signature of a benign SCF: "sys|filename|errno".
+std::string ScfSignature(Sys sys, const std::string& filename, Err err);
+
+struct Profile {
+  // Monitoring sites for the tracing phase.
+  std::set<int32_t> monitored_functions;
+  // All candidate functions with their observed invocation counts.
+  std::map<int32_t, uint64_t> function_counts;
+  // Syscall frequency over the profiling run.
+  std::map<int32_t, uint64_t> syscall_counts;
+  // Faults observed during the failure-free run.
+  std::set<std::string> benign_scf_signatures;
+  std::set<std::pair<std::string, std::string>> benign_nd_pairs;
+  // Profiling run length (virtual).
+  SimTime duration = 0;
+
+  uint64_t SyscallCount(Sys sys) const {
+    auto it = syscall_counts.find(static_cast<int32_t>(sys));
+    return it == syscall_counts.end() ? 0 : it->second;
+  }
+};
+
+// Observer half of the profiler: attach to the kernel (and feed it the clean
+// trace for benign-fault extraction), then call BuildProfile().
+class Profiler : public KernelObserver {
+ public:
+  Profiler(SimKernel* kernel, const BinaryInfo* binary, ProfilerConfig config);
+  ~Profiler() override;
+
+  void Attach();
+  void Detach();
+
+  // Folds a clean-run trace (from a Rose tracer on the same run) into the
+  // benign-fault baseline.
+  void AbsorbCleanTrace(const Trace& trace);
+
+  // Classifies candidates into frequent/infrequent using the elapsed virtual
+  // time since Attach() and returns the finished profile.
+  Profile BuildProfile() const;
+
+  // --- KernelObserver --------------------------------------------------------
+  void OnSyscallExit(SimTime now, const SyscallInvocation& inv,
+                     const SyscallResult& result) override;
+  void OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) override;
+
+ private:
+  SimKernel* kernel_;
+  const BinaryInfo* binary_;
+  ProfilerConfig config_;
+  bool attached_ = false;
+  SimTime started_at_ = 0;
+  std::set<int32_t> candidates_;
+  std::map<int32_t, uint64_t> function_counts_;
+  // Per-node invocation counts: the frequency threshold is per node, like
+  // the per-node tracers in the paper's deployment.
+  std::map<int32_t, std::map<NodeId, uint64_t>> function_node_counts_;
+  std::map<int32_t, uint64_t> syscall_counts_;
+  std::set<std::string> benign_scf_;
+  std::set<std::pair<std::string, std::string>> benign_nd_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_PROFILE_PROFILER_H_

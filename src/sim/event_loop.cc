@@ -1,0 +1,69 @@
+#include "src/sim/event_loop.h"
+
+#include <memory>
+#include <utility>
+
+namespace rose {
+
+TimerId EventLoop::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  const TimerId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id,
+                    std::make_shared<std::function<void()>>(std::move(fn))});
+  return id;
+}
+
+void EventLoop::Cancel(TimerId id) {
+  if (id != kInvalidTimer) {
+    cancelled_.insert(id);
+  }
+}
+
+bool EventLoop::Step() {
+  while (!halted_ && !queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    if (entry.when > now_) {
+      now_ = entry.when;
+    }
+    (*entry.fn)();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::RunUntil(SimTime until) {
+  uint64_t executed = 0;
+  while (!halted_ && !queue_.empty()) {
+    // Purge cancelled entries first so the horizon check below inspects a
+    // live event — otherwise Step() would skip the tombstone and run an
+    // event beyond `until`.
+    while (!queue_.empty()) {
+      auto it = cancelled_.find(queue_.top().id);
+      if (it == cancelled_.end()) {
+        break;
+      }
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > until) {
+      break;
+    }
+    if (!Step()) {
+      break;
+    }
+    executed++;
+  }
+  if (!halted_ && now_ < until && until != kSimTimeMax) {
+    now_ = until;
+  }
+  return executed;
+}
+
+}  // namespace rose

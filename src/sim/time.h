@@ -1,0 +1,28 @@
+// Virtual time for the deterministic simulator.
+//
+// All timestamps in the simulated kernel, network, tracer, and guest systems
+// are virtual microseconds since simulation start. Wall-clock time is never
+// consulted during a run, which is what makes schedule replay deterministic.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace rose {
+
+// Virtual time in nanoseconds.
+using SimTime = int64_t;
+
+constexpr SimTime Nanos(int64_t n) { return n; }
+constexpr SimTime Micros(int64_t n) { return n * 1000; }
+constexpr SimTime Millis(int64_t n) { return n * 1000 * 1000; }
+constexpr SimTime Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+}  // namespace rose
+
+#endif  // SRC_SIM_TIME_H_

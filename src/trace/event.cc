@@ -1,0 +1,228 @@
+#include "src/trace/event.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kSCF:
+      return "SCF";
+    case EventType::kAF:
+      return "AF";
+    case EventType::kND:
+      return "ND";
+    case EventType::kPS:
+      return "PS";
+  }
+  return "??";
+}
+
+std::string TraceEvent::ToLine() const {
+  switch (type) {
+    case EventType::kSCF: {
+      const auto& scf_info = scf();
+      return StrFormat("%lld SCF node=%d pid=%d sys=%s fd=%d file=%s errno=%s",
+                       static_cast<long long>(ts), node, scf_info.pid,
+                       std::string(SysName(scf_info.sys)).c_str(), scf_info.fd,
+                       scf_info.filename.empty() ? "-" : scf_info.filename.c_str(),
+                       std::string(ErrName(scf_info.err)).c_str());
+    }
+    case EventType::kAF: {
+      const auto& af_info = af();
+      return StrFormat("%lld AF node=%d pid=%d fid=%d", static_cast<long long>(ts), node,
+                       af_info.pid, af_info.function_id);
+    }
+    case EventType::kND: {
+      const auto& nd_info = nd();
+      return StrFormat("%lld ND node=%d src=%s dst=%s dur=%lld pkts=%llu",
+                       static_cast<long long>(ts), node, nd_info.src_ip.c_str(),
+                       nd_info.dst_ip.c_str(), static_cast<long long>(nd_info.duration),
+                       static_cast<unsigned long long>(nd_info.packet_count));
+    }
+    case EventType::kPS: {
+      const auto& ps_info = ps();
+      return StrFormat("%lld PS node=%d pid=%d state=%s dur=%lld",
+                       static_cast<long long>(ts), node, ps_info.pid,
+                       std::string(ProcStateName(ps_info.state)).c_str(),
+                       static_cast<long long>(ps_info.duration));
+    }
+  }
+  return "";
+}
+
+namespace {
+
+// Extracts the value of "key=" from a token like "key=value".
+bool TokenValue(const std::string& token, std::string_view key, std::string* out) {
+  if (!StartsWith(token, key) || token.size() <= key.size() || token[key.size()] != '=') {
+    return false;
+  }
+  *out = token.substr(key.size() + 1);
+  return true;
+}
+
+bool TokenInt(const std::string& token, std::string_view key, int64_t* out) {
+  std::string value;
+  return TokenValue(token, key, &value) && ParseInt64(value, out);
+}
+
+}  // namespace
+
+bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
+  const std::vector<std::string> tokens = Split(line, ' ');
+  if (tokens.size() < 3) {
+    return false;
+  }
+  int64_t ts = 0;
+  if (!ParseInt64(tokens[0], &ts)) {
+    return false;
+  }
+  out->ts = ts;
+  int64_t node = kNoNode;
+  TokenInt(tokens[2], "node", &node);
+  out->node = static_cast<NodeId>(node);
+  const std::string& type = tokens[1];
+  if (type == "SCF") {
+    ScfInfo info;
+    int64_t value = 0;
+    for (const auto& token : tokens) {
+      std::string text;
+      if (TokenInt(token, "pid", &value)) {
+        info.pid = static_cast<Pid>(value);
+      } else if (TokenInt(token, "fd", &value)) {
+        info.fd = static_cast<int32_t>(value);
+      } else if (TokenValue(token, "sys", &text)) {
+        SysFromName(text, &info.sys);
+      } else if (TokenValue(token, "file", &text)) {
+        info.filename = text == "-" ? "" : text;
+      } else if (TokenValue(token, "errno", &text)) {
+        info.err = ErrFromName(text);
+      }
+    }
+    out->type = EventType::kSCF;
+    out->info = std::move(info);
+    return true;
+  }
+  if (type == "AF") {
+    AfInfo info;
+    int64_t value = 0;
+    for (const auto& token : tokens) {
+      if (TokenInt(token, "pid", &value)) {
+        info.pid = static_cast<Pid>(value);
+      } else if (TokenInt(token, "fid", &value)) {
+        info.function_id = static_cast<int32_t>(value);
+      }
+    }
+    out->type = EventType::kAF;
+    out->info = info;
+    return true;
+  }
+  if (type == "ND") {
+    NdInfo info;
+    int64_t value = 0;
+    for (const auto& token : tokens) {
+      std::string text;
+      if (TokenValue(token, "src", &text)) {
+        info.src_ip = text;
+      } else if (TokenValue(token, "dst", &text)) {
+        info.dst_ip = text;
+      } else if (TokenInt(token, "dur", &value)) {
+        info.duration = value;
+      } else if (TokenInt(token, "pkts", &value)) {
+        info.packet_count = static_cast<uint64_t>(value);
+      }
+    }
+    out->type = EventType::kND;
+    out->info = std::move(info);
+    return true;
+  }
+  if (type == "PS") {
+    PsInfo info;
+    int64_t value = 0;
+    for (const auto& token : tokens) {
+      std::string text;
+      if (TokenInt(token, "pid", &value)) {
+        info.pid = static_cast<Pid>(value);
+      } else if (TokenInt(token, "dur", &value)) {
+        info.duration = value;
+      } else if (TokenValue(token, "state", &text)) {
+        if (text == "paused") {
+          info.state = ProcState::kPaused;
+        } else if (text == "crashed") {
+          info.state = ProcState::kCrashed;
+        } else if (text == "exited") {
+          info.state = ProcState::kExited;
+        } else {
+          info.state = ProcState::kRunning;
+        }
+      }
+    }
+    out->type = EventType::kPS;
+    out->info = info;
+    return true;
+  }
+  return false;
+}
+
+std::vector<TraceEvent> Trace::OfType(EventType type) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.type == type) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<AfInfo> Trace::FunctionsBefore(NodeId node, SimTime before) const {
+  std::vector<AfInfo> out;
+  for (const auto& event : events_) {
+    if (event.ts > before) {
+      break;  // Inclusive: an AF at the fault's own timestamp (the function
+              // the process was executing when it died) still precedes it.
+    }
+    if (event.type == EventType::kAF && event.node == node) {
+      out.push_back(event.af());
+    }
+  }
+  std::reverse(out.begin(), out.end());  // Most recent first.
+  return out;
+}
+
+std::string Trace::Serialize() const {
+  std::string out;
+  for (const auto& event : events_) {
+    out += event.ToLine();
+    out += '\n';
+  }
+  return out;
+}
+
+Trace Trace::Parse(const std::string& text) {
+  Trace trace;
+  for (const auto& line : Split(text, '\n')) {
+    if (StripWhitespace(line).empty()) {
+      continue;
+    }
+    TraceEvent event;
+    if (TraceEvent::FromLine(line, &event)) {
+      trace.Append(std::move(event));
+    }
+  }
+  return trace;
+}
+
+Trace Trace::Merge(const std::vector<Trace>& traces) {
+  std::vector<TraceEvent> all;
+  for (const auto& trace : traces) {
+    all.insert(all.end(), trace.events().begin(), trace.events().end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  return Trace(std::move(all));
+}
+
+}  // namespace rose

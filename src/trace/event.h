@@ -1,0 +1,105 @@
+// Trace event model.
+//
+// A trace is the sequence (E_i = {ts, type, I}) from the paper, with four
+// event types:
+//   SCF — system-call failure {pid, syscall, fd, filename, errno}
+//   AF  — application function invocation {pid, function_id}
+//   ND  — network delay {dst_ip, src_ip, duration, packet_count}
+//   PS  — process state {pid, state, duration}
+// Events carry the node id of the originating process so multi-node merged
+// traces stay attributable.
+#ifndef SRC_TRACE_EVENT_H_
+#define SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/os/process.h"
+#include "src/os/syscall.h"
+#include "src/sim/time.h"
+
+namespace rose {
+
+enum class EventType : int8_t { kSCF = 0, kAF, kND, kPS };
+
+std::string_view EventTypeName(EventType type);
+
+struct ScfInfo {
+  Pid pid = kNoPid;
+  Sys sys = Sys::kOpen;
+  int32_t fd = -1;
+  std::string filename;  // Resolved from the fd map during dump post-processing.
+  Err err = Err::kOk;
+};
+
+struct AfInfo {
+  Pid pid = kNoPid;
+  int32_t function_id = -1;
+};
+
+struct NdInfo {
+  std::string src_ip;
+  std::string dst_ip;
+  SimTime duration = 0;
+  uint64_t packet_count = 0;
+};
+
+struct PsInfo {
+  Pid pid = kNoPid;
+  ProcState state = ProcState::kRunning;
+  SimTime duration = 0;  // Pause length; 0 for crashes.
+};
+
+struct TraceEvent {
+  SimTime ts = 0;
+  NodeId node = kNoNode;
+  EventType type = EventType::kSCF;
+  std::variant<ScfInfo, AfInfo, NdInfo, PsInfo> info;
+
+  const ScfInfo& scf() const { return std::get<ScfInfo>(info); }
+  const AfInfo& af() const { return std::get<AfInfo>(info); }
+  const NdInfo& nd() const { return std::get<NdInfo>(info); }
+  const PsInfo& ps() const { return std::get<PsInfo>(info); }
+
+  // One-line textual form (the on-disk dump format).
+  std::string ToLine() const;
+  // Parses a line produced by ToLine(); returns false on malformed input.
+  static bool FromLine(const std::string& line, TraceEvent* out);
+};
+
+// A dumped trace window, ordered by timestamp.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent>& events() { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const TraceEvent& operator[](size_t i) const { return events_[i]; }
+
+  void Append(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  // Events of one type, in order.
+  std::vector<TraceEvent> OfType(EventType type) const;
+  // AF events on `node` with ts < `before`, most recent first — the
+  // "functions which precede F" input to Algorithm 1.
+  std::vector<AfInfo> FunctionsBefore(NodeId node, SimTime before) const;
+
+  // Serialization (one event per line).
+  std::string Serialize() const;
+  static Trace Parse(const std::string& text);
+
+  // Merges per-node traces into one timestamp-ordered trace (stable for ties).
+  static Trace Merge(const std::vector<Trace>& traces);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_TRACE_EVENT_H_

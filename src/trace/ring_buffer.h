@@ -1,0 +1,66 @@
+// Fixed-capacity overwriting ring buffer — the BPF_MAP_ARRAY analogue.
+//
+// Keeps the most recent `capacity` entries; older entries are overwritten.
+// Memory footprint is bounded at construction, matching the paper's
+// "bounded memory, no continuous disk I/O" design.
+#ifndef SRC_TRACE_RING_BUFFER_H_
+#define SRC_TRACE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rose {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity == 0 ? 1 : capacity);
+  }
+
+  void Push(T value) {
+    if (capacity_ == 0) {
+      overwritten_++;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back(std::move(value));
+      return;
+    }
+    entries_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    overwritten_++;
+  }
+
+  // Entries in insertion order, oldest first.
+  std::vector<T> Snapshot() const {
+    std::vector<T> out;
+    out.reserve(entries_.size());
+    for (size_t i = 0; i < entries_.size(); i++) {
+      out.push_back(entries_[(head_ + i) % entries_.size()]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    entries_.clear();
+    head_ = 0;
+    overwritten_ = 0;
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  // Number of entries displaced since the buffer filled.
+  uint64_t overwritten() const { return overwritten_; }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;
+  uint64_t overwritten_ = 0;
+  std::vector<T> entries_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_TRACE_RING_BUFFER_H_

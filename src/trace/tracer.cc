@@ -1,0 +1,321 @@
+#include "src/trace/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rose {
+
+std::string_view TracerModeName(TracerMode mode) {
+  switch (mode) {
+    case TracerMode::kRose:
+      return "rose";
+    case TracerMode::kFull:
+      return "full";
+    case TracerMode::kIoContent:
+      return "io-content";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(SimKernel* kernel, Network* network, TracerConfig config)
+    : kernel_(kernel), network_(network), config_(std::move(config)),
+      window_(config_.window_size) {}
+
+Tracer::~Tracer() { Detach(); }
+
+void Tracer::Attach() {
+  if (attached_) {
+    return;
+  }
+  attached_ = true;
+  kernel_->AddObserver(this);
+  if (network_ != nullptr) {
+    network_->AddIngressTap(this);
+  }
+  if (!polling_) {
+    polling_ = true;
+    kernel_->loop().ScheduleAfter(config_.ps_poll_interval, [this] { PollProcessStates(); });
+  }
+}
+
+void Tracer::Detach() {
+  if (!attached_) {
+    return;
+  }
+  attached_ = false;
+  polling_ = false;
+  kernel_->RemoveObserver(this);
+  if (network_ != nullptr) {
+    network_->RemoveIngressTap(this);
+  }
+}
+
+void Tracer::Charge(SimTime cost) {
+  virtual_overhead_ += cost;
+  kernel_->loop().AdvanceBy(cost);
+}
+
+NodeId Tracer::NodeOfPid(Pid pid) const {
+  const Process* proc = kernel_->FindProcess(pid);
+  return proc == nullptr ? kNoNode : proc->node;
+}
+
+void Tracer::RecordEvent(TraceEvent event) {
+  events_seen_++;
+  window_.Push(std::move(event));
+  Charge(config_.record_cost);
+}
+
+void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
+                           const SyscallResult& result) {
+  syscalls_observed_++;
+  Charge(config_.probe_cost);
+
+  // Maintain the lightweight fd -> filename map (open/close/dup bookkeeping
+  // only; reconstruction happens during dump post-processing).
+  if (result.ok()) {
+    switch (inv.sys) {
+      case Sys::kOpen:
+      case Sys::kOpenAt:
+        fd_bindings_[FdKey(inv.pid, static_cast<int32_t>(result.value))].push_back(
+            FdBinding{now, inv.path});
+        break;
+      case Sys::kConnect:
+      case Sys::kAccept:
+        fd_bindings_[FdKey(inv.pid, static_cast<int32_t>(result.value))].push_back(
+            FdBinding{now, "sock:" + inv.remote_ip});
+        break;
+      case Sys::kDup: {
+        const std::string source = ResolveFd(inv.pid, inv.fd, now);
+        fd_bindings_[FdKey(inv.pid, static_cast<int32_t>(result.value))].push_back(
+            FdBinding{now, source});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const bool failure = !result.ok();
+  bool record = failure;  // kRose: failures only.
+  if (config_.mode == TracerMode::kFull) {
+    record = true;
+  } else if (config_.mode == TracerMode::kIoContent) {
+    const bool is_io = inv.sys == Sys::kRead || inv.sys == Sys::kWrite ||
+                       inv.sys == Sys::kPRead || inv.sys == Sys::kPWrite;
+    if (is_io) {
+      const int64_t copied = std::min<int64_t>(inv.length, config_.io_content_cap);
+      bytes_copied_ += static_cast<uint64_t>(copied);
+      Charge(copied * config_.byte_copy_cost);
+      record = true;
+    }
+  }
+  if (!record) {
+    return;
+  }
+
+  ScfInfo info;
+  info.pid = inv.pid;
+  info.sys = inv.sys;
+  info.fd = inv.fd;
+  info.err = result.err;
+  if (SysTakesPath(inv.sys)) {
+    info.filename = inv.path;
+  } else if (!inv.remote_ip.empty()) {
+    info.filename = "sock:" + inv.remote_ip;
+  }
+
+  TraceEvent event;
+  event.ts = now;
+  event.node = NodeOfPid(inv.pid);
+  event.type = EventType::kSCF;
+  event.info = std::move(info);
+  RecordEvent(std::move(event));
+}
+
+void Tracer::OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {
+  if (config_.monitored_functions.count(function_id) == 0) {
+    return;
+  }
+  function_probe_hits_++;
+  Charge(config_.uprobe_cost);
+  TraceEvent event;
+  event.ts = now;
+  event.node = NodeOfPid(pid);
+  event.type = EventType::kAF;
+  event.info = AfInfo{pid, function_id};
+  RecordEvent(std::move(event));
+}
+
+bool Tracer::QualifiesAsPartitionSilence(const ConnState& conn, SimTime gap) const {
+  if (gap < config_.nd_threshold || gap > 6 * config_.nd_threshold) {
+    return false;  // Too short, or so long the connection is simply idle.
+  }
+  if (conn.packet_count < config_.nd_min_packets) {
+    return false;
+  }
+  const SimTime active_span = conn.last_packet - conn.first_packet;
+  if (active_span < Seconds(1)) {
+    return false;  // A short burst (client probe), not an established flow.
+  }
+  const double rate = static_cast<double>(conn.packet_count) / ToSeconds(active_span);
+  return rate >= 2.0;
+}
+
+void Tracer::OnPacketIn(SimTime now, const std::string& src_ip, const std::string& dst_ip,
+                        int64_t size) {
+  ConnState& conn = connections_[{src_ip, dst_ip}];
+  conn.packet_count++;
+  if (conn.first_packet == 0) {
+    conn.first_packet = now;
+  }
+  if (conn.last_packet != 0) {
+    const SimTime gap = now - conn.last_packet;
+    if (QualifiesAsPartitionSilence(conn, gap)) {
+      TraceEvent event;
+      event.ts = now;
+      event.node = kernel_->NodeOfIp(dst_ip);
+      event.type = EventType::kND;
+      event.info = NdInfo{src_ip, dst_ip, gap, conn.packet_count};
+      RecordEvent(std::move(event));
+    }
+  }
+  conn.last_packet = now;
+}
+
+void Tracer::PollProcessStates() {
+  if (!polling_) {
+    return;
+  }
+  const SimTime now = kernel_->now();
+  for (Pid pid : kernel_->AllPids()) {
+    const Process* proc = kernel_->FindProcess(pid);
+    if (proc == nullptr) {
+      continue;
+    }
+    if (proc->state == ProcState::kCrashed && crash_reported_.insert(pid).second) {
+      TraceEvent event;
+      event.ts = proc->state_since;
+      event.node = proc->node;
+      event.type = EventType::kPS;
+      event.info = PsInfo{pid, ProcState::kCrashed, 0};
+      RecordEvent(std::move(event));
+    }
+    size_t& reported = pauses_reported_[pid];
+    while (reported < proc->pauses.size() && proc->pauses[reported].end != 0) {
+      const PauseRecord& pause = proc->pauses[reported];
+      const SimTime duration = pause.end - pause.start;
+      if (duration >= config_.ps_waiting_threshold) {
+        TraceEvent event;
+        event.ts = pause.start;
+        event.node = proc->node;
+        event.type = EventType::kPS;
+        event.info = PsInfo{pid, ProcState::kPaused, duration};
+        RecordEvent(std::move(event));
+      }
+      reported++;
+    }
+  }
+  kernel_->loop().ScheduleAfter(config_.ps_poll_interval, [this] { PollProcessStates(); });
+}
+
+std::string Tracer::ResolveFd(Pid pid, int32_t fd, SimTime at) const {
+  auto it = fd_bindings_.find(FdKey(pid, fd));
+  if (it == fd_bindings_.end()) {
+    return "";
+  }
+  std::string best;
+  for (const FdBinding& binding : it->second) {
+    if (binding.ts <= at) {
+      best = binding.path;
+    }
+  }
+  return best;
+}
+
+Trace Tracer::Dump() {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<TraceEvent> events = window_.Snapshot();
+  const SimTime now = kernel_->now();
+
+  // Post-processing: resolve fd-based SCFs to pathnames.
+  for (TraceEvent& event : events) {
+    if (event.type != EventType::kSCF) {
+      continue;
+    }
+    auto& info = std::get<ScfInfo>(event.info);
+    if (info.filename.empty() && info.fd >= 0) {
+      info.filename = ResolveFd(info.pid, info.fd, event.ts);
+    }
+  }
+
+  // Flush events that had not terminated when the dump was requested:
+  // ongoing pauses...
+  for (Pid pid : kernel_->AllPids()) {
+    const Process* proc = kernel_->FindProcess(pid);
+    if (proc == nullptr) {
+      continue;
+    }
+    if (!proc->pauses.empty() && proc->pauses.back().end == 0) {
+      const SimTime duration = now - proc->pauses.back().start;
+      if (duration >= config_.ps_waiting_threshold) {
+        TraceEvent event;
+        event.ts = proc->pauses.back().start;
+        event.node = proc->node;
+        event.type = EventType::kPS;
+        event.info = PsInfo{pid, ProcState::kPaused, duration};
+        events.push_back(std::move(event));
+      }
+    }
+    if (proc->state == ProcState::kCrashed && crash_reported_.count(pid) == 0) {
+      TraceEvent event;
+      event.ts = proc->state_since;
+      event.node = proc->node;
+      event.type = EventType::kPS;
+      event.info = PsInfo{pid, ProcState::kCrashed, 0};
+      events.push_back(std::move(event));
+    }
+  }
+  // ...and connections silent for longer than the ND threshold (but not so
+  // long that they are simply idle, and only if they carried real traffic).
+  for (const auto& [key, conn] : connections_) {
+    if (conn.last_packet != 0 &&
+        QualifiesAsPartitionSilence(conn, now - conn.last_packet)) {
+      TraceEvent event;
+      event.ts = now;
+      event.node = kernel_->NodeOfIp(key.second);
+      event.type = EventType::kND;
+      event.info = NdInfo{key.first, key.second, now - conn.last_packet, conn.packet_count};
+      events.push_back(std::move(event));
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  dump_processing_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return Trace(std::move(events));
+}
+
+TracerStats Tracer::stats() const {
+  TracerStats stats;
+  stats.events_seen = events_seen_;
+  stats.events_saved = window_.size();
+  stats.bytes_copied = bytes_copied_;
+  stats.syscalls_observed = syscalls_observed_;
+  stats.function_probe_hits = function_probe_hits_;
+  stats.virtual_overhead = virtual_overhead_;
+  stats.dump_processing_seconds = dump_processing_seconds_;
+  int64_t memory = 0;
+  for (const TraceEvent& event : window_.Snapshot()) {
+    memory += static_cast<int64_t>(sizeof(TraceEvent));
+    if (event.type == EventType::kSCF) {
+      memory += static_cast<int64_t>(event.scf().filename.size());
+    }
+  }
+  memory += static_cast<int64_t>(bytes_copied_);
+  stats.memory_bytes = memory;
+  return stats;
+}
+
+}  // namespace rose

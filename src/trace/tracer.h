@@ -1,0 +1,144 @@
+// The production tracer (paper §4.3, §5.2).
+//
+// Subscribes to the kernel's sys_exit boundary and function uprobes, and to
+// the network's ingress tap. Three modes reproduce the paper's overhead
+// study (Table 2):
+//   kRose      — system-call *failures* only, plus monitored AF functions
+//   kFull      — every system-call invocation (success and failure)
+//   kIoContent — Rose events plus every read/write with up to
+//                `io_content_cap` bytes of content copied
+//
+// The tracer charges a small virtual-time cost per probe hit / saved event /
+// copied byte, which is how application-level overhead becomes measurable in
+// the simulator. Events live in a fixed-size ring buffer (default 1M) until
+// Dump() is invoked by the bug oracle or an operator.
+#ifndef SRC_TRACE_TRACER_H_
+#define SRC_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/os/kernel.h"
+#include "src/trace/event.h"
+#include "src/trace/ring_buffer.h"
+
+namespace rose {
+
+enum class TracerMode : int8_t { kRose = 0, kFull, kIoContent };
+
+std::string_view TracerModeName(TracerMode mode);
+
+struct TracerConfig {
+  TracerMode mode = TracerMode::kRose;
+  // Sliding window size (events), 1 million by default as in the paper.
+  size_t window_size = 1'000'000;
+  // Gap after which a silent connection is reported as a network delay.
+  SimTime nd_threshold = Seconds(5);
+  // A connection must have carried this many packets before its silence is
+  // treated as a possible partition (filters one-shot client probes).
+  uint64_t nd_min_packets = 20;
+  // Waiting-state duration after which a pause is reported.
+  SimTime ps_waiting_threshold = Seconds(3);
+  // procfs polling cadence.
+  SimTime ps_poll_interval = Seconds(1);
+  // AF function ids to monitor (produced by the profiler).
+  std::set<int32_t> monitored_functions;
+  // Max bytes copied per read/write in kIoContent mode.
+  int64_t io_content_cap = 128;
+
+  // Virtual-cost model (per-node application overhead).
+  SimTime probe_cost = Nanos(50);       // Every syscall exit, all modes.
+  SimTime record_cost = Nanos(30);      // Per event saved to the ring.
+  SimTime byte_copy_cost = Nanos(6);    // Per byte copied (kIoContent).
+  SimTime uprobe_cost = Nanos(800);     // Per traced function entry
+                                        // (user/kernel mode switch).
+};
+
+struct TracerStats {
+  uint64_t events_seen = 0;      // Matched the tracer criteria.
+  uint64_t events_saved = 0;     // Currently held in the window.
+  uint64_t bytes_copied = 0;     // kIoContent content copies.
+  uint64_t syscalls_observed = 0;  // All syscall exits (probe hits).
+  uint64_t function_probe_hits = 0;
+  SimTime virtual_overhead = 0;  // Total virtual time charged to the app.
+  double dump_processing_seconds = 0;  // Host time of last Dump() post-processing.
+  int64_t memory_bytes = 0;      // Approximate window footprint.
+};
+
+class Tracer : public KernelObserver, public IngressTap {
+ public:
+  Tracer(SimKernel* kernel, Network* network, TracerConfig config);
+  ~Tracer() override;
+
+  // Registers the kernel and network hooks and starts the procfs poller.
+  void Attach();
+  void Detach();
+
+  // The paper's `dump` primitive: snapshots the window, flushes ongoing
+  // pauses / silent connections, resolves fd -> pathname, merges and sorts.
+  Trace Dump();
+
+  TracerStats stats() const;
+
+  // --- KernelObserver --------------------------------------------------------
+  void OnSyscallExit(SimTime now, const SyscallInvocation& inv,
+                     const SyscallResult& result) override;
+  void OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) override;
+
+  // --- IngressTap -------------------------------------------------------------
+  void OnPacketIn(SimTime now, const std::string& src_ip, const std::string& dst_ip,
+                  int64_t size) override;
+
+ private:
+  struct FdBinding {
+    SimTime ts;
+    std::string path;
+  };
+  struct ConnState {
+    SimTime first_packet = 0;
+    SimTime last_packet = 0;
+    uint64_t packet_count = 0;
+  };
+
+  static uint64_t FdKey(Pid pid, int32_t fd) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(pid)) << 32) |
+           static_cast<uint32_t>(fd);
+  }
+
+  // True when a silent connection looks like a partition rather than an
+  // idle client: enough packets, a sustained activity span, a real rate.
+  bool QualifiesAsPartitionSilence(const ConnState& conn, SimTime gap) const;
+
+  void RecordEvent(TraceEvent event);
+  std::string ResolveFd(Pid pid, int32_t fd, SimTime at) const;
+  NodeId NodeOfPid(Pid pid) const;
+  void PollProcessStates();
+  void Charge(SimTime cost);
+
+  SimKernel* kernel_;
+  Network* network_;
+  TracerConfig config_;
+  bool attached_ = false;
+  bool polling_ = false;
+
+  RingBuffer<TraceEvent> window_;
+  std::map<uint64_t, std::vector<FdBinding>> fd_bindings_;
+  std::map<std::pair<std::string, std::string>, ConnState> connections_;
+  std::set<Pid> crash_reported_;
+  std::map<Pid, size_t> pauses_reported_;
+
+  uint64_t events_seen_ = 0;
+  uint64_t bytes_copied_ = 0;
+  uint64_t syscalls_observed_ = 0;
+  uint64_t function_probe_hits_ = 0;
+  SimTime virtual_overhead_ = 0;
+  double dump_processing_seconds_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_TRACE_TRACER_H_

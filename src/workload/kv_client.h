@@ -1,0 +1,71 @@
+// Key/value workload client.
+//
+// Drives a replicated KV guest (RaftKV, MiniDocStore, ...) with puts/gets,
+// following leader redirects and retrying timed-out operations — with the
+// same operation id — against another node, exactly the client behavior
+// that turns a partitioned leader into a duplicate-submission scenario.
+// Every acknowledged operation is recorded for the consistency oracles.
+#ifndef SRC_WORKLOAD_KV_CLIENT_H_
+#define SRC_WORKLOAD_KV_CLIENT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/guest_node.h"
+#include "src/common/rng.h"
+
+namespace rose {
+
+struct KvClientOptions {
+  int server_count = 5;
+  SimTime op_interval = Millis(50);
+  SimTime retry_timeout = Seconds(2);
+  int key_space = 50;
+  double read_fraction = 0.0;
+  // YCSB-style zipfian key popularity (theta ~0.99); uniform when false.
+  bool zipfian_keys = false;
+  double zipfian_theta = 0.99;
+  std::string op_prefix = "c";
+};
+
+struct OpRecord {
+  std::string op_id;
+  std::string key;
+  std::string value;
+  SimTime sent_at = 0;
+  SimTime acked_at = 0;
+  bool acknowledged = false;
+  int attempts = 0;
+};
+
+class KvClient : public GuestNode {
+ public:
+  KvClient(Cluster* cluster, NodeId id, KvClientOptions options);
+
+  void OnStart() override;
+  void OnMessage(const Message& msg) override;
+  void OnTimer(const std::string& name) override;
+
+  const std::vector<OpRecord>& history() const { return history_; }
+  uint64_t ops_completed() const { return completed_; }
+  uint64_t ops_attempted() const { return attempted_; }
+
+ private:
+  void NextOp();
+  void SendCurrent();
+
+  KvClientOptions options_;
+  std::optional<ZipfianGenerator> zipf_;
+  std::vector<OpRecord> history_;
+  bool in_flight_ = false;
+  size_t current_ = 0;
+  NodeId target_ = 0;
+  uint64_t op_counter_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t attempted_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_WORKLOAD_KV_CLIENT_H_

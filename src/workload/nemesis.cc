@@ -1,0 +1,78 @@
+#include "src/workload/nemesis.h"
+
+#include "src/apps/framework/guest_node.h"
+#include "src/common/strings.h"
+
+namespace rose {
+
+Nemesis::Nemesis(Cluster* cluster, NemesisOptions options, LeaderProbe leader_probe)
+    : cluster_(cluster), options_(options), leader_probe_(std::move(leader_probe)),
+      rng_(options.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+void Nemesis::Start() {
+  running_ = true;
+  cluster_->loop().ScheduleAfter(options_.start_after, [this] { Strike(); });
+}
+
+void Nemesis::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  const SimTime delay =
+      options_.interval_min +
+      static_cast<SimTime>(rng_.NextBelow(
+          static_cast<uint64_t>(options_.interval_max - options_.interval_min)));
+  cluster_->loop().ScheduleAfter(delay, [this] { Strike(); });
+}
+
+NodeId Nemesis::PickVictim() {
+  if (leader_probe_ != nullptr && rng_.NextBool(options_.p_target_leader)) {
+    const NodeId leader = leader_probe_();
+    if (leader != kNoNode) {
+      return leader;
+    }
+  }
+  return static_cast<NodeId>(rng_.NextBelow(static_cast<uint64_t>(options_.server_count)));
+}
+
+void Nemesis::Strike() {
+  if (!running_) {
+    return;
+  }
+  const double roll = rng_.NextDouble();
+  const NodeId victim = PickVictim();
+  GuestNode* guest = cluster_->node(victim);
+  SimKernel& kernel = cluster_->kernel();
+
+  if (roll < options_.p_crash) {
+    if (guest != nullptr && cluster_->IsNodeAlive(victim)) {
+      actions_.push_back(StrFormat("%.3fs crash n%d", ToSeconds(kernel.now()), victim));
+      kernel.Kill(guest->pid());
+    }
+  } else if (roll < options_.p_crash + options_.p_pause) {
+    if (guest != nullptr && cluster_->IsNodeAlive(victim)) {
+      const SimTime duration =
+          options_.pause_min +
+          static_cast<SimTime>(rng_.NextBelow(
+              static_cast<uint64_t>(options_.pause_max - options_.pause_min)));
+      actions_.push_back(StrFormat("%.3fs pause n%d for %.1fs", ToSeconds(kernel.now()),
+                                   victim, ToSeconds(duration)));
+      kernel.Pause(guest->pid(), duration);
+    }
+  } else {
+    const SimTime duration =
+        options_.partition_min +
+        static_cast<SimTime>(rng_.NextBelow(
+            static_cast<uint64_t>(options_.partition_max - options_.partition_min)));
+    std::vector<std::string> server_ips;
+    for (NodeId id = 0; id < options_.server_count; id++) {
+      server_ips.push_back(cluster_->IpOf(id));
+    }
+    actions_.push_back(StrFormat("%.3fs isolate n%d for %.1fs", ToSeconds(kernel.now()),
+                                 victim, ToSeconds(duration)));
+    cluster_->network().Isolate(cluster_->IpOf(victim), server_ips, duration);
+  }
+  ScheduleNext();
+}
+
+}  // namespace rose

@@ -1,0 +1,66 @@
+// Jepsen-style randomized fault injector.
+//
+// Used only to produce "production" traces: it crashes, pauses, and
+// partitions random nodes at random times until a bug surfaces. Rose never
+// sees the nemesis's action list — only the trace the production tracer
+// dumped, which is the whole point of the paper.
+#ifndef SRC_WORKLOAD_NEMESIS_H_
+#define SRC_WORKLOAD_NEMESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/framework/cluster.h"
+#include "src/common/rng.h"
+
+namespace rose {
+
+struct NemesisOptions {
+  uint64_t seed = 7;
+  SimTime start_after = Seconds(3);
+  SimTime interval_min = Millis(1500);
+  SimTime interval_max = Seconds(4);
+  double p_crash = 0.4;
+  double p_pause = 0.3;
+  double p_partition = 0.3;
+  // Pauses sit above the PS threshold (3 s) but below the ND threshold (5 s)
+  // so they surface as PS events, not spurious partitions.
+  SimTime pause_min = Millis(3200);
+  SimTime pause_max = Millis(4600);
+  SimTime partition_min = Seconds(6);
+  SimTime partition_max = Seconds(10);
+  int server_count = 5;
+  // Prefer faulting the current leader with this probability (leader-targeted
+  // faults reach the interesting code paths much faster, as Jepsen does with
+  // its targeted nemeses).
+  double p_target_leader = 0.5;
+};
+
+class Nemesis {
+ public:
+  // `leader_probe` returns the current leader node id or kNoNode.
+  using LeaderProbe = std::function<NodeId()>;
+
+  Nemesis(Cluster* cluster, NemesisOptions options, LeaderProbe leader_probe = nullptr);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  const std::vector<std::string>& actions() const { return actions_; }
+
+ private:
+  void ScheduleNext();
+  void Strike();
+  NodeId PickVictim();
+
+  Cluster* cluster_;
+  NemesisOptions options_;
+  LeaderProbe leader_probe_;
+  Rng rng_;
+  bool running_ = false;
+  std::vector<std::string> actions_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_WORKLOAD_NEMESIS_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace rose {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) {
+      equal++;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; i++) {
+    const int64_t value = rng.NextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All 7 values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; i++) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRoughlyMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; i++) {
+    if (rng.NextBool(0.3)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(ZipfianTest, SkewsTowardLowItems) {
+  Rng rng(3);
+  ZipfianGenerator zipf(100, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) {
+    const uint64_t item = zipf.Next(rng);
+    ASSERT_LT(item, 100u);
+    counts[item]++;
+  }
+  // Item 0 should be much more popular than item 50.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a||b|", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleToken) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%05d", 7), "00007");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, PrefixSuffixContains) {
+  EXPECT_TRUE(StartsWith("sock:10.0.0.1", "sock:"));
+  EXPECT_FALSE(StartsWith("so", "sock:"));
+  EXPECT_TRUE(EndsWith("raft.log", ".log"));
+  EXPECT_FALSE(EndsWith("g", ".log"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abcdef", "xyz"));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \n"), "abc");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, ParseUint64) {
+  uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("12345", &value));
+  EXPECT_EQ(value, 12345u);
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("12a", &value));
+  EXPECT_FALSE(ParseUint64("-3", &value));
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("-42", &value));
+  EXPECT_EQ(value, -42);
+  EXPECT_TRUE(ParseInt64("+7", &value));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(ParseInt64("--1", &value));
+  EXPECT_FALSE(ParseInt64("4.2", &value));
+}
+
+// Property sweep: split/join round-trips for seeds' worth of random strings.
+class SplitJoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SplitJoinProperty, RoundTrips) {
+  Rng rng(GetParam());
+  std::vector<std::string> parts;
+  const int n = static_cast<int>(rng.NextBelow(8)) + 1;
+  for (int i = 0; i < n; i++) {
+    std::string part;
+    const int len = static_cast<int>(rng.NextBelow(6));
+    for (int j = 0; j < len; j++) {
+      part += static_cast<char>('a' + rng.NextBelow(26));
+    }
+    parts.push_back(part);
+  }
+  const std::string joined = Join(parts, "|");
+  EXPECT_EQ(Split(joined, '|'), parts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitJoinProperty, ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace rose

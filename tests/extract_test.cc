@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "src/diagnose/extract.h"
+
+namespace rose {
+namespace {
+
+TraceEvent Scf(SimTime ts, NodeId node, Sys sys, const std::string& file, Err err) {
+  TraceEvent event;
+  event.ts = ts;
+  event.node = node;
+  event.type = EventType::kSCF;
+  event.info = ScfInfo{100 + node, sys, 3, file, err};
+  return event;
+}
+
+TraceEvent Ps(SimTime ts, NodeId node, ProcState state, SimTime duration = 0) {
+  TraceEvent event;
+  event.ts = ts;
+  event.node = node;
+  event.type = EventType::kPS;
+  event.info = PsInfo{100 + node, state, duration};
+  return event;
+}
+
+TraceEvent Nd(SimTime ts, const std::string& src, const std::string& dst, SimTime duration,
+              NodeId node = 0) {
+  TraceEvent event;
+  event.ts = ts;
+  event.node = node;
+  event.type = EventType::kND;
+  event.info = NdInfo{src, dst, duration, 100};
+  return event;
+}
+
+TEST(ExtractTest, BenignScfsRemovedAndCounted) {
+  Profile profile;
+  profile.benign_scf_signatures.insert(ScfSignature(Sys::kStat, "/opt.conf", Err::kENOENT));
+  Trace trace;
+  trace.Append(Scf(10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));   // Benign.
+  trace.Append(Scf(20, 0, Sys::kWrite, "/data/log", Err::kEIO));     // Real.
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].sys, Sys::kWrite);
+  EXPECT_EQ(result.removed_benign, 1);
+  EXPECT_EQ(result.total_fault_events, 2);
+  EXPECT_DOUBLE_EQ(result.fr_percent, 50.0);
+}
+
+TEST(ExtractTest, BareSignatureAlsoMatches) {
+  Profile profile;
+  profile.benign_scf_signatures.insert(ScfSignature(Sys::kReadlink, "", Err::kEINVAL));
+  Trace trace;
+  trace.Append(Scf(10, 0, Sys::kReadlink, "/some/new/path", Err::kEINVAL));
+  EXPECT_TRUE(ExtractFaults(trace, profile).faults.empty());
+}
+
+TEST(ExtractTest, BenignFilterCanBeDisabled) {
+  Profile profile;
+  profile.benign_scf_signatures.insert(ScfSignature(Sys::kStat, "/opt.conf", Err::kENOENT));
+  Trace trace;
+  trace.Append(Scf(10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));
+  ExtractOptions options;
+  options.use_benign_filter = false;
+  EXPECT_EQ(ExtractFaults(trace, profile, options).faults.size(), 1u);
+}
+
+TEST(ExtractTest, DuplicateScfsDeduplicated) {
+  Profile profile;
+  Trace trace;
+  for (int i = 0; i < 5; i++) {
+    trace.Append(Scf(10 + i, 0, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));
+  }
+  trace.Append(Scf(99, 1, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));  // Other node.
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  EXPECT_EQ(result.faults.size(), 2u);  // One per (node, signature).
+}
+
+TEST(ExtractTest, CrashLoopsCollapse) {
+  Profile profile;
+  Trace trace;
+  trace.Append(Ps(Seconds(5), 0, ProcState::kCrashed));
+  // Panic-on-boot loop: restarts every ~2 s.
+  trace.Append(Ps(Seconds(7), 0, ProcState::kCrashed));
+  trace.Append(Ps(Seconds(9), 0, ProcState::kCrashed));
+  // A genuinely separate crash much later.
+  trace.Append(Ps(Seconds(20), 0, ProcState::kCrashed));
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  ASSERT_EQ(result.faults.size(), 2u);
+  EXPECT_EQ(result.faults[0].ts, Seconds(5));
+  EXPECT_EQ(result.faults[1].ts, Seconds(20));
+  EXPECT_EQ(result.collapsed_crashes, 2);
+}
+
+TEST(ExtractTest, PausesBecomePauseFaults) {
+  Profile profile;
+  Trace trace;
+  trace.Append(Ps(Seconds(3), 1, ProcState::kPaused, Millis(4200)));
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  ASSERT_EQ(result.faults.size(), 1u);
+  EXPECT_EQ(result.faults[0].kind, FaultKind::kProcessPause);
+  EXPECT_EQ(result.faults[0].pause_duration, Millis(4200));
+  EXPECT_EQ(result.faults[0].node, 1);
+}
+
+TEST(ExtractTest, OverlappingNdEventsGroupIntoOnePartition) {
+  Profile profile;
+  Trace trace;
+  // A partition isolating 10.0.0.1 from two peers: four ND events whose
+  // intervals overlap.
+  trace.Append(Nd(Seconds(13), "10.0.0.1", "10.0.0.2", Seconds(8)));
+  trace.Append(Nd(Seconds(13), "10.0.0.2", "10.0.0.1", Seconds(8)));
+  trace.Append(Nd(Seconds(14), "10.0.0.1", "10.0.0.3", Seconds(8)));
+  trace.Append(Nd(Seconds(14), "10.0.0.3", "10.0.0.1", Seconds(8)));
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  ASSERT_EQ(result.faults.size(), 1u);
+  const CandidateFault& fault = result.faults[0];
+  EXPECT_EQ(fault.kind, FaultKind::kNetworkPartition);
+  EXPECT_EQ(fault.group_a, (std::vector<std::string>{"10.0.0.1"}));  // Max degree.
+  EXPECT_EQ(fault.group_b.size(), 2u);
+  EXPECT_EQ(fault.ts, Seconds(5));  // Partition start = ts - duration.
+  EXPECT_EQ(fault.nd_duration, Seconds(8));
+}
+
+TEST(ExtractTest, DisjointNdEventsStaySeparate) {
+  Profile profile;
+  Trace trace;
+  trace.Append(Nd(Seconds(10), "a", "b", Seconds(5)));
+  trace.Append(Nd(Seconds(30), "a", "b", Seconds(5)));
+  EXPECT_EQ(ExtractFaults(trace, profile).faults.size(), 2u);
+}
+
+TEST(ExtractTest, BenignNdPairsRemoved) {
+  Profile profile;
+  profile.benign_nd_pairs.insert({"a", "b"});
+  Trace trace;
+  trace.Append(Nd(Seconds(10), "a", "b", Seconds(6)));
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  EXPECT_TRUE(result.faults.empty());
+  EXPECT_EQ(result.removed_benign, 1);
+}
+
+TEST(ExtractTest, FaultsSortedChronologically) {
+  Profile profile;
+  Trace trace;
+  trace.Append(Scf(Seconds(9), 0, Sys::kWrite, "/l", Err::kEIO));
+  trace.Append(Ps(Seconds(2), 1, ProcState::kCrashed));
+  trace.Append(Nd(Seconds(12), "a", "b", Seconds(6)));  // Starts at 6 s.
+  const ExtractionResult result = ExtractFaults(trace, profile);
+  ASSERT_EQ(result.faults.size(), 3u);
+  EXPECT_EQ(result.faults[0].kind, FaultKind::kProcessCrash);
+  EXPECT_EQ(result.faults[1].kind, FaultKind::kNetworkPartition);
+  EXPECT_EQ(result.faults[2].kind, FaultKind::kSyscallFailure);
+}
+
+TEST(PrioritizeTest, PsThenNdThenScfChronologicalWithinClass) {
+  std::vector<CandidateFault> faults(5);
+  faults[0].kind = FaultKind::kSyscallFailure;
+  faults[0].ts = 1;
+  faults[1].kind = FaultKind::kProcessCrash;
+  faults[1].ts = 2;
+  faults[2].kind = FaultKind::kNetworkPartition;
+  faults[2].ts = 3;
+  faults[3].kind = FaultKind::kProcessPause;
+  faults[3].ts = 4;
+  faults[4].kind = FaultKind::kSyscallFailure;
+  faults[4].ts = 5;
+  const auto order = PrioritizeFaults(faults);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 2, 0, 4}));
+}
+
+TEST(ExtractTest, EmptyTraceYieldsNothing) {
+  Profile profile;
+  const ExtractionResult result = ExtractFaults(Trace{}, profile);
+  EXPECT_TRUE(result.faults.empty());
+  EXPECT_EQ(result.fr_percent, 0.0);
+}
+
+}  // namespace
+}  // namespace rose

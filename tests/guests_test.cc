@@ -1,0 +1,647 @@
+// Behavioral tests for the seven smaller guest systems: healthy operation,
+// defect dormancy without the trigger, and manifestation under the precise
+// fault context (driven through the executor, exactly as Rose injects).
+#include <gtest/gtest.h>
+
+#include "src/apps/minibft/minibft.h"
+#include "src/apps/minibroker/minibroker.h"
+#include "src/apps/minidocstore/minidocstore.h"
+#include "src/apps/minihdfs/hdfs_client.h"
+#include "src/apps/minihdfs/minihdfs.h"
+#include "src/apps/miniredpanda/miniredpanda.h"
+#include "src/apps/miniredpanda/producer_client.h"
+#include "src/apps/minitablestore/minitablestore.h"
+#include "src/apps/minizk/minizk.h"
+#include "src/common/strings.h"
+#include "src/exec/executor.h"
+#include "src/harness/world.h"
+#include "src/oracle/oracle.h"
+#include "src/workload/kv_client.h"
+
+namespace rose {
+namespace {
+
+ScheduledFault Scf(Sys sys, Err err, const std::string& path, NodeId node,
+                   SimTime at = 0, int nth = 1) {
+  ScheduledFault fault;
+  fault.kind = FaultKind::kSyscallFailure;
+  fault.target_node = node;
+  fault.syscall.sys = sys;
+  fault.syscall.err = err;
+  fault.syscall.path_filter = path;
+  fault.syscall.nth = nth;
+  if (at > 0) {
+    fault.conditions.push_back(Condition::AtTime(at));
+  }
+  return fault;
+}
+
+// ---------------------------------------------------------------------------
+// MiniZk
+// ---------------------------------------------------------------------------
+
+struct ZkWorld {
+  explicit ZkWorld(uint64_t seed, MiniZkOptions options = {})
+      : world(seed), binary(BuildMiniZkBinary()) {
+    ClusterConfig config;
+    config.seed = seed;
+    cluster = std::make_unique<Cluster>(&world.kernel, &world.network, &binary, config);
+    for (int i = 0; i < options.cluster_size; i++) {
+      cluster->AddNode([options](Cluster* c, NodeId id) {
+        return std::make_unique<MiniZkNode>(c, id, options);
+      });
+    }
+    KvClientOptions client_options;
+    client_options.server_count = options.cluster_size;
+    for (int i = 0; i < 2; i++) {
+      cluster->AddNode([client_options](Cluster* c, NodeId id) {
+        return std::make_unique<KvClient>(c, id, client_options);
+      });
+    }
+  }
+  SimWorld world;
+  BinaryInfo binary;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(MiniZkTest, ElectsLeaderAndServes) {
+  ZkWorld zk(31);
+  zk.cluster->Start();
+  zk.world.loop.RunUntil(Seconds(10));
+  int leaders = 0;
+  for (NodeId id = 0; id < 3; id++) {
+    if (dynamic_cast<MiniZkNode*>(zk.cluster->node(id))->is_leader()) {
+      leaders++;
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+  auto* client = dynamic_cast<KvClient*>(zk.cluster->node(3));
+  EXPECT_GT(client->ops_completed(), 5u);
+  EXPECT_FALSE(Contains(zk.cluster->AllLogText(), "ERROR"));
+}
+
+TEST(MiniZkTest, Bug2247HeaderFailureIsToleratedAppendFailureIsNot) {
+  // nth=1 hits the leader's header write: tolerated.
+  {
+    MiniZkOptions options;
+    options.bug2247 = true;
+    ZkWorld zk(32, options);
+    FaultSchedule schedule;
+    schedule.faults.push_back(Scf(Sys::kWrite, Err::kEIO, "/data/txnlog", 0, 0, 1));
+    Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+    executor.Attach();
+    zk.cluster->Start();
+    zk.world.loop.RunUntil(Seconds(10));
+    EXPECT_FALSE(Contains(zk.cluster->AllLogText(), "service unavailable"));
+  }
+  // nth=2 hits the first transaction append: the leader degrades.
+  {
+    MiniZkOptions options;
+    options.bug2247 = true;
+    ZkWorld zk(32, options);
+    FaultSchedule schedule;
+    schedule.faults.push_back(Scf(Sys::kWrite, Err::kEIO, "/data/txnlog", 0, 0, 2));
+    Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+    executor.Attach();
+    zk.cluster->Start();
+    zk.world.loop.RunUntil(Seconds(10));
+    EXPECT_TRUE(Contains(zk.cluster->AllLogText(),
+                         "txn log write failed; service unavailable"));
+  }
+}
+
+TEST(MiniZkTest, Bug2247FixedVersionStepsDownInstead) {
+  MiniZkOptions options;  // bug2247 off: write failure panics the leader.
+  ZkWorld zk(33, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kWrite, Err::kEIO, "/data/txnlog", 0, 0, 2));
+  Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+  executor.Attach();
+  zk.cluster->Start();
+  zk.world.loop.RunUntil(Seconds(12));
+  EXPECT_TRUE(Contains(zk.cluster->AllLogText(), "shutting down to protect the quorum"));
+  EXPECT_FALSE(Contains(zk.cluster->AllLogText(), "service unavailable"));
+}
+
+TEST(MiniZkTest, Bug3006NpeOnSnapshotSizeProbe) {
+  MiniZkOptions options;
+  options.bug3006 = true;
+  ZkWorld zk(34, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kRead, Err::kEIO, "/data/snapshot.0", 0, Seconds(6)));
+  Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+  executor.Attach();
+  zk.cluster->Start();
+  zk.world.loop.RunUntil(Seconds(15));
+  EXPECT_TRUE(Contains(zk.cluster->AllLogText(), "NullPointerException"));
+}
+
+TEST(MiniZkTest, Bug3157PoisonsClientSession) {
+  MiniZkOptions options;
+  options.bug3157 = true;
+  ZkWorld zk(35, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kRead, Err::kECONNRESET, "sock:10.0.0.4", 0, Seconds(5)));
+  Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+  executor.Attach();
+  zk.cluster->Start();
+  zk.world.loop.RunUntil(Seconds(12));
+  EXPECT_TRUE(Contains(zk.cluster->AllLogText(), "connection loss causes client failure"));
+}
+
+TEST(MiniZkTest, Bug4203ElectionStuckAfterAcceptFailure) {
+  MiniZkOptions options;
+  options.bug4203 = true;
+  options.resign_interval = Seconds(8);
+  ZkWorld zk(36, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kAccept, Err::kECONNRESET, "sock:10.0.0.2", 0));
+  Executor executor(&zk.world.kernel, &zk.world.network, schedule);
+  executor.Attach();
+  zk.cluster->Start();
+  zk.world.loop.RunUntil(Seconds(25));
+  EXPECT_TRUE(Contains(zk.cluster->AllLogText(), "election listener aborted"));
+  EXPECT_TRUE(Contains(zk.cluster->AllLogText(), "leader election stuck forever"));
+}
+
+// ---------------------------------------------------------------------------
+// MiniHdfs
+// ---------------------------------------------------------------------------
+
+struct HdfsWorld {
+  explicit HdfsWorld(uint64_t seed, MiniHdfsOptions options = {})
+      : world(seed), binary(BuildMiniHdfsBinary()) {
+    ClusterConfig config;
+    config.seed = seed;
+    cluster = std::make_unique<Cluster>(&world.kernel, &world.network, &binary, config);
+    for (int i = 0; i < kHdfsServerCount; i++) {
+      cluster->AddNode([options](Cluster* c, NodeId id) {
+        return std::make_unique<MiniHdfsNode>(c, id, options);
+      });
+    }
+    for (int i = 0; i < 2; i++) {
+      cluster->AddNode([](Cluster* c, NodeId id) {
+        return std::make_unique<HdfsClient>(c, id, HdfsClientOptions{});
+      });
+    }
+  }
+  SimWorld world;
+  BinaryInfo binary;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(MiniHdfsTest, ClientsCompleteFilesAndReads) {
+  HdfsWorld hdfs(41);
+  hdfs.cluster->Start();
+  hdfs.world.loop.RunUntil(Seconds(15));
+  auto* client = dynamic_cast<HdfsClient*>(hdfs.cluster->node(4));
+  EXPECT_GT(client->files_completed(), 5u);
+  EXPECT_GT(client->reads_completed(), 0u);
+  EXPECT_FALSE(Contains(hdfs.cluster->AllLogText(), "ERROR"));
+}
+
+TEST(MiniHdfsTest, Bug4233NamenodeKeepsServingWithoutJournals) {
+  MiniHdfsOptions options;
+  options.bug4233 = true;
+  HdfsWorld hdfs(42, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kOpenAt, Err::kEIO, "/data/edits.new", kHdfsNameNode, Seconds(4)));
+  Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+  executor.Attach();
+  hdfs.cluster->Start();
+  hdfs.world.loop.RunUntil(Seconds(12));
+  EXPECT_TRUE(Contains(hdfs.cluster->AllLogText(), "no journals started"));
+  EXPECT_TRUE(Contains(hdfs.cluster->AllLogText(), "zero active journals"));
+}
+
+TEST(MiniHdfsTest, Bug12070LeaseNeverReleased) {
+  MiniHdfsOptions options;
+  options.bug12070 = true;
+  HdfsWorld hdfs(43, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kFstat, Err::kEIO, "", kHdfsDataNode1, Seconds(5)));
+  Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+  executor.Attach();
+  hdfs.cluster->Start();
+  hdfs.world.loop.RunUntil(Seconds(20));
+  EXPECT_TRUE(Contains(hdfs.cluster->AllLogText(), "remains open indefinitely"));
+}
+
+TEST(MiniHdfsTest, Bug12070FixedVersionRecoversLease) {
+  MiniHdfsOptions options;  // Defect off.
+  HdfsWorld hdfs(44, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(Scf(Sys::kFstat, Err::kEIO, "", kHdfsDataNode1, Seconds(5)));
+  Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+  executor.Attach();
+  hdfs.cluster->Start();
+  hdfs.world.loop.RunUntil(Seconds(20));
+  EXPECT_FALSE(Contains(hdfs.cluster->AllLogText(), "remains open indefinitely"));
+}
+
+TEST(MiniHdfsTest, Bug15032BalancerCrashOnlyOnUnguardedConnect) {
+  // nth=1 hits a guarded report connect: survived.
+  {
+    MiniHdfsOptions options;
+    options.bug15032 = true;
+    HdfsWorld hdfs(45, options);
+    FaultSchedule schedule;
+    schedule.faults.push_back(
+        Scf(Sys::kConnect, Err::kETIMEDOUT, "sock:10.0.0.1", kHdfsBalancer, 0, 1));
+    Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+    executor.Attach();
+    hdfs.cluster->Start();
+    hdfs.world.loop.RunUntil(Seconds(10));
+    EXPECT_FALSE(Contains(hdfs.cluster->AllLogText(), "Balancer crashed"));
+  }
+  // nth=9 hits getBlocks (8 guarded + 1 unguarded per iteration): crash.
+  {
+    MiniHdfsOptions options;
+    options.bug15032 = true;
+    HdfsWorld hdfs(45, options);
+    FaultSchedule schedule;
+    schedule.faults.push_back(
+        Scf(Sys::kConnect, Err::kETIMEDOUT, "sock:10.0.0.1", kHdfsBalancer, 0, 9));
+    Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+    executor.Attach();
+    hdfs.cluster->Start();
+    hdfs.world.loop.RunUntil(Seconds(10));
+    EXPECT_TRUE(Contains(hdfs.cluster->AllLogText(), "Balancer crashed"));
+  }
+}
+
+TEST(MiniHdfsTest, Bug16332SlowReadFromPoisonedToken) {
+  MiniHdfsOptions options;
+  options.bug16332 = true;
+  HdfsWorld hdfs(46, options);
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kRead, Err::kEACCES, "/data/blocks/blk_3", kHdfsDataNode1, Seconds(6)));
+  Executor executor(&hdfs.world.kernel, &hdfs.world.network, schedule);
+  executor.Attach();
+  hdfs.cluster->Start();
+  hdfs.world.loop.RunUntil(Seconds(25));
+  EXPECT_TRUE(Contains(hdfs.cluster->AllLogText(), "expired block token never refreshed"));
+}
+
+// ---------------------------------------------------------------------------
+// MiniRedpanda
+// ---------------------------------------------------------------------------
+
+struct RedpandaWorld {
+  explicit RedpandaWorld(uint64_t seed, MiniRedpandaOptions options = {})
+      : world(seed), binary(BuildMiniRedpandaBinary()) {
+    ClusterConfig config;
+    config.seed = seed;
+    cluster = std::make_unique<Cluster>(&world.kernel, &world.network, &binary, config);
+    for (int i = 0; i < options.cluster_size; i++) {
+      cluster->AddNode([options](Cluster* c, NodeId id) {
+        return std::make_unique<MiniRedpandaNode>(c, id, options);
+      });
+    }
+    ProducerOptions producer_options;
+    producer_options.broker_count = options.cluster_size;
+    for (int i = 0; i < 2; i++) {
+      cluster->AddNode([producer_options](Cluster* c, NodeId id) {
+        return std::make_unique<ProducerClient>(c, id, producer_options);
+      });
+    }
+  }
+  MiniRedpandaNode* broker(NodeId id) {
+    return dynamic_cast<MiniRedpandaNode*>(cluster->node(id));
+  }
+  SimWorld world;
+  BinaryInfo binary;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(MiniRedpandaTest, ProducersGetAcksAndLogsStayConsistent) {
+  MiniRedpandaOptions options;
+  options.bug_dedup = true;  // The defect is dormant without leadership churn.
+  RedpandaWorld panda(51, options);
+  panda.cluster->Start();
+  panda.world.loop.RunUntil(Seconds(15));
+  auto* producer = dynamic_cast<ProducerClient*>(panda.cluster->node(3));
+  EXPECT_GT(producer->acked_ops().size(), 20u);
+  // No duplicates in any broker's log.
+  for (NodeId id = 0; id < 3; id++) {
+    std::vector<std::string> committed;
+    for (const auto& [offset, entry] : panda.broker(id)->log()) {
+      committed.push_back(entry.op_id);
+    }
+    for (const auto& violation :
+         ElleLite::CheckAppendHistory(producer->acked_ops(), committed)) {
+      EXPECT_NE(violation.kind, HistoryViolation::Kind::kDuplicate);
+    }
+  }
+}
+
+TEST(MiniRedpandaTest, BugDedupDuplicatesAfterLeaderPause) {
+  MiniRedpandaOptions options;
+  options.bug_dedup = true;
+  RedpandaWorld panda(52, options);
+  FaultSchedule schedule;
+  ScheduledFault pause;
+  pause.kind = FaultKind::kProcessPause;
+  pause.target_node = 0;  // The leader.
+  pause.process.pause_duration = Millis(4200);
+  pause.conditions.push_back(Condition::AtTime(Seconds(5)));
+  schedule.faults.push_back(pause);
+  Executor executor(&panda.world.kernel, &panda.world.network, schedule);
+  executor.Attach();
+  panda.cluster->Start();
+  panda.world.loop.RunUntil(Seconds(20));
+  bool duplicate = false;
+  std::set<std::string> seen;
+  for (NodeId id = 0; id < 3; id++) {
+    seen.clear();
+    for (const auto& [offset, entry] : panda.broker(id)->log()) {
+      if (!seen.insert(entry.op_id).second) {
+        duplicate = true;
+      }
+    }
+  }
+  EXPECT_TRUE(duplicate);
+}
+
+TEST(MiniRedpandaTest, FixedVersionRebuildsSessionsNoDuplicates) {
+  MiniRedpandaOptions options;
+  options.bug_dedup = false;
+  RedpandaWorld panda(52, options);  // Same seed/fault as the buggy run.
+  FaultSchedule schedule;
+  ScheduledFault pause;
+  pause.kind = FaultKind::kProcessPause;
+  pause.target_node = 0;
+  pause.process.pause_duration = Millis(4200);
+  pause.conditions.push_back(Condition::AtTime(Seconds(5)));
+  schedule.faults.push_back(pause);
+  Executor executor(&panda.world.kernel, &panda.world.network, schedule);
+  executor.Attach();
+  panda.cluster->Start();
+  panda.world.loop.RunUntil(Seconds(20));
+  for (NodeId id = 0; id < 3; id++) {
+    std::set<std::string> seen;
+    for (const auto& [offset, entry] : panda.broker(id)->log()) {
+      EXPECT_TRUE(seen.insert(entry.op_id).second)
+          << "duplicate " << entry.op_id << " on broker " << id;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MiniDocStore
+// ---------------------------------------------------------------------------
+
+struct DocWorld {
+  explicit DocWorld(uint64_t seed, MiniDocStoreOptions options = {})
+      : world(seed), binary(BuildMiniDocStoreBinary()) {
+    ClusterConfig config;
+    config.seed = seed;
+    cluster = std::make_unique<Cluster>(&world.kernel, &world.network, &binary, config);
+    for (int i = 0; i < options.cluster_size; i++) {
+      cluster->AddNode([options](Cluster* c, NodeId id) {
+        return std::make_unique<MiniDocStoreNode>(c, id, options);
+      });
+    }
+    KvClientOptions client_options;
+    client_options.server_count = options.cluster_size;
+    for (int i = 0; i < 2; i++) {
+      cluster->AddNode([client_options](Cluster* c, NodeId id) {
+        return std::make_unique<KvClient>(c, id, client_options);
+      });
+    }
+  }
+  MiniDocStoreNode* node(NodeId id) {
+    return dynamic_cast<MiniDocStoreNode*>(cluster->node(id));
+  }
+  SimWorld world;
+  BinaryInfo binary;
+  std::unique_ptr<Cluster> cluster;
+};
+
+TEST(MiniDocStoreTest, SinglePrimaryAndReplication) {
+  DocWorld doc(61);
+  doc.cluster->Start();
+  doc.world.loop.RunUntil(Seconds(10));
+  int primaries = 0;
+  for (NodeId id = 0; id < 3; id++) {
+    if (doc.node(id)->is_primary()) {
+      primaries++;
+    }
+  }
+  EXPECT_EQ(primaries, 1);
+  EXPECT_GT(doc.node(0)->oplog().size(), 10u);
+  EXPECT_GT(doc.node(1)->oplog().size(), 10u);  // Replication reached peers.
+}
+
+TEST(MiniDocStoreTest, BugDataLossDropsAckedWritesOnStepDown) {
+  MiniDocStoreOptions options;
+  options.bug_dataloss = true;
+  DocWorld doc(62, options);
+  doc.world.loop.ScheduleAt(Seconds(5), [&] {
+    doc.world.network.Partition({"10.0.0.1"}, {"10.0.0.2", "10.0.0.3"}, Seconds(8));
+  });
+  doc.cluster->Start();
+  doc.world.loop.RunUntil(Seconds(25));
+  EXPECT_TRUE(Contains(doc.cluster->AllLogText(), "discarded"));
+  // Some acknowledged op is missing from the surviving primary's oplog.
+  std::vector<std::string> acked;
+  for (NodeId id = 3; id < 5; id++) {
+    auto* client = dynamic_cast<KvClient*>(doc.cluster->node(id));
+    for (const OpRecord& record : client->history()) {
+      if (record.acknowledged) {
+        acked.push_back(record.op_id);
+      }
+    }
+  }
+  NodeId primary = kNoNode;
+  int64_t best_epoch = -1;
+  for (NodeId id = 0; id < 3; id++) {
+    if (doc.node(id)->is_primary() && doc.node(id)->epoch() > best_epoch) {
+      primary = id;
+      best_epoch = doc.node(id)->epoch();
+    }
+  }
+  ASSERT_NE(primary, kNoNode);
+  bool lost = false;
+  for (const auto& violation :
+       ElleLite::CheckAppendHistory(acked, doc.node(primary)->oplog())) {
+    if (violation.kind == HistoryViolation::Kind::kLostWrite) {
+      lost = true;
+    }
+  }
+  EXPECT_TRUE(lost);
+}
+
+TEST(MiniDocStoreTest, FixedVersionPreservesRollbackFile) {
+  MiniDocStoreOptions options;  // Defect off.
+  DocWorld doc(62, options);
+  doc.world.loop.ScheduleAt(Seconds(5), [&] {
+    doc.world.network.Partition({"10.0.0.1"}, {"10.0.0.2", "10.0.0.3"}, Seconds(8));
+  });
+  doc.cluster->Start();
+  doc.world.loop.RunUntil(Seconds(25));
+  EXPECT_TRUE(Contains(doc.cluster->AllLogText(), "rollback file") ||
+              !Contains(doc.cluster->AllLogText(), "discarded"));
+}
+
+TEST(MiniDocStoreTest, BugUnavailElectionDeadlockDuringPartition) {
+  MiniDocStoreOptions options;
+  options.bug_unavail = true;
+  DocWorld doc(63, options);
+  doc.world.loop.ScheduleAt(Seconds(3), [&] {
+    doc.world.network.Partition({"10.0.0.1"}, {"10.0.0.2", "10.0.0.3"}, Seconds(13));
+  });
+  doc.cluster->Start();
+  doc.world.loop.RunUntil(Seconds(20));
+  EXPECT_TRUE(Contains(doc.cluster->AllLogText(), "replica set has no primary"));
+}
+
+TEST(MiniDocStoreTest, FixedVersionElectsDuringPartition) {
+  MiniDocStoreOptions options;  // Defect off.
+  DocWorld doc(63, options);
+  doc.world.loop.ScheduleAt(Seconds(3), [&] {
+    doc.world.network.Partition({"10.0.0.1"}, {"10.0.0.2", "10.0.0.3"}, Seconds(13));
+  });
+  doc.cluster->Start();
+  doc.world.loop.RunUntil(Seconds(20));
+  EXPECT_FALSE(Contains(doc.cluster->AllLogText(), "replica set has no primary"));
+}
+
+// ---------------------------------------------------------------------------
+// MiniBroker / MiniTableStore / MiniBft
+// ---------------------------------------------------------------------------
+
+TEST(MiniBrokerTest, Bug12508LosesUpdatesOnRestoreError) {
+  SimWorld world(71);
+  BinaryInfo binary = BuildMiniBrokerBinary();
+  ClusterConfig config;
+  config.seed = 71;
+  MiniBrokerOptions options;
+  options.bug12508 = true;
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < 2; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniBrokerNode>(c, id, options);
+    });
+  }
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kOpenAt, Err::kEIO, "/data/changelog", kBrokerStreams, Seconds(6)));
+  Executor executor(&world.kernel, &world.network, schedule);
+  executor.Attach();
+  cluster.Start();
+  world.loop.RunUntil(Seconds(15));
+  EXPECT_TRUE(Contains(cluster.AllLogText(), "emit-on-change updates lost"));
+}
+
+TEST(MiniBrokerTest, HealthyRestoreKeepsState) {
+  SimWorld world(72);
+  BinaryInfo binary = BuildMiniBrokerBinary();
+  ClusterConfig config;
+  config.seed = 72;
+  MiniBrokerOptions options;
+  options.bug12508 = true;  // Defect present but never triggered.
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < 2; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniBrokerNode>(c, id, options);
+    });
+  }
+  cluster.Start();
+  world.loop.RunUntil(Seconds(15));
+  EXPECT_FALSE(Contains(cluster.AllLogText(), "updates lost"));
+  auto* streams = dynamic_cast<MiniBrokerNode*>(cluster.node(kBrokerStreams));
+  EXPECT_GT(streams->emitted(), 50u);
+}
+
+TEST(MiniTableStoreTest, Bug19608DuplicateProcedureExecution) {
+  SimWorld world(73);
+  BinaryInfo binary = BuildMiniTableStoreBinary();
+  ClusterConfig config;
+  config.seed = 73;
+  MiniTableStoreOptions options;
+  options.bug19608 = true;
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < 3; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniTableStoreNode>(c, id, options);
+    });
+  }
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kOpenAt, Err::kEIO, "/data/procs.wal", kTableMaster, Seconds(4)));
+  Executor executor(&world.kernel, &world.network, schedule);
+  executor.Attach();
+  cluster.Start();
+  world.loop.RunUntil(Seconds(15));
+  EXPECT_TRUE(Contains(cluster.AllLogText(), "duplicate procedure execution detected"));
+}
+
+TEST(MiniTableStoreTest, FixedVersionRepliesRetryNoDuplicates) {
+  SimWorld world(74);
+  BinaryInfo binary = BuildMiniTableStoreBinary();
+  ClusterConfig config;
+  config.seed = 74;
+  MiniTableStoreOptions options;  // Defect off.
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < 3; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniTableStoreNode>(c, id, options);
+    });
+  }
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kOpenAt, Err::kEIO, "/data/procs.wal", kTableMaster, Seconds(4)));
+  Executor executor(&world.kernel, &world.network, schedule);
+  executor.Attach();
+  cluster.Start();
+  world.loop.RunUntil(Seconds(15));
+  EXPECT_FALSE(Contains(cluster.AllLogText(), "duplicate procedure execution"));
+}
+
+TEST(MiniBftTest, Bug5839SilentKeyRegenerationDetectedByPeers) {
+  SimWorld world(75);
+  BinaryInfo binary = BuildMiniBftBinary();
+  ClusterConfig config;
+  config.seed = 75;
+  MiniBftOptions options;
+  options.bug5839 = true;
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < options.cluster_size; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniBftNode>(c, id, options);
+    });
+  }
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      Scf(Sys::kOpenAt, Err::kEACCES, "/data/priv_validator_key.json", 1, Seconds(5)));
+  Executor executor(&world.kernel, &world.network, schedule);
+  executor.Attach();
+  cluster.Start();
+  world.loop.RunUntil(Seconds(15));
+  EXPECT_TRUE(Contains(cluster.AllLogText(), "unexpected validator key change"));
+}
+
+TEST(MiniBftTest, HealthyConsensusAdvancesHeight) {
+  SimWorld world(76);
+  BinaryInfo binary = BuildMiniBftBinary();
+  ClusterConfig config;
+  config.seed = 76;
+  MiniBftOptions options;
+  Cluster cluster(&world.kernel, &world.network, &binary, config);
+  for (int i = 0; i < options.cluster_size; i++) {
+    cluster.AddNode([options](Cluster* c, NodeId id) {
+      return std::make_unique<MiniBftNode>(c, id, options);
+    });
+  }
+  cluster.Start();
+  world.loop.RunUntil(Seconds(10));
+  auto* validator = dynamic_cast<MiniBftNode*>(cluster.node(0));
+  EXPECT_GT(validator->height(), 3);
+  EXPECT_FALSE(Contains(cluster.AllLogText(), "unexpected validator key change"));
+}
+
+}  // namespace
+}  // namespace rose

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "src/oracle/oracle.h"
+
+namespace rose {
+namespace {
+
+TEST(LogOracleTest, MatchesSubstring) {
+  EXPECT_TRUE(LogsContain("[1.2s n0] PANIC: corrupted snapshot file", "corrupted snapshot"));
+  EXPECT_FALSE(LogsContain("[1.2s n0] all healthy", "PANIC"));
+  EXPECT_FALSE(LogsContain("", "anything"));
+}
+
+TEST(ElleLiteTest, CleanHistoryHasNoViolations) {
+  const std::vector<std::string> acked = {"a", "b", "c"};
+  const std::vector<std::string> committed = {"a", "b", "c", "d"};  // d unacked: fine.
+  EXPECT_TRUE(ElleLite::CheckAppendHistory(acked, committed).empty());
+}
+
+TEST(ElleLiteTest, DetectsLostWrite) {
+  const auto violations = ElleLite::CheckAppendHistory({"a", "b"}, {"a"});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, HistoryViolation::Kind::kLostWrite);
+  EXPECT_EQ(violations[0].op_id, "b");
+}
+
+TEST(ElleLiteTest, DetectsDuplicate) {
+  const auto violations = ElleLite::CheckAppendHistory({"a"}, {"a", "b", "a"});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, HistoryViolation::Kind::kDuplicate);
+  EXPECT_EQ(violations[0].op_id, "a");
+}
+
+TEST(ElleLiteTest, DetectsReorderedAcks) {
+  // b acked after a but committed before it.
+  const auto violations = ElleLite::CheckAppendHistory({"a", "b"}, {"b", "a"});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, HistoryViolation::Kind::kReordered);
+}
+
+TEST(ElleLiteTest, MultipleViolationKindsReportedTogether) {
+  const auto violations =
+      ElleLite::CheckAppendHistory({"lost", "x"}, {"x", "dup", "dup"});
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].kind, HistoryViolation::Kind::kDuplicate);
+  EXPECT_EQ(violations[1].kind, HistoryViolation::Kind::kLostWrite);
+}
+
+TEST(ElleLiteTest, EmptyInputs) {
+  EXPECT_TRUE(ElleLite::CheckAppendHistory({}, {}).empty());
+  EXPECT_TRUE(ElleLite::CheckAppendHistory({}, {"x"}).empty());
+  EXPECT_EQ(ElleLite::CheckAppendHistory({"x"}, {}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rose

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "src/harness/world.h"
+#include "src/profile/binary_info.h"
+#include "src/profile/profiler.h"
+
+namespace rose {
+namespace {
+
+TEST(BinaryInfoTest, RegistrationAndLookup) {
+  BinaryInfo binary;
+  const int32_t a = binary.RegisterFunction("alpha", "core.c");
+  const int32_t b = binary.RegisterFunction("beta", "aux.c");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(binary.RegisterFunction("alpha", "core.c"), a);  // Idempotent.
+  EXPECT_EQ(binary.Find(a)->name, "alpha");
+  EXPECT_EQ(binary.FindByName("beta")->id, b);
+  EXPECT_EQ(binary.Find(999), nullptr);
+  EXPECT_EQ(binary.FindByName("gamma"), nullptr);
+  EXPECT_EQ(binary.NameOf(a), "alpha");
+  EXPECT_EQ(binary.NameOf(12345), "?");
+}
+
+TEST(BinaryInfoTest, FunctionsInFilesFilters) {
+  BinaryInfo binary;
+  const int32_t a = binary.RegisterFunction("alpha", "core.c");
+  binary.RegisterFunction("beta", "aux.c");
+  const int32_t c = binary.RegisterFunction("gamma", "core.c");
+  const auto in_core = binary.FunctionsInFiles({"core.c"});
+  EXPECT_EQ(in_core, (std::vector<int32_t>{a, c}));
+  EXPECT_TRUE(binary.FunctionsInFiles({"nonexistent.c"}).empty());
+}
+
+TEST(BinaryInfoTest, PrioritizedOffsetsOrderSyscallSitesFirst) {
+  BinaryInfo binary;
+  const int32_t id = binary.RegisterFunction(
+      "fn", "core.c",
+      {{0x30, OffsetKind::kOther},
+       {0x20, OffsetKind::kCallSite},
+       {0x10, OffsetKind::kSyscallCallSite, Sys::kWrite},
+       {0x08, OffsetKind::kSyscallCallSite, Sys::kOpen}});
+  const auto offsets = binary.PrioritizedOffsets(id);
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0].kind, OffsetKind::kSyscallCallSite);
+  EXPECT_EQ(offsets[1].kind, OffsetKind::kSyscallCallSite);
+  EXPECT_EQ(offsets[2].kind, OffsetKind::kCallSite);
+  EXPECT_EQ(offsets[3].kind, OffsetKind::kOther);
+  // Stable within a priority class.
+  EXPECT_EQ(offsets[0].offset, 0x10);
+  EXPECT_EQ(offsets[1].offset, 0x08);
+  EXPECT_TRUE(binary.PrioritizedOffsets(777).empty());
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest() : world_(1) {
+    world_.kernel.RegisterNode(0, "10.0.0.1");
+    world_.kernel.RegisterNode(1, "10.0.0.2");
+    hot_ = binary_.RegisterFunction("hotPath", "core.c");
+    cold_ = binary_.RegisterFunction("recovery", "core.c");
+    never_ = binary_.RegisterFunction("panicHandler", "core.c");
+    other_file_ = binary_.RegisterFunction("helper", "util.c");
+  }
+
+  SimWorld world_;
+  BinaryInfo binary_;
+  int32_t hot_, cold_, never_, other_file_;
+};
+
+TEST_F(ProfilerTest, FrequencyHeuristicSplitsHotAndCold) {
+  ProfilerConfig config;
+  config.relevant_files = {"core.c"};
+  Profiler profiler(&world_.kernel, &binary_, config);
+  profiler.Attach();
+  const Pid pid = world_.kernel.Spawn(0, "p");
+  // 10 seconds of virtual time: hot at 10/s, cold at 0.5/s.
+  for (int second = 0; second < 10; second++) {
+    world_.loop.ScheduleAt(Seconds(second), [this, pid] {
+      for (int i = 0; i < 10; i++) {
+        world_.kernel.FunctionEnter(pid, hot_);
+      }
+    });
+    if (second % 2 == 0) {
+      world_.loop.ScheduleAt(Seconds(second), [this, pid] {
+        world_.kernel.FunctionEnter(pid, cold_);
+      });
+    }
+  }
+  world_.loop.RunUntil(Seconds(10));
+  const Profile profile = profiler.BuildProfile();
+  EXPECT_EQ(profile.monitored_functions.count(hot_), 0u);     // Discarded.
+  EXPECT_EQ(profile.monitored_functions.count(cold_), 1u);    // Kept.
+  EXPECT_EQ(profile.monitored_functions.count(never_), 1u);   // Never seen: kept.
+  EXPECT_EQ(profile.monitored_functions.count(other_file_), 0u);  // Wrong file.
+  EXPECT_EQ(profile.function_counts.at(hot_), 100u);
+}
+
+TEST_F(ProfilerTest, FrequencyIsPerNode) {
+  // 1.5 calls/s on each of two nodes (3/s total) must still be infrequent.
+  ProfilerConfig config;
+  config.relevant_files = {"core.c"};
+  Profiler profiler(&world_.kernel, &binary_, config);
+  profiler.Attach();
+  const Pid p0 = world_.kernel.Spawn(0, "a");
+  const Pid p1 = world_.kernel.Spawn(1, "b");
+  for (int i = 0; i < 15; i++) {
+    world_.loop.ScheduleAt(Seconds(i) * 10 / 15, [this, p0, p1] {
+      world_.kernel.FunctionEnter(p0, cold_);
+      world_.kernel.FunctionEnter(p1, cold_);
+    });
+  }
+  world_.loop.RunUntil(Seconds(10));
+  const Profile profile = profiler.BuildProfile();
+  EXPECT_EQ(profile.monitored_functions.count(cold_), 1u);
+}
+
+TEST_F(ProfilerTest, SyscallFrequenciesCounted) {
+  ProfilerConfig config;
+  Profiler profiler(&world_.kernel, &binary_, config);
+  profiler.Attach();
+  const Pid pid = world_.kernel.Spawn(0, "p");
+  SimKernel::OpenFlags flags;
+  flags.create = true;
+  const auto fd = static_cast<int32_t>(world_.kernel.Open(pid, "/f", flags).value);
+  for (int i = 0; i < 7; i++) {
+    world_.kernel.Write(pid, fd, "x");
+  }
+  const Profile profile = profiler.BuildProfile();
+  EXPECT_EQ(profile.SyscallCount(Sys::kWrite), 7u);
+  EXPECT_EQ(profile.SyscallCount(Sys::kOpen), 1u);
+  EXPECT_EQ(profile.SyscallCount(Sys::kAccept), 0u);
+}
+
+TEST_F(ProfilerTest, BenignFaultSignaturesLearned) {
+  ProfilerConfig config;
+  Profiler profiler(&world_.kernel, &binary_, config);
+  profiler.Attach();
+  const Pid pid = world_.kernel.Spawn(0, "p");
+  world_.kernel.Stat(pid, "/etc/optional.conf");  // ENOENT, benign.
+  const Profile profile = profiler.BuildProfile();
+  EXPECT_EQ(profile.benign_scf_signatures.count(
+                ScfSignature(Sys::kStat, "/etc/optional.conf", Err::kENOENT)),
+            1u);
+  // The input-less form is learned too.
+  EXPECT_EQ(profile.benign_scf_signatures.count(ScfSignature(Sys::kStat, "", Err::kENOENT)),
+            1u);
+}
+
+TEST_F(ProfilerTest, AbsorbCleanTraceAddsNdPairs) {
+  ProfilerConfig config;
+  Profiler profiler(&world_.kernel, &binary_, config);
+  Trace clean;
+  TraceEvent nd;
+  nd.ts = 1;
+  nd.node = 0;
+  nd.type = EventType::kND;
+  nd.info = NdInfo{"10.0.0.9", "10.0.0.1", Seconds(6), 50};
+  clean.Append(nd);
+  profiler.AbsorbCleanTrace(clean);
+  const Profile profile = profiler.BuildProfile();
+  EXPECT_EQ(profile.benign_nd_pairs.count({"10.0.0.9", "10.0.0.1"}), 1u);
+}
+
+TEST(ScfSignatureTest, Format) {
+  EXPECT_EQ(ScfSignature(Sys::kOpenAt, "/a", Err::kEIO), "openat|/a|EIO");
+  EXPECT_EQ(ScfSignature(Sys::kRead, "", Err::kEACCES), "read||EACCES");
+}
+
+}  // namespace
+}  // namespace rose

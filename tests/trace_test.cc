@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/trace/event.h"
+#include "src/trace/ring_buffer.h"
+
+namespace rose {
+namespace {
+
+TraceEvent MakeScf(SimTime ts, NodeId node, Sys sys, const std::string& file, Err err) {
+  TraceEvent event;
+  event.ts = ts;
+  event.node = node;
+  event.type = EventType::kSCF;
+  event.info = ScfInfo{100, sys, 3, file, err};
+  return event;
+}
+
+TraceEvent MakeAf(SimTime ts, NodeId node, Pid pid, int32_t fid) {
+  TraceEvent event;
+  event.ts = ts;
+  event.node = node;
+  event.type = EventType::kAF;
+  event.info = AfInfo{pid, fid};
+  return event;
+}
+
+TEST(TraceEventTest, ScfLineRoundTrip) {
+  const TraceEvent event = MakeScf(12345, 2, Sys::kOpenAt, "/data/x", Err::kEIO);
+  TraceEvent parsed;
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  EXPECT_EQ(parsed.ts, 12345);
+  EXPECT_EQ(parsed.node, 2);
+  EXPECT_EQ(parsed.type, EventType::kSCF);
+  EXPECT_EQ(parsed.scf().sys, Sys::kOpenAt);
+  EXPECT_EQ(parsed.scf().filename, "/data/x");
+  EXPECT_EQ(parsed.scf().err, Err::kEIO);
+}
+
+TEST(TraceEventTest, ScfEmptyFilenameRoundTrip) {
+  const TraceEvent event = MakeScf(7, 0, Sys::kRead, "", Err::kEBADF);
+  TraceEvent parsed;
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  EXPECT_EQ(parsed.scf().filename, "");
+}
+
+TEST(TraceEventTest, AfLineRoundTrip) {
+  const TraceEvent event = MakeAf(99, 1, 200, 17);
+  TraceEvent parsed;
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  EXPECT_EQ(parsed.type, EventType::kAF);
+  EXPECT_EQ(parsed.af().pid, 200);
+  EXPECT_EQ(parsed.af().function_id, 17);
+}
+
+TEST(TraceEventTest, NdLineRoundTrip) {
+  TraceEvent event;
+  event.ts = 5000;
+  event.node = 3;
+  event.type = EventType::kND;
+  event.info = NdInfo{"10.0.0.1", "10.0.0.2", Seconds(7), 123};
+  TraceEvent parsed;
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  EXPECT_EQ(parsed.nd().src_ip, "10.0.0.1");
+  EXPECT_EQ(parsed.nd().dst_ip, "10.0.0.2");
+  EXPECT_EQ(parsed.nd().duration, Seconds(7));
+  EXPECT_EQ(parsed.nd().packet_count, 123u);
+}
+
+TEST(TraceEventTest, PsLineRoundTrip) {
+  TraceEvent event;
+  event.ts = 1;
+  event.node = 0;
+  event.type = EventType::kPS;
+  event.info = PsInfo{150, ProcState::kPaused, Seconds(4)};
+  TraceEvent parsed;
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  EXPECT_EQ(parsed.ps().state, ProcState::kPaused);
+  EXPECT_EQ(parsed.ps().duration, Seconds(4));
+}
+
+TEST(TraceEventTest, MalformedLinesRejected) {
+  TraceEvent parsed;
+  EXPECT_FALSE(TraceEvent::FromLine("", &parsed));
+  EXPECT_FALSE(TraceEvent::FromLine("notanumber SCF node=0", &parsed));
+  EXPECT_FALSE(TraceEvent::FromLine("123 BOGUS node=0", &parsed));
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.Append(MakeScf(10, 0, Sys::kWrite, "/a", Err::kENOSPC));
+  trace.Append(MakeAf(20, 1, 101, 5));
+  const Trace parsed = Trace::Parse(trace.Serialize());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].type, EventType::kSCF);
+  EXPECT_EQ(parsed[1].type, EventType::kAF);
+}
+
+TEST(TraceTest, MergeSortsByTimestampStably) {
+  Trace a;
+  a.Append(MakeAf(10, 0, 1, 1));
+  a.Append(MakeAf(30, 0, 1, 3));
+  Trace b;
+  b.Append(MakeAf(20, 1, 2, 2));
+  b.Append(MakeAf(30, 1, 2, 4));  // Tie with a's event at 30.
+  const Trace merged = Trace::Merge({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].af().function_id, 1);
+  EXPECT_EQ(merged[1].af().function_id, 2);
+  EXPECT_EQ(merged[2].af().function_id, 3);  // First trace wins ties.
+  EXPECT_EQ(merged[3].af().function_id, 4);
+}
+
+TEST(TraceTest, FunctionsBeforeIsInclusiveMostRecentFirst) {
+  Trace trace;
+  trace.Append(MakeAf(10, 0, 1, 100));
+  trace.Append(MakeAf(20, 0, 1, 200));
+  trace.Append(MakeAf(20, 1, 2, 999));  // Other node: excluded.
+  trace.Append(MakeAf(30, 0, 1, 300));  // Exactly at the fault time: included.
+  trace.Append(MakeAf(40, 0, 1, 400));  // After: excluded.
+  const auto functions = trace.FunctionsBefore(0, 30);
+  ASSERT_EQ(functions.size(), 3u);
+  EXPECT_EQ(functions[0].function_id, 300);
+  EXPECT_EQ(functions[1].function_id, 200);
+  EXPECT_EQ(functions[2].function_id, 100);
+}
+
+TEST(TraceTest, OfTypeFilters) {
+  Trace trace;
+  trace.Append(MakeScf(1, 0, Sys::kRead, "", Err::kEIO));
+  trace.Append(MakeAf(2, 0, 1, 1));
+  trace.Append(MakeScf(3, 0, Sys::kWrite, "", Err::kEIO));
+  EXPECT_EQ(trace.OfType(EventType::kSCF).size(), 2u);
+  EXPECT_EQ(trace.OfType(EventType::kAF).size(), 1u);
+  EXPECT_EQ(trace.OfType(EventType::kPS).size(), 0u);
+}
+
+TEST(RingBufferTest, KeepsMostRecentWhenFull) {
+  RingBuffer<int> ring(3);
+  for (int i = 1; i <= 5; i++) {
+    ring.Push(i);
+  }
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.overwritten(), 2u);
+}
+
+TEST(RingBufferTest, SnapshotBelowCapacityPreservesOrder) {
+  RingBuffer<int> ring(10);
+  ring.Push(7);
+  ring.Push(8);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{7, 8}));
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> ring(2);
+  ring.Push(1);
+  ring.Push(2);
+  ring.Push(3);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  ring.Push(9);
+  EXPECT_EQ(ring.Snapshot(), (std::vector<int>{9}));
+}
+
+// Property: the ring buffer always equals the suffix of a reference vector.
+class RingBufferProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RingBufferProperty, MatchesReferenceSuffix) {
+  Rng rng(GetParam());
+  const size_t capacity = rng.NextBelow(16) + 1;
+  RingBuffer<uint64_t> ring(capacity);
+  std::vector<uint64_t> reference;
+  const int ops = 200;
+  for (int i = 0; i < ops; i++) {
+    const uint64_t value = rng.Next();
+    ring.Push(value);
+    reference.push_back(value);
+  }
+  const size_t expect = std::min(capacity, reference.size());
+  const std::vector<uint64_t> tail(reference.end() - static_cast<long>(expect),
+                                   reference.end());
+  EXPECT_EQ(ring.Snapshot(), tail);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingBufferProperty, ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace rose
