@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_tracer.dir/bench_micro_tracer.cc.o"
+  "CMakeFiles/bench_micro_tracer.dir/bench_micro_tracer.cc.o.d"
+  "bench_micro_tracer"
+  "bench_micro_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

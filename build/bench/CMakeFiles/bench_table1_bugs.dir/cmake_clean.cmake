@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_bugs.dir/bench_table1_bugs.cc.o"
+  "CMakeFiles/bench_table1_bugs.dir/bench_table1_bugs.cc.o.d"
+  "bench_table1_bugs"
+  "bench_table1_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_tracer.cc" "bench/CMakeFiles/bench_table2_tracer.dir/bench_table2_tracer.cc.o" "gcc" "bench/CMakeFiles/bench_table2_tracer.dir/bench_table2_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rose_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnose/CMakeFiles/rose_diagnose.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/rose_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/rose_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rose_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/rose_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rose_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rose_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rose_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/rose_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

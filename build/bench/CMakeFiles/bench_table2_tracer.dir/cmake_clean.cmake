@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tracer.dir/bench_table2_tracer.cc.o"
+  "CMakeFiles/bench_table2_tracer.dir/bench_table2_tracer.cc.o.d"
+  "bench_table2_tracer"
+  "bench_table2_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

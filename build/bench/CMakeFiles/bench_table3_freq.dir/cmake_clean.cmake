@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_freq.dir/bench_table3_freq.cc.o"
+  "CMakeFiles/bench_table3_freq.dir/bench_table3_freq.cc.o.d"
+  "bench_table3_freq"
+  "bench_table3_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inject_faults.dir/inject_faults.cpp.o"
+  "CMakeFiles/inject_faults.dir/inject_faults.cpp.o.d"
+  "inject_faults"
+  "inject_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inject_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_bug.dir/reproduce_bug.cpp.o"
+  "CMakeFiles/reproduce_bug.dir/reproduce_bug.cpp.o.d"
+  "reproduce_bug"
+  "reproduce_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/framework/cluster.cc" "src/apps/CMakeFiles/rose_apps.dir/framework/cluster.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/framework/cluster.cc.o.d"
+  "/root/repo/src/apps/framework/guest_node.cc" "src/apps/CMakeFiles/rose_apps.dir/framework/guest_node.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/framework/guest_node.cc.o.d"
+  "/root/repo/src/apps/framework/message.cc" "src/apps/CMakeFiles/rose_apps.dir/framework/message.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/framework/message.cc.o.d"
+  "/root/repo/src/apps/minibft/minibft.cc" "src/apps/CMakeFiles/rose_apps.dir/minibft/minibft.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minibft/minibft.cc.o.d"
+  "/root/repo/src/apps/minibroker/minibroker.cc" "src/apps/CMakeFiles/rose_apps.dir/minibroker/minibroker.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minibroker/minibroker.cc.o.d"
+  "/root/repo/src/apps/minidocstore/minidocstore.cc" "src/apps/CMakeFiles/rose_apps.dir/minidocstore/minidocstore.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minidocstore/minidocstore.cc.o.d"
+  "/root/repo/src/apps/minihdfs/hdfs_client.cc" "src/apps/CMakeFiles/rose_apps.dir/minihdfs/hdfs_client.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minihdfs/hdfs_client.cc.o.d"
+  "/root/repo/src/apps/minihdfs/minihdfs.cc" "src/apps/CMakeFiles/rose_apps.dir/minihdfs/minihdfs.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minihdfs/minihdfs.cc.o.d"
+  "/root/repo/src/apps/miniredpanda/miniredpanda.cc" "src/apps/CMakeFiles/rose_apps.dir/miniredpanda/miniredpanda.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/miniredpanda/miniredpanda.cc.o.d"
+  "/root/repo/src/apps/miniredpanda/producer_client.cc" "src/apps/CMakeFiles/rose_apps.dir/miniredpanda/producer_client.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/miniredpanda/producer_client.cc.o.d"
+  "/root/repo/src/apps/minitablestore/minitablestore.cc" "src/apps/CMakeFiles/rose_apps.dir/minitablestore/minitablestore.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minitablestore/minitablestore.cc.o.d"
+  "/root/repo/src/apps/minizk/minizk.cc" "src/apps/CMakeFiles/rose_apps.dir/minizk/minizk.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/minizk/minizk.cc.o.d"
+  "/root/repo/src/apps/raftkv/raftkv.cc" "src/apps/CMakeFiles/rose_apps.dir/raftkv/raftkv.cc.o" "gcc" "src/apps/CMakeFiles/rose_apps.dir/raftkv/raftkv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rose_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rose_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rose_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

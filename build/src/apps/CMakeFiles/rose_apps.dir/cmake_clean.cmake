@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_apps.dir/framework/cluster.cc.o"
+  "CMakeFiles/rose_apps.dir/framework/cluster.cc.o.d"
+  "CMakeFiles/rose_apps.dir/framework/guest_node.cc.o"
+  "CMakeFiles/rose_apps.dir/framework/guest_node.cc.o.d"
+  "CMakeFiles/rose_apps.dir/framework/message.cc.o"
+  "CMakeFiles/rose_apps.dir/framework/message.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minibft/minibft.cc.o"
+  "CMakeFiles/rose_apps.dir/minibft/minibft.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minibroker/minibroker.cc.o"
+  "CMakeFiles/rose_apps.dir/minibroker/minibroker.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minidocstore/minidocstore.cc.o"
+  "CMakeFiles/rose_apps.dir/minidocstore/minidocstore.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minihdfs/hdfs_client.cc.o"
+  "CMakeFiles/rose_apps.dir/minihdfs/hdfs_client.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minihdfs/minihdfs.cc.o"
+  "CMakeFiles/rose_apps.dir/minihdfs/minihdfs.cc.o.d"
+  "CMakeFiles/rose_apps.dir/miniredpanda/miniredpanda.cc.o"
+  "CMakeFiles/rose_apps.dir/miniredpanda/miniredpanda.cc.o.d"
+  "CMakeFiles/rose_apps.dir/miniredpanda/producer_client.cc.o"
+  "CMakeFiles/rose_apps.dir/miniredpanda/producer_client.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minitablestore/minitablestore.cc.o"
+  "CMakeFiles/rose_apps.dir/minitablestore/minitablestore.cc.o.d"
+  "CMakeFiles/rose_apps.dir/minizk/minizk.cc.o"
+  "CMakeFiles/rose_apps.dir/minizk/minizk.cc.o.d"
+  "CMakeFiles/rose_apps.dir/raftkv/raftkv.cc.o"
+  "CMakeFiles/rose_apps.dir/raftkv/raftkv.cc.o.d"
+  "librose_apps.a"
+  "librose_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_common.dir/rng.cc.o"
+  "CMakeFiles/rose_common.dir/rng.cc.o.d"
+  "CMakeFiles/rose_common.dir/strings.cc.o"
+  "CMakeFiles/rose_common.dir/strings.cc.o.d"
+  "librose_common.a"
+  "librose_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnose/engine.cc" "src/diagnose/CMakeFiles/rose_diagnose.dir/engine.cc.o" "gcc" "src/diagnose/CMakeFiles/rose_diagnose.dir/engine.cc.o.d"
+  "/root/repo/src/diagnose/extract.cc" "src/diagnose/CMakeFiles/rose_diagnose.dir/extract.cc.o" "gcc" "src/diagnose/CMakeFiles/rose_diagnose.dir/extract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/rose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rose_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/rose_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/rose_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rose_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rose_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_diagnose.dir/engine.cc.o"
+  "CMakeFiles/rose_diagnose.dir/engine.cc.o.d"
+  "CMakeFiles/rose_diagnose.dir/extract.cc.o"
+  "CMakeFiles/rose_diagnose.dir/extract.cc.o.d"
+  "librose_diagnose.a"
+  "librose_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

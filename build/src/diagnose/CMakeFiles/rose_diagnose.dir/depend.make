@@ -1,0 +1,2 @@
+# Empty dependencies file for rose_diagnose.
+# This may be replaced when dependencies are built.

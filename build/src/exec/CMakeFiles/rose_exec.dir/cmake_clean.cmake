@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_exec.dir/executor.cc.o"
+  "CMakeFiles/rose_exec.dir/executor.cc.o.d"
+  "CMakeFiles/rose_exec.dir/pid_tracker.cc.o"
+  "CMakeFiles/rose_exec.dir/pid_tracker.cc.o.d"
+  "librose_exec.a"
+  "librose_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_harness.dir/bug_registry.cc.o"
+  "CMakeFiles/rose_harness.dir/bug_registry.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minibft.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minibft.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minibroker.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minibroker.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minidocstore.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minidocstore.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minihdfs.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minihdfs.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_miniredpanda.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_miniredpanda.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minitablestore.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minitablestore.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_minizk.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_minizk.cc.o.d"
+  "CMakeFiles/rose_harness.dir/bugs_raftkv.cc.o"
+  "CMakeFiles/rose_harness.dir/bugs_raftkv.cc.o.d"
+  "CMakeFiles/rose_harness.dir/rose.cc.o"
+  "CMakeFiles/rose_harness.dir/rose.cc.o.d"
+  "CMakeFiles/rose_harness.dir/runner.cc.o"
+  "CMakeFiles/rose_harness.dir/runner.cc.o.d"
+  "librose_harness.a"
+  "librose_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

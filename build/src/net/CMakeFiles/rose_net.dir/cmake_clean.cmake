@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_net.dir/network.cc.o"
+  "CMakeFiles/rose_net.dir/network.cc.o.d"
+  "librose_net.a"
+  "librose_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

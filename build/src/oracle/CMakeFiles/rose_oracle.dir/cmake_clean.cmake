@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_oracle.dir/oracle.cc.o"
+  "CMakeFiles/rose_oracle.dir/oracle.cc.o.d"
+  "librose_oracle.a"
+  "librose_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/errno.cc" "src/os/CMakeFiles/rose_os.dir/errno.cc.o" "gcc" "src/os/CMakeFiles/rose_os.dir/errno.cc.o.d"
+  "/root/repo/src/os/fs.cc" "src/os/CMakeFiles/rose_os.dir/fs.cc.o" "gcc" "src/os/CMakeFiles/rose_os.dir/fs.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/rose_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/rose_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/syscall.cc" "src/os/CMakeFiles/rose_os.dir/syscall.cc.o" "gcc" "src/os/CMakeFiles/rose_os.dir/syscall.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

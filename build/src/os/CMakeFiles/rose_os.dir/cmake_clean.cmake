@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_os.dir/errno.cc.o"
+  "CMakeFiles/rose_os.dir/errno.cc.o.d"
+  "CMakeFiles/rose_os.dir/fs.cc.o"
+  "CMakeFiles/rose_os.dir/fs.cc.o.d"
+  "CMakeFiles/rose_os.dir/kernel.cc.o"
+  "CMakeFiles/rose_os.dir/kernel.cc.o.d"
+  "CMakeFiles/rose_os.dir/syscall.cc.o"
+  "CMakeFiles/rose_os.dir/syscall.cc.o.d"
+  "librose_os.a"
+  "librose_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_profile.dir/binary_info.cc.o"
+  "CMakeFiles/rose_profile.dir/binary_info.cc.o.d"
+  "CMakeFiles/rose_profile.dir/profiler.cc.o"
+  "CMakeFiles/rose_profile.dir/profiler.cc.o.d"
+  "librose_profile.a"
+  "librose_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

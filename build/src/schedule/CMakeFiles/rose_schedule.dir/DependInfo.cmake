@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/fault_schedule.cc" "src/schedule/CMakeFiles/rose_schedule.dir/fault_schedule.cc.o" "gcc" "src/schedule/CMakeFiles/rose_schedule.dir/fault_schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rose_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

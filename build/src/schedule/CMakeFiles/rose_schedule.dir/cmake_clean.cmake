@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_schedule.dir/fault_schedule.cc.o"
+  "CMakeFiles/rose_schedule.dir/fault_schedule.cc.o.d"
+  "librose_schedule.a"
+  "librose_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librose_schedule.a"
+)

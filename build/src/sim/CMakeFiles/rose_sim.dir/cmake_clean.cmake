@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_sim.dir/event_loop.cc.o"
+  "CMakeFiles/rose_sim.dir/event_loop.cc.o.d"
+  "librose_sim.a"
+  "librose_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_trace.dir/event.cc.o"
+  "CMakeFiles/rose_trace.dir/event.cc.o.d"
+  "CMakeFiles/rose_trace.dir/tracer.cc.o"
+  "CMakeFiles/rose_trace.dir/tracer.cc.o.d"
+  "librose_trace.a"
+  "librose_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

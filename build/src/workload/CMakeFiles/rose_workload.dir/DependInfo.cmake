@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kv_client.cc" "src/workload/CMakeFiles/rose_workload.dir/kv_client.cc.o" "gcc" "src/workload/CMakeFiles/rose_workload.dir/kv_client.cc.o.d"
+  "/root/repo/src/workload/nemesis.cc" "src/workload/CMakeFiles/rose_workload.dir/nemesis.cc.o" "gcc" "src/workload/CMakeFiles/rose_workload.dir/nemesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/rose_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rose_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rose_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rose_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rose_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rose_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rose_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

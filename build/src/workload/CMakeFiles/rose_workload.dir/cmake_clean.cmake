@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_workload.dir/kv_client.cc.o"
+  "CMakeFiles/rose_workload.dir/kv_client.cc.o.d"
+  "CMakeFiles/rose_workload.dir/nemesis.cc.o"
+  "CMakeFiles/rose_workload.dir/nemesis.cc.o.d"
+  "librose_workload.a"
+  "librose_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

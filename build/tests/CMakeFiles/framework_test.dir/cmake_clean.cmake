@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_test.dir/framework_test.cc.o"
+  "CMakeFiles/framework_test.dir/framework_test.cc.o.d"
+  "framework_test"
+  "framework_test.pdb"
+  "framework_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

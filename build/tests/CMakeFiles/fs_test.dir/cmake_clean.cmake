@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_test.dir/fs_test.cc.o"
+  "CMakeFiles/fs_test.dir/fs_test.cc.o.d"
+  "fs_test"
+  "fs_test.pdb"
+  "fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guests_test.dir/guests_test.cc.o"
+  "CMakeFiles/guests_test.dir/guests_test.cc.o.d"
+  "guests_test"
+  "guests_test.pdb"
+  "guests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

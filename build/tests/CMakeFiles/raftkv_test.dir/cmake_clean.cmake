@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raftkv_test.dir/raftkv_test.cc.o"
+  "CMakeFiles/raftkv_test.dir/raftkv_test.cc.o.d"
+  "raftkv_test"
+  "raftkv_test.pdb"
+  "raftkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raftkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
