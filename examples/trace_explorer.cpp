@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "src/analyze/trace_validator.h"
 #include "src/diagnose/extract.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
@@ -55,6 +56,21 @@ int main(int argc, char** argv) {
   const auto& events = outcome.trace.events();
   for (size_t i = events.size() > 12 ? events.size() - 12 : 0; i < events.size(); i++) {
     std::printf("  %s\n", events[i].ToLine().c_str());
+  }
+
+  std::printf("\n--- phase 2b: static trace validation (rose::analyze) ---\n");
+  rose::TraceValidateOptions validate_options;
+  validate_options.profile = &profile;
+  const std::vector<rose::Diagnostic> trace_diags =
+      rose::TraceValidator(validate_options).Validate(outcome.trace);
+  if (trace_diags.empty()) {
+    std::printf("trace passes validation: timestamps monotonic, pids attributed, "
+                "SCF errnos real, AF ids profiled.\n");
+  } else {
+    std::printf("%zu diagnostic(s):\n", trace_diags.size());
+    for (const rose::Diagnostic& diag : trace_diags) {
+      std::printf("  %s\n", diag.ToString().c_str());
+    }
   }
 
   std::printf("\n--- phase 3: fault extraction (diagnosis front-end) ---\n");

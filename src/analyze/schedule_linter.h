@@ -1,0 +1,66 @@
+// Static validation of fault schedules (no execution required).
+//
+// Every ScheduleRunner invocation is a full simulated run, so the diagnosis
+// engine lints each candidate schedule first and prunes the ones that are
+// statically unsatisfiable (errors) or canonically equivalent to a schedule
+// it already executed (hash match). The executor runs the same linter up
+// front so a malformed schedule is rejected with diagnostics instead of
+// silently never firing.
+//
+// Checks (codes in src/analyze/diagnostic.h):
+//   - kAfterFault chains: out-of-range references, dependency cycles,
+//     forward references (order inversions);
+//   - kFunctionOffset conditions with no prior kFunctionEnter of the same
+//     function (executable, but loose context — warning);
+//   - duplicate kSyscallCount conditions inside one chain;
+//   - faults targeting nodes the cluster never spawns (when the caller
+//     supplies the known node set);
+//   - persistent syscall faults shadowing later faults on the same
+//     syscall + path filter;
+//   - degenerate field values: nth/count < 1, negative function ids,
+//     offsets or timestamps, empty partition groups, missing target nodes;
+//   - function ids absent from the binary's symbol table (when supplied).
+#ifndef SRC_ANALYZE_SCHEDULE_LINTER_H_
+#define SRC_ANALYZE_SCHEDULE_LINTER_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/profile/binary_info.h"
+#include "src/schedule/fault_schedule.h"
+
+namespace rose {
+
+struct LintOptions {
+  // Nodes the deployment actually spawns; empty disables the unknown-node
+  // check (the executor lints before the cluster exists and passes none).
+  std::set<NodeId> known_nodes;
+  // Symbol table for function-id membership checks; null disables them.
+  const BinaryInfo* binary = nullptr;
+};
+
+class ScheduleLinter {
+ public:
+  explicit ScheduleLinter(LintOptions options = {}) : options_(std::move(options)) {}
+
+  std::vector<Diagnostic> Lint(const FaultSchedule& schedule) const;
+
+ private:
+  LintOptions options_;
+};
+
+// Canonical textual form of a schedule: semantic fields only (the name is
+// ignored, partition groups are sorted), one fault per line. Two schedules
+// with equal canonical forms are provably equivalent — the executor treats
+// them identically.
+std::string CanonicalForm(const FaultSchedule& schedule);
+
+// FNV-1a hash of CanonicalForm(); the engine's duplicate-candidate filter.
+uint64_t CanonicalHash(const FaultSchedule& schedule);
+
+}  // namespace rose
+
+#endif  // SRC_ANALYZE_SCHEDULE_LINTER_H_

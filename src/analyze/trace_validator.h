@@ -1,0 +1,46 @@
+// Static validation of merged multi-node traces.
+//
+// A production trace that reaches the diagnosis phase has passed through
+// per-node ring buffers, a dump, and a timestamp merge; corruption at any of
+// those stages silently degrades fault extraction. The validator checks the
+// invariants the pipeline is supposed to maintain:
+//   - timestamps are monotonically non-decreasing (merge order);
+//   - every event carries a plausible pid (and, when the caller knows the
+//     spawned pid set, one the run actually spawned);
+//   - SCF events record a real failure, never Err::kOk;
+//   - AF function ids are drawn from the profile's monitored set.
+#ifndef SRC_ANALYZE_TRACE_VALIDATOR_H_
+#define SRC_ANALYZE_TRACE_VALIDATOR_H_
+
+#include <set>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/profile/profiler.h"
+#include "src/trace/event.h"
+
+namespace rose {
+
+struct TraceValidateOptions {
+  // Profile the trace was captured under; null disables the AF-function
+  // membership check.
+  const Profile* profile = nullptr;
+  // Pids the run spawned; empty means only structurally-invalid (negative)
+  // pids are flagged.
+  std::set<Pid> known_pids;
+};
+
+class TraceValidator {
+ public:
+  explicit TraceValidator(TraceValidateOptions options = {})
+      : options_(std::move(options)) {}
+
+  std::vector<Diagnostic> Validate(const Trace& trace) const;
+
+ private:
+  TraceValidateOptions options_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_ANALYZE_TRACE_VALIDATOR_H_

@@ -221,7 +221,7 @@ void Cluster::FlushPending(NodeId id) {
   }
 }
 
-void Cluster::OnProcessStateChange(SimTime now, Pid pid, ProcState from, ProcState to) {
+void Cluster::OnProcessStateChange(SimTime /*now*/, Pid pid, ProcState from, ProcState to) {
   if (from != ProcState::kPaused || to != ProcState::kRunning) {
     // A crash initiated outside a dispatch (e.g. a timer-less executor
     // injection against an idle process) still needs supervision. Detect it

@@ -32,7 +32,7 @@ class GuestNode {
   // Boot (first start or post-crash restart). Recover state from disk here.
   virtual void OnStart() = 0;
   virtual void OnMessage(const Message& msg) = 0;
-  virtual void OnTimer(const std::string& name) {}
+  virtual void OnTimer(const std::string& /*name*/) {}
 
   void set_pid(Pid pid) { pid_ = pid; }
 

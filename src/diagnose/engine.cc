@@ -15,6 +15,19 @@ DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile
   ExtractOptions options;
   options.use_benign_filter = config_.use_benign_filter;
   extraction_ = ExtractFaults(*production_, *profile_, options);
+
+  // The linter's known-node set: everything the production run spawned plus
+  // the configured server nodes (amplification replicates onto those).
+  LintOptions lint;
+  for (NodeId node : config_.server_nodes) {
+    lint.known_nodes.insert(node);
+  }
+  for (const TraceEvent& event : production_->events()) {
+    if (event.node != kNoNode) {
+      lint.known_nodes.insert(event.node);
+    }
+  }
+  linter_ = ScheduleLinter(std::move(lint));
 }
 
 ScheduledFault DiagnosisEngine::MakeScheduledFault(const CandidateFault& fault,
@@ -83,7 +96,19 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
 
 bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int level,
                                          DiagnosisResult* result,
-                                         ScheduleRunOutcome* outcome_out) {
+                                         ScheduleRunOutcome* outcome_out,
+                                         bool allow_duplicate) {
+  // Static pruning: a candidate that cannot fire as intended, or that is
+  // canonically identical to one already executed, never reaches the runner.
+  if (HasErrors(linter_.Lint(schedule))) {
+    result->schedules_pruned_invalid++;
+    return false;
+  }
+  const uint64_t hash = CanonicalHash(schedule);
+  if (!executed_hashes_.insert(hash).second && !allow_duplicate) {
+    result->schedules_pruned_duplicate++;
+    return false;
+  }
   result->schedules_generated++;
   const ScheduleRunOutcome outcome = runner_(schedule, next_seed_++);
   result->total_runs++;
@@ -109,6 +134,9 @@ bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int leve
 std::pair<bool, bool> DiagnosisEngine::ProcessTrace(const ScheduleRunOutcome& outcome,
                                                     size_t fault_index, NodeId node,
                                                     const std::vector<int32_t>& chain) const {
+  if (fault_index >= outcome.feedback.outcomes.size()) {
+    return {false, false};  // Pruned candidate: no run, no feedback.
+  }
   const FaultOutcome& fault = outcome.feedback.outcomes[fault_index];
   if (!fault.injected) {
     return {false, false};
@@ -318,7 +346,9 @@ DiagnosisResult DiagnosisEngine::Run() {
   // Level 1: fault order + inputs only.
   FaultSchedule schedule = BuildLevel1();
   for (int attempt = 0; attempt < config_.level1_attempts; attempt++) {
-    if (RunAndMaybeConfirm(schedule, 1, &result)) {
+    // Level-1 re-attempts intentionally re-execute the same schedule (the
+    // paper's answer to one-clean-run false negatives) — exempt from dedup.
+    if (RunAndMaybeConfirm(schedule, 1, &result, nullptr, /*allow_duplicate=*/true)) {
       result.fault_summary = result.schedule.Summary();
       return result;
     }

@@ -18,9 +18,11 @@
 #define SRC_DIAGNOSE_ENGINE_H_
 
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/analyze/schedule_linter.h"
 #include "src/diagnose/extract.h"
 #include "src/exec/executor.h"
 #include "src/profile/binary_info.h"
@@ -67,6 +69,11 @@ struct DiagnosisResult {
   FaultSchedule schedule;
   double replay_rate = 0;
   int schedules_generated = 0;
+  // Candidates the static linter rejected before any run was spent on them.
+  int schedules_pruned_invalid = 0;
+  // Candidates canonically equal to an already-executed schedule (e.g. the
+  // Level-2 SCF sweep's nth=1 entry, which is the Level-1 schedule again).
+  int schedules_pruned_duplicate = 0;
   int total_runs = 0;
   SimTime virtual_time = 0;
   double fr_percent = 0;
@@ -94,9 +101,12 @@ class DiagnosisEngine {
   ScheduledFault MakeScheduledFault(const CandidateFault& fault, int index) const;
 
   // Executes one schedule (counts it) and, if the bug shows, confirms it.
-  // Returns true when the confirmed rate reaches the target.
+  // Returns true when the confirmed rate reaches the target. Statically
+  // invalid or canonically-duplicate schedules are pruned without a run;
+  // `allow_duplicate` exempts intentional re-executions (Level-1 attempts).
   bool RunAndMaybeConfirm(const FaultSchedule& schedule, int level, DiagnosisResult* result,
-                          ScheduleRunOutcome* outcome_out = nullptr);
+                          ScheduleRunOutcome* outcome_out = nullptr,
+                          bool allow_duplicate = false);
   double ConfirmBug(const FaultSchedule& schedule, DiagnosisResult* result);
 
   // Algorithm 1 for PS/ND fault at position `fault_index` in the schedule.
@@ -119,6 +129,9 @@ class DiagnosisEngine {
   ScheduleRunner runner_;
   DiagnosisConfig config_;
   ExtractionResult extraction_;
+  ScheduleLinter linter_;
+  // Canonical hashes of every schedule handed to the runner so far.
+  std::set<uint64_t> executed_hashes_;
   std::vector<Candidate> saved_candidates_;
   uint64_t next_seed_;
 };

@@ -4,19 +4,25 @@ namespace rose {
 
 Executor::Executor(SimKernel* kernel, Network* network, FaultSchedule schedule)
     : kernel_(kernel), network_(network), schedule_(std::move(schedule)) {
+  diagnostics_ = ScheduleLinter().Lint(schedule_);
+  schedule_valid_ = !HasErrors(diagnostics_);
   runtime_.resize(schedule_.faults.size());
 }
 
 Executor::~Executor() { Detach(); }
 
-void Executor::Attach() {
+bool Executor::Attach() {
   if (attached_) {
-    return;
+    return true;
+  }
+  if (!schedule_valid_) {
+    return false;
   }
   attached_ = true;
   kernel_->AddObserver(this);
   kernel_->AddInterposer(this);
   AdvanceAll();
+  return true;
 }
 
 void Executor::Detach() {
@@ -149,11 +155,11 @@ void Executor::Inject(size_t index) {
   AdvanceAll();
 }
 
-void Executor::OnProcessSpawned(SimTime now, Pid pid, NodeId node, Pid parent) {
+void Executor::OnProcessSpawned(SimTime /*now*/, Pid pid, NodeId node, Pid parent) {
   pids_.OnSpawn(pid, node, parent);
 }
 
-void Executor::OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {
+void Executor::OnFunctionEnter(SimTime /*now*/, Pid pid, int32_t function_id) {
   for (size_t i = 0; i < runtime_.size(); i++) {
     FaultRuntime& rt = runtime_[i];
     const ScheduledFault& fault = schedule_.faults[i];
@@ -169,7 +175,7 @@ void Executor::OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {
   }
 }
 
-void Executor::OnFunctionOffset(SimTime now, Pid pid, int32_t function_id, int32_t offset) {
+void Executor::OnFunctionOffset(SimTime /*now*/, Pid pid, int32_t function_id, int32_t offset) {
   for (size_t i = 0; i < runtime_.size(); i++) {
     FaultRuntime& rt = runtime_[i];
     const ScheduledFault& fault = schedule_.faults[i];
@@ -185,8 +191,8 @@ void Executor::OnFunctionOffset(SimTime now, Pid pid, int32_t function_id, int32
   }
 }
 
-void Executor::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
-                             const SyscallResult& result) {
+void Executor::OnSyscallExit(SimTime /*now*/, const SyscallInvocation& inv,
+                             const SyscallResult& /*result*/) {
   for (size_t i = 0; i < runtime_.size(); i++) {
     FaultRuntime& rt = runtime_[i];
     const ScheduledFault& fault = schedule_.faults[i];

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analyze/schedule_linter.h"
 #include "src/exec/pid_tracker.h"
 #include "src/net/network.h"
 #include "src/os/kernel.h"
@@ -49,10 +50,17 @@ class Executor : public KernelObserver, public SyscallInterposer {
   Executor(SimKernel* kernel, Network* network, FaultSchedule schedule);
   ~Executor() override;
 
-  void Attach();
+  // Hooks into the kernel. A schedule the linter rejects (error-severity
+  // diagnostics) is refused up front: Attach() returns false and installs
+  // nothing, instead of letting the faults silently never fire.
+  bool Attach();
   void Detach();
 
   const FaultSchedule& schedule() const { return schedule_; }
+  // Lint findings for the schedule, computed at construction.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  // False when the schedule is statically malformed (Attach() will refuse).
+  bool schedule_valid() const { return schedule_valid_; }
   ExecutionFeedback Feedback() const;
 
   // --- KernelObserver --------------------------------------------------------
@@ -89,6 +97,8 @@ class Executor : public KernelObserver, public SyscallInterposer {
   SimKernel* kernel_;
   Network* network_;
   FaultSchedule schedule_;
+  std::vector<Diagnostic> diagnostics_;
+  bool schedule_valid_ = true;
   std::vector<FaultRuntime> runtime_;
   PidTracker pids_;
   bool attached_ = false;

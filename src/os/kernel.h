@@ -33,13 +33,15 @@ namespace rose {
 class KernelObserver {
  public:
   virtual ~KernelObserver() = default;
-  virtual void OnSyscallEnter(SimTime now, const SyscallInvocation& inv) {}
-  virtual void OnSyscallExit(SimTime now, const SyscallInvocation& inv,
-                             const SyscallResult& result) {}
-  virtual void OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {}
-  virtual void OnFunctionOffset(SimTime now, Pid pid, int32_t function_id, int32_t offset) {}
-  virtual void OnProcessSpawned(SimTime now, Pid pid, NodeId node, Pid parent) {}
-  virtual void OnProcessStateChange(SimTime now, Pid pid, ProcState from, ProcState to) {}
+  virtual void OnSyscallEnter(SimTime /*now*/, const SyscallInvocation& /*inv*/) {}
+  virtual void OnSyscallExit(SimTime /*now*/, const SyscallInvocation& /*inv*/,
+                             const SyscallResult& /*result*/) {}
+  virtual void OnFunctionEnter(SimTime /*now*/, Pid /*pid*/, int32_t /*function_id*/) {}
+  virtual void OnFunctionOffset(SimTime /*now*/, Pid /*pid*/, int32_t /*function_id*/,
+                                int32_t /*offset*/) {}
+  virtual void OnProcessSpawned(SimTime /*now*/, Pid /*pid*/, NodeId /*node*/, Pid /*parent*/) {}
+  virtual void OnProcessStateChange(SimTime /*now*/, Pid /*pid*/, ProcState /*from*/,
+                                    ProcState /*to*/) {}
 };
 
 // Return-value override interface (the bpf_override_return analogue).

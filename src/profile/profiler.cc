@@ -37,7 +37,7 @@ void Profiler::Detach() {
   kernel_->RemoveObserver(this);
 }
 
-void Profiler::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
+void Profiler::OnSyscallExit(SimTime /*now*/, const SyscallInvocation& inv,
                              const SyscallResult& result) {
   syscall_counts_[static_cast<int32_t>(inv.sys)]++;
   if (!result.ok()) {
@@ -49,7 +49,7 @@ void Profiler::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
   }
 }
 
-void Profiler::OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {
+void Profiler::OnFunctionEnter(SimTime /*now*/, Pid pid, int32_t function_id) {
   auto it = function_counts_.find(function_id);
   if (it != function_counts_.end()) {
     it->second++;

@@ -163,7 +163,7 @@ bool Tracer::QualifiesAsPartitionSilence(const ConnState& conn, SimTime gap) con
 }
 
 void Tracer::OnPacketIn(SimTime now, const std::string& src_ip, const std::string& dst_ip,
-                        int64_t size) {
+                        int64_t /*size*/) {
   ConnState& conn = connections_[{src_ip, dst_ip}];
   conn.packet_count++;
   if (conn.first_packet == 0) {
@@ -187,7 +187,6 @@ void Tracer::PollProcessStates() {
   if (!polling_) {
     return;
   }
-  const SimTime now = kernel_->now();
   for (Pid pid : kernel_->AllPids()) {
     const Process* proc = kernel_->FindProcess(pid);
     if (proc == nullptr) {

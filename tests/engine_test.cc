@@ -2,6 +2,9 @@
 // test" is a function that decides, per schedule, whether the bug fires.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "src/analyze/schedule_linter.h"
 #include "src/diagnose/engine.h"
 
 namespace rose {
@@ -46,7 +49,7 @@ DiagnosisEngine::ScheduleRunner PredicateRunner(
     std::function<bool(const FaultSchedule&)> bug_if,
     std::function<void(const FaultSchedule&, ScheduleRunOutcome*)> annotate = nullptr) {
   return [bug_if = std::move(bug_if), annotate = std::move(annotate)](
-             const FaultSchedule& schedule, uint64_t seed) {
+             const FaultSchedule& schedule, uint64_t /*seed*/) {
     ScheduleRunOutcome outcome;
     outcome.bug = bug_if(schedule);
     outcome.virtual_duration = Seconds(30);
@@ -105,9 +108,65 @@ TEST(EngineTest, ScfSweepFindsNthInvocation) {
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 2);
-  // L1 (nth=1), then sweep nth=1..4.
-  EXPECT_EQ(result.schedules_generated, 5);
+  // L1 (nth=1), then sweep nth=2..4: the sweep's nth=1 entry is canonically
+  // the Level-1 schedule again and is pruned without a run.
+  EXPECT_EQ(result.schedules_generated, 4);
+  EXPECT_EQ(result.schedules_pruned_duplicate, 1);
+  EXPECT_EQ(result.schedules_pruned_invalid, 0);
   EXPECT_EQ(result.schedule.faults[0].syscall.nth, 4);
+}
+
+TEST(EngineTest, PrunedDuplicatesNeverReachTheRunner) {
+  Trace production;
+  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  Profile profile;
+
+  // Record the canonical hash of every schedule the runner actually executes.
+  std::vector<uint64_t> executed;
+  auto runner = [&executed](const FaultSchedule& schedule, uint64_t /*seed*/) {
+    executed.push_back(CanonicalHash(schedule));
+    ScheduleRunOutcome outcome;
+    outcome.bug = false;  // Never reproduces: the full sweep runs.
+    outcome.virtual_duration = Seconds(30);
+    outcome.feedback.outcomes.resize(schedule.faults.size());
+    for (auto& fault : outcome.feedback.outcomes) {
+      fault.injected = true;
+    }
+    return outcome;
+  };
+  BinaryInfo binary;
+  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  const DiagnosisResult result = engine.Run();
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_GE(result.schedules_pruned_duplicate, 1);
+  // Nothing the runner saw was a repeat: every executed schedule is unique.
+  std::set<uint64_t> unique(executed.begin(), executed.end());
+  EXPECT_EQ(unique.size(), executed.size());
+  EXPECT_EQ(static_cast<int>(executed.size()), result.schedules_generated);
+}
+
+TEST(EngineTest, PruningLeavesValidDiagnosisUnchanged) {
+  // Same scripted bug as ScfSweepFindsNthInvocation: pruning must not change
+  // what the engine ultimately finds, only how many runs it spends.
+  Trace production;
+  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  Profile profile;
+  auto runner = PredicateRunner([](const FaultSchedule& schedule) {
+    for (const auto& fault : schedule.faults) {
+      if (fault.kind == FaultKind::kSyscallFailure && fault.syscall.nth == 4) {
+        return true;
+      }
+    }
+    return false;
+  });
+  BinaryInfo binary;
+  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  const DiagnosisResult result = engine.Run();
+  ASSERT_TRUE(result.reproduced);
+  EXPECT_EQ(result.level, 2);
+  EXPECT_EQ(result.schedule.faults[0].syscall.nth, 4);
+  EXPECT_DOUBLE_EQ(result.replay_rate, 100.0);
+  EXPECT_EQ(result.fault_summary, "SCF(write)");
 }
 
 TEST(EngineTest, AlgorithmOneBuildsFunctionContext) {
@@ -139,7 +198,7 @@ TEST(EngineTest, AlgorithmOneBuildsFunctionContext) {
         }
         return false;
       },
-      [](const FaultSchedule& schedule, ScheduleRunOutcome* outcome) {
+      [](const FaultSchedule& /*schedule*/, ScheduleRunOutcome* outcome) {
         // The testing run re-executes the same code path: the same function
         // sequence precedes the injection point.
         outcome->trace.Append(Af(Seconds(7), 0, 30));
@@ -163,7 +222,7 @@ TEST(EngineTest, AmplificationTriggersWhenFaultNotInjected) {
 
   // In testing, function 10 only ever runs on node 1 (role moved); a crash
   // conditioned on it fires only when the schedule was amplified.
-  auto runner = [&](const FaultSchedule& schedule, uint64_t seed) {
+  auto runner = [&](const FaultSchedule& schedule, uint64_t /*seed*/) {
     ScheduleRunOutcome outcome;
     outcome.virtual_duration = Seconds(30);
     outcome.feedback.outcomes.resize(schedule.faults.size());
@@ -243,7 +302,7 @@ TEST(EngineTest, FlakyScheduleBelowTargetSavedAndReturnedAsCandidate) {
 
   // The bug fires on every 3rd run only (~33% replay, below the 60% target).
   int run_counter = 0;
-  auto runner = [&run_counter](const FaultSchedule& schedule, uint64_t seed) {
+  auto runner = [&run_counter](const FaultSchedule& schedule, uint64_t /*seed*/) {
     ScheduleRunOutcome outcome;
     outcome.virtual_duration = Seconds(30);
     outcome.feedback.outcomes.resize(schedule.faults.size());

@@ -256,6 +256,44 @@ TEST_F(ExecutorTest, CrashTargetsCurrentMainAfterRestart) {
   EXPECT_EQ(world_.kernel.StateOf(restarted), ProcState::kCrashed);
 }
 
+TEST_F(ExecutorTest, MalformedScheduleIsRejectedUpFrontWithDiagnostics) {
+  // A self-referencing after_fault chain can never fire; previously the
+  // executor attached anyway and the fault just silently never injected.
+  FaultSchedule schedule;
+  ScheduledFault fault;
+  fault.kind = FaultKind::kProcessCrash;
+  fault.target_node = 0;
+  fault.conditions.push_back(Condition::AfterFault(0));
+  schedule.faults.push_back(fault);
+
+  Executor executor(&world_.kernel, &world_.network, schedule);
+  EXPECT_FALSE(executor.schedule_valid());
+  EXPECT_FALSE(executor.Attach());
+  ASSERT_FALSE(executor.diagnostics().empty());
+  EXPECT_EQ(executor.diagnostics().front().code, DiagCode::kAfterFaultCycle);
+  EXPECT_EQ(executor.diagnostics().front().severity, Severity::kError);
+
+  // Nothing was installed: the target process runs untouched.
+  const Pid pid = world_.kernel.Spawn(0, "p");
+  world_.loop.RunUntil(Seconds(5));
+  EXPECT_EQ(world_.kernel.StateOf(pid), ProcState::kRunning);
+  EXPECT_FALSE(executor.Feedback().outcomes[0].injected);
+}
+
+TEST_F(ExecutorTest, ValidScheduleAttachReportsSuccessAndCleanDiagnostics) {
+  FaultSchedule schedule;
+  ScheduledFault fault;
+  fault.kind = FaultKind::kProcessCrash;
+  fault.target_node = 0;
+  fault.conditions.push_back(Condition::AtTime(Seconds(1)));
+  schedule.faults.push_back(fault);
+
+  Executor executor(&world_.kernel, &world_.network, schedule);
+  EXPECT_TRUE(executor.schedule_valid());
+  EXPECT_TRUE(executor.diagnostics().empty());
+  EXPECT_TRUE(executor.Attach());
+}
+
 TEST(PidTrackerTest, ChildrenMapToScheduleParent) {
   PidTracker tracker;
   tracker.OnSpawn(100, 0, kNoPid);

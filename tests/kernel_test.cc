@@ -174,19 +174,16 @@ TEST_F(KernelTest, InterposerOverridesAndSkipsBody) {
 
 class RecordingObserver : public KernelObserver {
  public:
-  void OnSyscallEnter(SimTime now, const SyscallInvocation& inv) override { enters++; }
-  void OnSyscallExit(SimTime now, const SyscallInvocation& inv,
-                     const SyscallResult& result) override {
+  void OnSyscallEnter(SimTime, const SyscallInvocation&) override { enters++; }
+  void OnSyscallExit(SimTime, const SyscallInvocation&, const SyscallResult& result) override {
     exits++;
     if (!result.ok()) {
       failures++;
     }
   }
-  void OnFunctionEnter(SimTime now, Pid pid, int32_t fid) override { functions++; }
-  void OnProcessSpawned(SimTime now, Pid pid, NodeId node, Pid parent) override { spawns++; }
-  void OnProcessStateChange(SimTime now, Pid pid, ProcState from, ProcState to) override {
-    transitions++;
-  }
+  void OnFunctionEnter(SimTime, Pid, int32_t) override { functions++; }
+  void OnProcessSpawned(SimTime, Pid, NodeId, Pid) override { spawns++; }
+  void OnProcessStateChange(SimTime, Pid, ProcState, ProcState) override { transitions++; }
   int enters = 0, exits = 0, failures = 0, functions = 0, spawns = 0, transitions = 0;
 };
 
@@ -212,7 +209,7 @@ TEST_F(KernelTest, ObserversSeeAllBoundaryEvents) {
 class CrashAtFunctionObserver : public KernelObserver {
  public:
   explicit CrashAtFunctionObserver(SimKernel* kernel) : kernel_(kernel) {}
-  void OnFunctionEnter(SimTime now, Pid pid, int32_t fid) override {
+  void OnFunctionEnter(SimTime /*now*/, Pid pid, int32_t fid) override {
     if (fid == 42) {
       kernel_->Kill(pid);
     }

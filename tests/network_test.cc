@@ -7,8 +7,8 @@ namespace {
 
 class CountingTap : public IngressTap {
  public:
-  void OnPacketIn(SimTime now, const std::string& src, const std::string& dst,
-                  int64_t size) override {
+  void OnPacketIn(SimTime /*now*/, const std::string& src, const std::string& dst,
+                  int64_t /*size*/) override {
     packets++;
     last_src = src;
     last_dst = dst;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator's behaviour must be a pure function of
+# (seed, schedule). Any wall-clock read or unseeded randomness in src/ breaks
+# replayability, so this script fails CI when one appears outside the blessed
+# RNG module (src/common/rng.*).
+#
+# Flagged patterns:
+#   std::chrono::system_clock   wall clock
+#   time(                       libc wall clock (time, gettimeofday-style)
+#   rand(                       libc global RNG (unseeded / hidden state)
+#   std::random_device          nondeterministic hardware entropy
+#
+# Registered as the `determinism_lint` ctest; run directly from anywhere.
+set -u
+
+cd "$(dirname "$0")/.."
+
+# A preceding [A-Za-z0-9_] means it's a different identifier (at_time(,
+# virtual_time( ...), so anchor on a non-identifier char or line start.
+pattern='(^|[^A-Za-z0-9_])(std::chrono::system_clock|time[[:space:]]*\(|rand[[:space:]]*\(|std::random_device)'
+
+violations=$(grep -rnE "$pattern" src \
+  --include='*.cc' --include='*.h' \
+  | grep -v '^src/common/rng\.' || true)
+
+if [ -n "$violations" ]; then
+  echo "determinism lint FAILED: nondeterminism outside src/common/rng.*:" >&2
+  echo "$violations" >&2
+  echo "route all randomness through rose::Rng and all time through SimTime." >&2
+  exit 1
+fi
+
+echo "determinism lint OK: src/ is free of wall-clock and unseeded randomness."
