@@ -1,0 +1,111 @@
+// Diagnosis wall-time vs. parallelism (google-benchmark).
+//
+// Measures DiagnosisEngine::Run() host time on two registered level-2 bugs
+// (SCF nth-sweeps are the widest wave-fronts the engine batches) at
+// parallelism 1/2/4/8. Profiling and the production trace are produced once
+// per bug outside the timed region; every timed iteration runs the complete
+// three-level diagnosis. The engine guarantees identical DiagnosisResult at
+// every parallelism level, so the counters reported alongside the times
+// double as a determinism check: schedules/runs must not vary across args.
+//
+// Speedup is hardware-dependent: on a single-core host all parallelism
+// levels cost about the same (the pool adds only scheduling overhead); the
+// >= 2x target at parallelism 4 needs >= 4 real cores.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+namespace rose {
+namespace {
+
+// Profiling run + production trace, computed once per bug and shared by all
+// parallelism levels (the engine never mutates either).
+struct DiagnosisInputs {
+  const BugSpec* spec = nullptr;
+  Profile profile;
+  Trace production;
+  std::vector<NodeId> server_nodes;
+};
+
+const DiagnosisInputs& InputsFor(const std::string& bug_id) {
+  static std::map<std::string, DiagnosisInputs> cache;
+  auto it = cache.find(bug_id);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  DiagnosisInputs inputs;
+  inputs.spec = FindBug(bug_id);
+  if (inputs.spec == nullptr) {
+    std::fprintf(stderr, "unknown bug: %s\n", bug_id.c_str());
+    std::abort();
+  }
+  const uint64_t seed = 5;
+  BugRunner runner(inputs.spec);
+  inputs.profile = runner.RunProfiling(seed);
+  const std::optional<Trace> production =
+      runner.ObtainProductionTrace(inputs.profile, seed + 17);
+  if (!production.has_value()) {
+    std::fprintf(stderr, "no production trace for %s\n", bug_id.c_str());
+    std::abort();
+  }
+  inputs.production = *production;
+  SimWorld world(seed);
+  Deployment deployment = inputs.spec->deploy(world, seed);
+  inputs.server_nodes = deployment.servers;
+  return cache.emplace(bug_id, std::move(inputs)).first->second;
+}
+
+void RunDiagnosisBench(benchmark::State& state, const std::string& bug_id) {
+  const DiagnosisInputs& inputs = InputsFor(bug_id);
+  BugRunner runner(inputs.spec);
+
+  DiagnosisConfig config;
+  config.parallelism = static_cast<int>(state.range(0));
+  config.server_nodes = inputs.server_nodes;
+  config.base_seed = 45'000;
+
+  DiagnosisResult result;
+  for (auto _ : state) {
+    DiagnosisEngine engine(&inputs.production, &inputs.profile, inputs.spec->binary,
+                           MakeScheduleRunner(&runner, &inputs.profile), config);
+    result = engine.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  // Identical across parallelism levels by construction; exported so a
+  // regression shows up right in the bench output.
+  state.counters["reproduced"] = result.reproduced ? 1 : 0;
+  state.counters["schedules"] = result.schedules_generated;
+  state.counters["sim_runs"] = result.total_runs;
+}
+
+void BM_DiagnoseZookeeper2247(benchmark::State& state) {
+  RunDiagnosisBench(state, "Zookeeper-2247");
+}
+BENCHMARK(BM_DiagnoseZookeeper2247)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DiagnoseZookeeper4203(benchmark::State& state) {
+  RunDiagnosisBench(state, "Zookeeper-4203");
+}
+BENCHMARK(BM_DiagnoseZookeeper4203)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace rose
+
+BENCHMARK_MAIN();

@@ -4,17 +4,25 @@
 //   ./build/examples/reproduce_bug                 # list known bugs
 //   ./build/examples/reproduce_bug RedisRaft-43    # reproduce one bug
 //   ./build/examples/reproduce_bug all             # reproduce every bug
+//
+// Flags:
+//   --parallelism=N   worker threads for candidate execution (default: the
+//                     machine's hardware concurrency). Any value yields the
+//                     identical report; it only changes wall-clock time.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "src/common/parallel.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/rose.h"
 
 namespace {
 
-int RunOne(const rose::BugSpec& spec, uint64_t seed, bool verbose) {
+int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, bool verbose) {
   rose::RoseConfig config;
   config.seed = seed;
+  config.diagnosis.parallelism = parallelism;
   const rose::RoseReport report = rose::ReproduceBugRobust(spec, config);
   if (!report.trace_obtained) {
     std::printf("%-18s  NO PRODUCTION TRACE (after %d attempts)\n", spec.id.c_str(),
@@ -35,27 +43,43 @@ int RunOne(const rose::BugSpec& spec, uint64_t seed, bool verbose) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  int parallelism = rose::WorkerPool::DefaultParallelism();
+  // Peel off flags; what remains is <bug-id>|all [seed].
+  const char* positional[2] = {nullptr, nullptr};
+  int num_positional = 0;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--parallelism=", 14) == 0) {
+      parallelism = std::atoi(argv[i] + 14);
+      if (parallelism < 1) {
+        std::fprintf(stderr, "--parallelism must be >= 1\n");
+        return 2;
+      }
+    } else if (num_positional < 2) {
+      positional[num_positional++] = argv[i];
+    }
+  }
+  if (num_positional == 0) {
     std::printf("known bugs:\n");
     for (const rose::BugSpec* spec : rose::AllBugs()) {
       std::printf("  %-18s %-32s %s\n", spec->id.c_str(), spec->system.c_str(),
                   spec->description.c_str());
     }
-    std::printf("\nusage: %s <bug-id>|all [seed]\n", argv[0]);
+    std::printf("\nusage: %s <bug-id>|all [seed] [--parallelism=N]\n", argv[0]);
     return 0;
   }
-  const uint64_t seed = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 42;
-  if (std::strcmp(argv[1], "all") == 0) {
+  const uint64_t seed =
+      num_positional > 1 ? static_cast<uint64_t>(std::atoll(positional[1])) : 42;
+  if (std::strcmp(positional[0], "all") == 0) {
     int failures = 0;
     for (const rose::BugSpec* spec : rose::AllBugs()) {
-      failures += RunOne(*spec, seed, /*verbose=*/false);
+      failures += RunOne(*spec, seed, parallelism, /*verbose=*/false);
     }
     return failures == 0 ? 0 : 1;
   }
-  const rose::BugSpec* spec = rose::FindBug(argv[1]);
+  const rose::BugSpec* spec = rose::FindBug(positional[0]);
   if (spec == nullptr) {
-    std::fprintf(stderr, "unknown bug id: %s\n", argv[1]);
+    std::fprintf(stderr, "unknown bug id: %s\n", positional[0]);
     return 2;
   }
-  return RunOne(*spec, seed, /*verbose=*/true);
+  return RunOne(*spec, seed, parallelism, /*verbose=*/true);
 }

@@ -2,16 +2,26 @@
 
 #include <algorithm>
 
+#include "src/common/rng.h"
 #include "src/common/strings.h"
 
 namespace rose {
+
+uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t schedule_hash, uint32_t run_index) {
+  uint64_t state = base_seed;
+  uint64_t seed = SplitMix64(state);
+  state = seed ^ schedule_hash;
+  seed = SplitMix64(state);
+  state = seed ^ run_index;
+  return SplitMix64(state);
+}
 
 DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile,
                                  const BinaryInfo* binary, ScheduleRunner runner,
                                  DiagnosisConfig config)
     : production_(production), profile_(profile), binary_(binary),
       runner_(std::move(runner)), config_(std::move(config)),
-      next_seed_(config_.base_seed) {
+      production_index_(*production) {
   ExtractOptions options;
   options.use_benign_filter = config_.use_benign_filter;
   extraction_ = ExtractFaults(*production_, *profile_, options);
@@ -28,6 +38,10 @@ DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile
     }
   }
   linter_ = ScheduleLinter(std::move(lint));
+
+  if (config_.parallelism > 1) {
+    pool_ = std::make_unique<WorkerPool>(config_.parallelism);
+  }
 }
 
 ScheduledFault DiagnosisEngine::MakeScheduledFault(const CandidateFault& fault,
@@ -75,14 +89,32 @@ FaultSchedule DiagnosisEngine::BuildLevel1() const {
 }
 
 double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResult* result) {
+  const uint64_t hash = CanonicalHash(schedule);
+  const uint32_t base_index = run_counters_[hash];
+  // All reruns are independent, so they form one batch; seeds are
+  // pre-assigned from the schedule's own run-index stream. Abandoning
+  // in-flight work leaves the committed counter at the consumed count, so a
+  // later re-confirmation of the same schedule draws fresh seeds.
+  std::vector<std::function<ScheduleRunOutcome()>> tasks;
+  tasks.reserve(static_cast<size_t>(config_.confirm_runs));
+  for (int run = 0; run < config_.confirm_runs; run++) {
+    const uint64_t seed = SeedFor(hash, base_index + static_cast<uint32_t>(run));
+    tasks.push_back([this, &schedule, seed] { return runner_(schedule, seed); });
+  }
+  OrderedBatch<ScheduleRunOutcome> batch(pool_.get(), std::move(tasks));
+
   int bug_runs = 0;
   int clean_runs = 0;
+  uint32_t consumed = 0;
   for (int run = 0; run < config_.confirm_runs; run++) {
     if (clean_runs >= config_.confirm_abandon_after_clean) {
       // The target rate is already unreachable; stop early (paper line 26).
+      batch.Abandon();
+      run_counters_[hash] = base_index + consumed;
       return 0;
     }
-    const ScheduleRunOutcome outcome = runner_(schedule, next_seed_++);
+    const ScheduleRunOutcome& outcome = batch.Get(static_cast<size_t>(run));
+    consumed++;
     result->total_runs++;
     result->virtual_time += outcome.virtual_duration;
     if (outcome.bug) {
@@ -91,26 +123,59 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
       clean_runs++;
     }
   }
+  run_counters_[hash] = base_index + consumed;
   return 100.0 * static_cast<double>(bug_runs) / static_cast<double>(config_.confirm_runs);
 }
 
-bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int level,
-                                         DiagnosisResult* result,
-                                         ScheduleRunOutcome* outcome_out,
-                                         bool allow_duplicate) {
+DiagnosisEngine::PlannedProbe DiagnosisEngine::PlanProbe(
+    FaultSchedule schedule, bool allow_duplicate, std::map<uint64_t, uint32_t>* local_counts) {
   // Static pruning: a candidate that cannot fire as intended, or that is
   // canonically identical to one already executed, never reaches the runner.
-  if (HasErrors(linter_.Lint(schedule))) {
+  PlannedProbe probe;
+  probe.schedule = std::move(schedule);
+  if (HasErrors(linter_.Lint(probe.schedule))) {
+    probe.action = PlannedProbe::Action::kPruneInvalid;
+    return probe;
+  }
+  probe.hash = CanonicalHash(probe.schedule);
+  probe.inserted_hash = executed_hashes_.insert(probe.hash).second;
+  if (!probe.inserted_hash && !allow_duplicate) {
+    probe.action = PlannedProbe::Action::kPruneDuplicate;
+    return probe;
+  }
+  probe.action = PlannedProbe::Action::kRun;
+  uint32_t in_wave = 0;
+  if (local_counts != nullptr) {
+    in_wave = (*local_counts)[probe.hash]++;
+  }
+  probe.tentative_index = run_counters_[probe.hash] + in_wave;
+  return probe;
+}
+
+bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRunOutcome>* batch,
+                                   int level, DiagnosisResult* result,
+                                   ScheduleRunOutcome* outcome_out) {
+  if (probe.action == PlannedProbe::Action::kPruneInvalid) {
     result->schedules_pruned_invalid++;
     return false;
   }
-  const uint64_t hash = CanonicalHash(schedule);
-  if (!executed_hashes_.insert(hash).second && !allow_duplicate) {
+  if (probe.action == PlannedProbe::Action::kPruneDuplicate) {
     result->schedules_pruned_duplicate++;
     return false;
   }
   result->schedules_generated++;
-  const ScheduleRunOutcome outcome = runner_(schedule, next_seed_++);
+  const uint32_t committed = run_counters_[probe.hash];
+  ScheduleRunOutcome outcome;
+  if (batch != nullptr && probe.batch_slot >= 0 && committed == probe.tentative_index) {
+    outcome = batch->Get(static_cast<size_t>(probe.batch_slot));
+  } else {
+    // Serial path, or the speculation missed: an intervening confirmation of
+    // the same schedule advanced its run counter, so the pre-assigned seed
+    // is stale. Re-run inline with the committed-index seed — this is what
+    // keeps parallel results identical to serial ones.
+    outcome = runner_(probe.schedule, SeedFor(probe.hash, committed));
+  }
+  run_counters_[probe.hash] = committed + 1;
   result->total_runs++;
   result->virtual_time += outcome.virtual_duration;
   if (outcome_out != nullptr) {
@@ -119,16 +184,78 @@ bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int leve
   if (!outcome.bug) {
     return false;
   }
-  const double rate = ConfirmBug(schedule, result);
+  const double rate = ConfirmBug(probe.schedule, result);
   if (rate >= config_.target_replay_rate) {
     result->reproduced = true;
-    result->schedule = schedule;
+    result->schedule = probe.schedule;
     result->replay_rate = rate;
     result->level = level;
     return true;
   }
-  saved_candidates_.push_back(Candidate{schedule, rate, level});
+  saved_candidates_.push_back(Candidate{probe.schedule, rate, level});
   return false;
+}
+
+bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int level,
+                              bool allow_duplicate, int budget, DiagnosisResult* result) {
+  // Chunked wave-fronts: speculation never runs more than one chunk ahead of
+  // the in-order consumer, bounding wasted runs after a stop. Serially the
+  // chunk size is 1, which is exactly the classic plan-run-decide loop.
+  const size_t chunk =
+      pool_ != nullptr ? static_cast<size_t>(pool_->thread_count()) * 2 : 1;
+  size_t next = 0;
+  while (next < schedules.size()) {
+    const size_t count = std::min(chunk, schedules.size() - next);
+    std::vector<PlannedProbe> probes;
+    probes.reserve(count);
+    std::map<uint64_t, uint32_t> local_counts;
+    size_t runnable = 0;
+    for (size_t i = 0; i < count; i++) {
+      PlannedProbe probe = PlanProbe(schedules[next + i], allow_duplicate, &local_counts);
+      if (probe.action == PlannedProbe::Action::kRun) {
+        probe.batch_slot = static_cast<int>(runnable++);
+      }
+      probes.push_back(std::move(probe));
+    }
+    // Tasks reference the planned probes; `probes` is stable from here on.
+    std::vector<std::function<ScheduleRunOutcome()>> tasks;
+    tasks.reserve(runnable);
+    for (const PlannedProbe& probe : probes) {
+      if (probe.batch_slot >= 0) {
+        tasks.push_back([this, &probe] {
+          return runner_(probe.schedule, SeedFor(probe.hash, probe.tentative_index));
+        });
+      }
+    }
+    OrderedBatch<ScheduleRunOutcome> batch(pool_.get(), std::move(tasks));
+
+    for (size_t i = 0; i < probes.size(); i++) {
+      const bool reproduced = ConsumeProbe(probes[i], &batch, level, result, nullptr);
+      const bool budget_hit = budget > 0 && result->schedules_generated >= budget;
+      if (reproduced || budget_hit) {
+        // Abandoned probes must leave no trace: un-consumed hash insertions
+        // are rolled back so later phases dedup exactly like the serial
+        // engine, which never planned these candidates at all.
+        batch.Abandon();
+        for (size_t j = i + 1; j < probes.size(); j++) {
+          if (probes[j].inserted_hash) {
+            executed_hashes_.erase(probes[j].hash);
+          }
+        }
+        return reproduced;
+      }
+    }
+    next += count;
+  }
+  return false;
+}
+
+bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int level,
+                                         DiagnosisResult* result,
+                                         ScheduleRunOutcome* outcome_out,
+                                         bool allow_duplicate) {
+  PlannedProbe probe = PlanProbe(schedule, allow_duplicate, nullptr);
+  return ConsumeProbe(probe, nullptr, level, result, outcome_out);
 }
 
 std::pair<bool, bool> DiagnosisEngine::ProcessTrace(const ScheduleRunOutcome& outcome,
@@ -174,9 +301,12 @@ FaultSchedule DiagnosisEngine::Amplify(const FaultSchedule& schedule,
 
 bool DiagnosisEngine::FindContextForFault(FaultSchedule* schedule, size_t fault_index,
                                           size_t candidate_index, DiagnosisResult* result) {
+  // Algorithm 1 is inherently sequential — each chain extension depends on
+  // the previous run's trace — so this path stays serial; its runs still
+  // draw derived seeds, keeping it deterministic under restructuring.
   const CandidateFault& candidate = extraction_.faults[candidate_index];
   const std::vector<AfInfo> preceding =
-      production_->FunctionsBefore(candidate.node, candidate.ts);
+      production_index_.FunctionsBefore(candidate.node, candidate.ts);
   if (preceding.empty()) {
     return false;
   }
@@ -266,25 +396,26 @@ bool DiagnosisEngine::Level2(FaultSchedule* schedule, const std::vector<size_t>&
 
     if (candidate.kind == FaultKind::kSyscallFailure) {
       // Sweep the invocation count: with inputs, 1..cap; without inputs, up
-      // to the profiling-run frequency (hard cap, paper §4.5.2).
+      // to the profiling-run frequency (hard cap, paper §4.5.2). Every nth
+      // is an independent candidate, so the sweep executes as wave-fronts.
       int limit = config_.max_scf_sweep;
       if (candidate.filename.empty()) {
         const auto profiled = static_cast<int>(profile_->SyscallCount(candidate.sys));
         limit = std::min(config_.max_scf_sweep, std::max(profiled, 1));
       }
       const ScheduledFault original = schedule->faults[fault_index];
+      std::vector<FaultSchedule> sweep;
+      sweep.reserve(static_cast<size_t>(limit));
       for (int nth = 1; nth <= limit; nth++) {
         schedule->faults[fault_index].syscall.nth = nth;
         FaultSchedule attempt = *schedule;
         attempt.name = StrFormat("level2-f%zu-nth%d", fault_index, nth);
-        if (RunAndMaybeConfirm(attempt, 2, result)) {
-          return true;
-        }
-        if (result->schedules_generated >= config_.level2_budget) {
-          break;
-        }
+        sweep.push_back(std::move(attempt));
       }
       schedule->faults[fault_index] = original;
+      if (RunWave(sweep, 2, /*allow_duplicate=*/false, config_.level2_budget, result)) {
+        return true;
+      }
     } else {
       if (FindContextForFault(schedule, fault_index, candidate_index, result)) {
         return true;
@@ -303,7 +434,7 @@ bool DiagnosisEngine::Level3(FaultSchedule* schedule, const std::vector<size_t>&
       continue;
     }
     const std::vector<AfInfo> preceding =
-        production_->FunctionsBefore(candidate.node, candidate.ts);
+        production_index_.FunctionsBefore(candidate.node, candidate.ts);
     if (preceding.empty()) {
       continue;
     }
@@ -311,6 +442,9 @@ bool DiagnosisEngine::Level3(FaultSchedule* schedule, const std::vector<size_t>&
     const size_t fault_index = candidate_index;
     const ScheduledFault original = schedule->faults[fault_index];
 
+    // Offsets are independent candidates: explore them as wave-fronts, in
+    // priority order.
+    std::vector<FaultSchedule> attempts;
     for (const OffsetInfo& offset : binary_->PrioritizedOffsets(function_id)) {
       ScheduledFault& fault = schedule->faults[fault_index];
       fault.conditions.clear();
@@ -323,15 +457,15 @@ bool DiagnosisEngine::Level3(FaultSchedule* schedule, const std::vector<size_t>&
       attempt.name = StrFormat("level3-f%zu-%s+0x%x", fault_index,
                                binary_->NameOf(function_id).c_str(),
                                static_cast<unsigned>(offset.offset));
-      if (RunAndMaybeConfirm(attempt, 3, result)) {
-        return true;
-      }
-      if (result->schedules_generated >= config_.max_schedules) {
-        schedule->faults[fault_index] = original;
-        return false;
-      }
+      attempts.push_back(std::move(attempt));
     }
     schedule->faults[fault_index] = original;
+    if (RunWave(attempts, 3, /*allow_duplicate=*/false, config_.max_schedules, result)) {
+      return true;
+    }
+    if (result->schedules_generated >= config_.max_schedules) {
+      return false;
+    }
   }
   return false;
 }
@@ -343,15 +477,15 @@ DiagnosisResult DiagnosisEngine::Run() {
     return result;
   }
 
-  // Level 1: fault order + inputs only.
+  // Level 1: fault order + inputs only. The re-attempts intentionally
+  // re-execute the same schedule (the paper's answer to one-clean-run false
+  // negatives) — exempt from dedup, and batched as one wave.
   FaultSchedule schedule = BuildLevel1();
-  for (int attempt = 0; attempt < config_.level1_attempts; attempt++) {
-    // Level-1 re-attempts intentionally re-execute the same schedule (the
-    // paper's answer to one-clean-run false negatives) — exempt from dedup.
-    if (RunAndMaybeConfirm(schedule, 1, &result, nullptr, /*allow_duplicate=*/true)) {
-      result.fault_summary = result.schedule.Summary();
-      return result;
-    }
+  const std::vector<FaultSchedule> attempts(
+      static_cast<size_t>(std::max(config_.level1_attempts, 0)), schedule);
+  if (RunWave(attempts, 1, /*allow_duplicate=*/true, /*budget=*/0, &result)) {
+    result.fault_summary = result.schedule.Summary();
+    return result;
   }
 
   const std::vector<size_t> priority = PrioritizeFaults(extraction_.faults);

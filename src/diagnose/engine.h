@@ -14,15 +14,28 @@
 // Every generated schedule is executed by the caller-provided runner; a
 // schedule that shows the bug is confirmed over 10 reruns (early-abandoned
 // after 4 clean runs, like the paper's confirmBug).
+//
+// Parallel execution: diagnosis is embarrassingly parallel — every candidate
+// runs in its own seeded SimWorld — so with `parallelism > 1` the engine
+// speculatively executes independent candidates on a worker pool (Level-1
+// attempts as one batch, SCF nth-sweeps and Level-3 offsets as wave-fronts,
+// confirmBug's reruns as one batch with early-abandon cancellation) while
+// consuming results strictly in generation order. Seeds are pre-assigned
+// per (schedule, run-index) — never drawn from a shared stream on the
+// execution path — so the engine's decisions and the returned
+// DiagnosisResult are bit-for-bit identical at any parallelism level.
 #ifndef SRC_DIAGNOSE_ENGINE_H_
 #define SRC_DIAGNOSE_ENGINE_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "src/analyze/schedule_linter.h"
+#include "src/common/parallel.h"
 #include "src/diagnose/extract.h"
 #include "src/exec/executor.h"
 #include "src/profile/binary_info.h"
@@ -38,6 +51,14 @@ struct ScheduleRunOutcome {
   ExecutionFeedback feedback;
   SimTime virtual_duration = 0;
 };
+
+// The seed for one execution of one candidate schedule. Deriving seeds from
+// (base_seed, canonical schedule hash, per-schedule run index) — instead of
+// bumping a shared counter per run — keeps every schedule's seed stream
+// stable under engine restructuring: adding or removing a probe of one
+// schedule never shifts the seeds of any other, which is what makes
+// speculative parallel execution reproduce the serial engine exactly.
+uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t schedule_hash, uint32_t run_index);
 
 struct DiagnosisConfig {
   double target_replay_rate = 60.0;
@@ -56,6 +77,11 @@ struct DiagnosisConfig {
   // Longest function chain Algorithm 1 builds for one fault.
   int max_context_chain = 6;
   uint64_t base_seed = 40'000;
+  // Worker threads executing candidate runs. 1 (the default) runs everything
+  // inline on the caller's thread; any value produces the same
+  // DiagnosisResult, provided the runner is safe to invoke concurrently
+  // (see BugRunner::RunOnce).
+  int parallelism = 1;
   // Server nodes (amplification targets).
   std::vector<NodeId> server_nodes;
   // Ablations.
@@ -97,8 +123,47 @@ class DiagnosisEngine {
     int level = 0;
   };
 
+  // A candidate probe with pruning verdict and pre-assigned seed, formed in
+  // generation order before any execution.
+  struct PlannedProbe {
+    enum class Action : int8_t { kRun, kPruneInvalid, kPruneDuplicate };
+    FaultSchedule schedule;
+    uint64_t hash = 0;
+    Action action = Action::kRun;
+    // Whether planning inserted `hash` into executed_hashes_ (rolled back if
+    // the probe is abandoned unconsumed).
+    bool inserted_hash = false;
+    // Speculative per-schedule run index; re-validated at consumption.
+    uint32_t tentative_index = 0;
+    int batch_slot = -1;
+  };
+
   FaultSchedule BuildLevel1() const;
   ScheduledFault MakeScheduledFault(const CandidateFault& fault, int index) const;
+
+  uint64_t SeedFor(uint64_t schedule_hash, uint32_t run_index) const {
+    return DeriveRunSeed(config_.base_seed, schedule_hash, run_index);
+  }
+
+  // Lints, dedups, and assigns the speculative run index for one candidate.
+  // `local_counts` tracks in-wave index bumps for not-yet-committed probes.
+  PlannedProbe PlanProbe(FaultSchedule schedule, bool allow_duplicate,
+                         std::map<uint64_t, uint32_t>* local_counts);
+
+  // Consumes one planned probe in generation order: applies pruning
+  // accounting, obtains the outcome (from the speculative batch when its
+  // pre-assigned seed is still the committed one, else by re-running
+  // inline), commits the run counter, and confirms on a bug. Returns true
+  // when the confirmed rate reaches the target.
+  bool ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRunOutcome>* batch, int level,
+                    DiagnosisResult* result, ScheduleRunOutcome* outcome_out);
+
+  // Plans and executes `schedules` as wave-fronts of independent probes,
+  // consuming results in generation order. Stops on reproduction or, when
+  // `budget > 0`, once result->schedules_generated reaches it; abandoned
+  // probes leave no mark on the engine's state. Returns true on reproduction.
+  bool RunWave(const std::vector<FaultSchedule>& schedules, int level, bool allow_duplicate,
+               int budget, DiagnosisResult* result);
 
   // Executes one schedule (counts it) and, if the bug shows, confirms it.
   // Returns true when the confirmed rate reaches the target. Statically
@@ -130,10 +195,15 @@ class DiagnosisEngine {
   DiagnosisConfig config_;
   ExtractionResult extraction_;
   ScheduleLinter linter_;
+  // Memoized FunctionsBefore over the immutable production trace.
+  TraceIndex production_index_;
   // Canonical hashes of every schedule handed to the runner so far.
   std::set<uint64_t> executed_hashes_;
+  // Per-schedule committed run counts (canonical hash -> next run index).
+  std::map<uint64_t, uint32_t> run_counters_;
   std::vector<Candidate> saved_candidates_;
-  uint64_t next_seed_;
+  // Worker pool for speculative candidate execution; null when parallelism <= 1.
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace rose

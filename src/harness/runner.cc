@@ -4,7 +4,7 @@
 
 namespace rose {
 
-Profile BugRunner::RunProfiling(uint64_t seed) {
+Profile BugRunner::RunProfiling(uint64_t seed) const {
   SimWorld world(seed);
   Deployment deployment = spec_->deploy(world, seed);
 
@@ -29,7 +29,7 @@ Profile BugRunner::RunProfiling(uint64_t seed) {
   return profile;
 }
 
-RunOutcome BugRunner::RunOnce(const RunOptions& options) {
+RunOutcome BugRunner::RunOnce(const RunOptions& options) const {
   SimWorld world(options.seed);
   Deployment deployment = spec_->deploy(world, options.seed);
 
@@ -99,7 +99,8 @@ RunOutcome BugRunner::RunOnce(const RunOptions& options) {
 }
 
 std::optional<Trace> BugRunner::ObtainProductionTrace(const Profile& profile,
-                                                      uint64_t base_seed, int* attempts_used) {
+                                                      uint64_t base_seed,
+                                                      int* attempts_used) const {
   for (int attempt = 0; attempt < spec_->max_production_attempts; attempt++) {
     RunOptions options;
     options.seed = base_seed + static_cast<uint64_t>(attempt) * 7919;

@@ -36,6 +36,17 @@ struct RunOutcome {
   SimTime virtual_duration = 0;
 };
 
+// Thread-safety contract: a BugRunner holds only a pointer to an immutable
+// BugSpec, and every run builds a fresh SimWorld, tracer, executor, and
+// nemesis from scratch — runs share no mutable state. RunOnce and
+// RunProfiling are therefore const and safe to call concurrently from the
+// parallel diagnosis engine, provided the BugSpec honors its side of the
+// contract: `deploy` must be a pure factory (capture configuration by
+// value, allocate everything inside the passed-in SimWorld, and never touch
+// shared mutable state). All registered specs follow this — their deploy
+// closures capture option structs by value and their BinaryInfo instances
+// are `static const` (thread-safe magic-static initialization, immutable
+// afterwards).
 class BugRunner {
  public:
   explicit BugRunner(const BugSpec* spec) : spec_(spec) {}
@@ -44,15 +55,17 @@ class BugRunner {
 
   // Failure-free profiling run (paper §4.2): counts function/syscall
   // frequencies and learns the benign-fault baseline.
-  Profile RunProfiling(uint64_t seed);
+  Profile RunProfiling(uint64_t seed) const;
 
-  // One execution with the given options.
-  RunOutcome RunOnce(const RunOptions& options);
+  // One execution with the given options. Safe for concurrent invocation
+  // (see the class contract above); each call is a pure function of
+  // (spec, options).
+  RunOutcome RunOnce(const RunOptions& options) const;
 
   // Obtains a buggy "production" trace per the spec (nemesis retries or the
   // manual trigger schedule). Returns nullopt if the bug never surfaced.
   std::optional<Trace> ObtainProductionTrace(const Profile& profile, uint64_t base_seed,
-                                             int* attempts_used = nullptr);
+                                             int* attempts_used = nullptr) const;
 
  private:
   const BugSpec* spec_;

@@ -216,13 +216,95 @@ Trace Trace::Parse(const std::string& text) {
 }
 
 Trace Trace::Merge(const std::vector<Trace>& traces) {
-  std::vector<TraceEvent> all;
+  // Per-node dumps are already timestamp-ordered, so a k-way merge beats
+  // concat + stable_sort. Stability contract: ties keep input-trace order
+  // (trace 0's events before trace 1's), and order within a trace — exactly
+  // what stable_sort over the concatenation produced.
+  size_t total = 0;
+  bool all_sorted = true;
   for (const auto& trace : traces) {
-    all.insert(all.end(), trace.events().begin(), trace.events().end());
+    total += trace.size();
+    for (size_t i = 1; i < trace.size(); i++) {
+      if (trace.events()[i].ts < trace.events()[i - 1].ts) {
+        all_sorted = false;
+        break;
+      }
+    }
   }
-  std::stable_sort(all.begin(), all.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  std::vector<TraceEvent> all;
+  all.reserve(total);
+  if (!all_sorted) {
+    // An unsorted input would break the merge invariant; fall back to the
+    // sort so behavior matches the historical contract bit-for-bit.
+    for (const auto& trace : traces) {
+      all.insert(all.end(), trace.events().begin(), trace.events().end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+    return Trace(std::move(all));
+  }
+
+  struct Cursor {
+    size_t trace;
+    size_t pos;
+  };
+  // Min-heap on (ts, trace index); std::make_heap is a max-heap, so invert.
+  auto later = [&traces](const Cursor& a, const Cursor& b) {
+    const SimTime ta = traces[a.trace].events()[a.pos].ts;
+    const SimTime tb = traces[b.trace].events()[b.pos].ts;
+    if (ta != tb) {
+      return ta > tb;
+    }
+    return a.trace > b.trace;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(traces.size());
+  for (size_t i = 0; i < traces.size(); i++) {
+    if (!traces[i].empty()) {
+      heap.push_back(Cursor{i, 0});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor cursor = heap.back();
+    heap.pop_back();
+    all.push_back(traces[cursor.trace].events()[cursor.pos]);
+    if (++cursor.pos < traces[cursor.trace].size()) {
+      heap.push_back(cursor);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
   return Trace(std::move(all));
+}
+
+TraceIndex::TraceIndex(const Trace& trace) {
+  for (const TraceEvent& event : trace.events()) {
+    if (event.type != EventType::kAF) {
+      continue;
+    }
+    NodeAfs& bucket = per_node_[event.node];
+    bucket.ts.push_back(event.ts);
+    bucket.afs.push_back(event.af());
+  }
+}
+
+std::vector<AfInfo> TraceIndex::FunctionsBefore(NodeId node, SimTime before) const {
+  std::vector<AfInfo> out;
+  const auto it = per_node_.find(node);
+  if (it == per_node_.end()) {
+    return out;
+  }
+  const NodeAfs& bucket = it->second;
+  // Inclusive cutoff, mirroring the linear scan: an AF at the fault's own
+  // timestamp still precedes it.
+  const auto end = std::upper_bound(bucket.ts.begin(), bucket.ts.end(), before);
+  const size_t count = static_cast<size_t>(end - bucket.ts.begin());
+  out.reserve(count);
+  for (size_t i = count; i > 0; i--) {  // Most recent first.
+    out.push_back(bucket.afs[i - 1]);
+  }
+  return out;
 }
 
 }  // namespace rose

@@ -12,6 +12,7 @@
 #define SRC_TRACE_EVENT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <variant>
 #include <vector>
@@ -98,6 +99,33 @@ class Trace {
 
  private:
   std::vector<TraceEvent> events_;
+};
+
+// Memoized FunctionsBefore over an immutable, timestamp-ordered trace.
+//
+// Algorithm 1 queries FunctionsBefore once per chain-extension step, and the
+// parallel diagnosis engine hammers it from every candidate; the linear scan
+// over the full event vector turns that into O(events) per query. The index
+// buckets AF events per node once (O(events) build) and answers each query
+// with one binary search plus the size of the answer.
+//
+// Precondition: the trace's events are ordered by ts (true for merged /
+// parsed production dumps) and the trace outlives the index unmodified.
+// Results are bit-identical to Trace::FunctionsBefore on such traces.
+class TraceIndex {
+ public:
+  TraceIndex() = default;
+  explicit TraceIndex(const Trace& trace);
+
+  // AF events on `node` with ts <= `before`, most recent first.
+  std::vector<AfInfo> FunctionsBefore(NodeId node, SimTime before) const;
+
+ private:
+  struct NodeAfs {
+    std::vector<SimTime> ts;   // Non-decreasing (trace order).
+    std::vector<AfInfo> afs;   // Parallel to `ts`.
+  };
+  std::map<NodeId, NodeAfs> per_node_;
 };
 
 }  // namespace rose

@@ -29,16 +29,27 @@ class RingBuffer {
       return;
     }
     entries_[head_] = std::move(value);
-    head_ = (head_ + 1) % capacity_;
+    // Branchy wrap instead of `%`: Push sits on the tracer's per-event hot
+    // path and the modulo's divide dominates it.
+    head_++;
+    if (head_ == capacity_) {
+      head_ = 0;
+    }
     overwritten_++;
   }
 
   // Entries in insertion order, oldest first.
   std::vector<T> Snapshot() const {
     std::vector<T> out;
-    out.reserve(entries_.size());
-    for (size_t i = 0; i < entries_.size(); i++) {
-      out.push_back(entries_[(head_ + i) % entries_.size()]);
+    const size_t count = entries_.size();
+    out.reserve(count);
+    size_t index = head_;  // 0 until the buffer first fills.
+    for (size_t i = 0; i < count; i++) {
+      out.push_back(entries_[index]);
+      index++;
+      if (index == count) {
+        index = 0;
+      }
     }
     return out;
   }

@@ -1,13 +1,125 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <set>
+#include <vector>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/common/strings.h"
 
 namespace rose {
 namespace {
+
+TEST(WorkerPoolTest, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(WorkerPool::DefaultParallelism(), 1);
+}
+
+TEST(WorkerPoolTest, ClampsThreadCountToAtLeastOne) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1);
+}
+
+TEST(WorkerPoolTest, DrainsAllEnqueuedJobsBeforeShutdown) {
+  std::atomic<int> executed{0};
+  {
+    WorkerPool pool(4);
+    for (int i = 0; i < 100; i++) {
+      pool.Enqueue([&executed] { executed.fetch_add(1); });
+    }
+    // The destructor must wait for (and finish) every queued job.
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(OrderedBatchTest, SerialModeIsLazyAndSkipsUnconsumedTasks) {
+  std::atomic<int> executed{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 4; i++) {
+    tasks.push_back([&executed, i] {
+      executed.fetch_add(1);
+      return i * 10;
+    });
+  }
+  {
+    OrderedBatch<int> batch(nullptr, std::move(tasks));
+    EXPECT_EQ(executed.load(), 0);  // Nothing runs until Get().
+    EXPECT_EQ(batch.Get(0), 0);
+    EXPECT_EQ(batch.Get(1), 10);
+    EXPECT_EQ(executed.load(), 2);
+    batch.Abandon();
+  }
+  // Tasks 2 and 3 were never consumed, so serial mode never ran them —
+  // exactly what a serial loop with an early break would do.
+  EXPECT_EQ(executed.load(), 2);
+}
+
+TEST(OrderedBatchTest, SingleThreadPoolBehavesSerially) {
+  WorkerPool pool(1);
+  std::atomic<int> executed{0};
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([&executed] {
+    executed.fetch_add(1);
+    return 7;
+  });
+  OrderedBatch<int> batch(&pool, std::move(tasks));
+  EXPECT_EQ(executed.load(), 0);  // A 1-thread pool stays lazy.
+  EXPECT_EQ(batch.Get(0), 7);
+}
+
+TEST(OrderedBatchTest, ParallelResultsArriveInSubmissionOrder) {
+  WorkerPool pool(4);
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 32; i++) {
+    tasks.push_back([i] { return i * i; });
+  }
+  OrderedBatch<int> batch(&pool, std::move(tasks));
+  for (int i = 0; i < 32; i++) {
+    EXPECT_EQ(batch.Get(static_cast<size_t>(i)), i * i);
+  }
+}
+
+TEST(OrderedBatchTest, AbandonSkipsTasksThatHaveNotStarted) {
+  WorkerPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int started = 0;
+  bool release = false;
+  std::atomic<int> executed{0};
+
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 10; i++) {
+    tasks.push_back([&, i] {
+      executed.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mutex);
+      started++;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+      return i;
+    });
+  }
+  {
+    OrderedBatch<int> batch(&pool, std::move(tasks));
+    {
+      // Both workers are now parked inside tasks 0 and 1.
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return started == 2; });
+    }
+    batch.Abandon();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+    // The batch destructor waits for the two in-flight tasks and skips the
+    // other eight.
+  }
+  EXPECT_EQ(executed.load(), 2);
+}
 
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(42);

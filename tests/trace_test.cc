@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/trace/event.h"
 #include "src/trace/ring_buffer.h"
@@ -109,6 +112,69 @@ TEST(TraceTest, MergeSortsByTimestampStably) {
   EXPECT_EQ(merged[1].af().function_id, 2);
   EXPECT_EQ(merged[2].af().function_id, 3);  // First trace wins ties.
   EXPECT_EQ(merged[3].af().function_id, 4);
+}
+
+// The k-way merge must be indistinguishable from the old implementation
+// (concatenate in argument order, then stable_sort by timestamp): for equal
+// timestamps, events from earlier traces precede events from later ones, and
+// same-trace order is preserved.
+TEST(TraceTest, MergeMatchesStableSortReferenceOnRandomizedInputs) {
+  Rng rng(0xfeedbeef);
+  for (int round = 0; round < 50; round++) {
+    const int num_traces = 1 + static_cast<int>(rng.NextBelow(5));
+    std::vector<Trace> inputs(num_traces);
+    std::vector<TraceEvent> reference;
+    int32_t next_id = 0;
+    for (int t = 0; t < num_traces; t++) {
+      const int events = static_cast<int>(rng.NextBelow(8));
+      SimTime ts = 0;
+      for (int e = 0; e < events; e++) {
+        // Small increments force plenty of duplicate timestamps both within
+        // a trace and across traces.
+        ts += static_cast<SimTime>(rng.NextBelow(3));
+        inputs[t].Append(MakeAf(ts, static_cast<NodeId>(t), 1, next_id++));
+      }
+      for (const TraceEvent& event : inputs[t].events()) {
+        reference.push_back(event);
+      }
+    }
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+    const Trace merged = Trace::Merge(inputs);
+    ASSERT_EQ(merged.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); i++) {
+      EXPECT_EQ(merged[i].ts, reference[i].ts) << "round " << round << " index " << i;
+      EXPECT_EQ(merged[i].af().function_id, reference[i].af().function_id)
+          << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(TraceTest, MergeHandlesUnsortedInputs) {
+  // An out-of-order input trips the fallback path (concat + stable_sort);
+  // the result must still be globally sorted with ties resolved by trace
+  // order.
+  Trace a;
+  a.Append(MakeAf(30, 0, 1, 1));
+  a.Append(MakeAf(10, 0, 1, 2));  // Out of order.
+  Trace b;
+  b.Append(MakeAf(10, 1, 2, 3));
+  b.Append(MakeAf(20, 1, 2, 4));
+  const Trace merged = Trace::Merge({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].af().function_id, 2);  // ts=10, trace a before trace b.
+  EXPECT_EQ(merged[1].af().function_id, 3);
+  EXPECT_EQ(merged[2].af().function_id, 4);
+  EXPECT_EQ(merged[3].af().function_id, 1);
+}
+
+TEST(TraceTest, MergeOfEmptyAndSingletonInputs) {
+  EXPECT_EQ(Trace::Merge({}).size(), 0u);
+  Trace only;
+  only.Append(MakeAf(5, 0, 1, 7));
+  const Trace merged = Trace::Merge({Trace{}, only, Trace{}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].af().function_id, 7);
 }
 
 TEST(TraceTest, FunctionsBeforeIsInclusiveMostRecentFirst) {

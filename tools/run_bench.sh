@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the parallel-diagnosis benchmark and emits machine-readable JSON
+# (BENCH_diagnosis.json) next to the chosen output directory.
+#
+# Usage:
+#   tools/run_bench.sh [build_dir] [out_dir]
+#
+# build_dir defaults to ./build (configured + built already, or this script
+# builds the bench target for you); out_dir defaults to the repo root.
+# Extra repetitions / filters can be passed via BENCH_ARGS, e.g.:
+#   BENCH_ARGS='--benchmark_repetitions=5' tools/run_bench.sh
+#
+# Interpreting results: per-arg rows are parallelism levels (1/2/4/8). The
+# reproduced/schedules/sim_runs counters must be identical across levels for
+# the same bug — that is the engine's determinism guarantee; a difference is
+# a bug, not noise. Wall-clock speedup scales with real cores (a 1-core host
+# shows flat times).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+out_json="${out_dir}/BENCH_diagnosis.json"
+
+if [ ! -d "$build_dir" ]; then
+  cmake -S . -B "$build_dir"
+fi
+cmake --build "$build_dir" --target bench_diagnosis_parallel -j "$(nproc)"
+
+"${build_dir}/bench/bench_diagnosis_parallel" \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+
+echo "wrote $out_json"
