@@ -40,7 +40,7 @@ AblationResult RunWith(const BugSpec& spec, uint64_t seed,
   if (tweak != nullptr) {
     tweak(&config);
   }
-  DiagnosisEngine engine(&*production, &profile, spec.binary,
+  DiagnosisEngine engine(*production, &profile, spec.binary,
                          MakeScheduleRunner(&runner, &profile), config);
   const DiagnosisResult diagnosis = engine.Run();
   result.reproduced = diagnosis.reproduced;

@@ -71,7 +71,7 @@ void RunDiagnosisBench(benchmark::State& state, const std::string& bug_id) {
 
   DiagnosisResult result;
   for (auto _ : state) {
-    DiagnosisEngine engine(&inputs.production, &inputs.profile, inputs.spec->binary,
+    DiagnosisEngine engine(inputs.production, &inputs.profile, inputs.spec->binary,
                            MakeScheduleRunner(&runner, &inputs.profile), config);
     result = engine.Run();
     benchmark::DoNotOptimize(result);

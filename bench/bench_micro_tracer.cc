@@ -94,27 +94,30 @@ void BM_UprobeHit(benchmark::State& state) {
 BENCHMARK(BM_UprobeHit);
 
 void BM_TraceEventSerialize(benchmark::State& state) {
+  StringPool pool;
   TraceEvent event;
   event.ts = 123456789;
   event.node = 2;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{101, Sys::kOpenAt, 5, "/data/edits.new", Err::kEIO};
+  event.info = ScfInfo{101, Sys::kOpenAt, 5, pool.Intern("/data/edits.new"), Err::kEIO};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(event.ToLine());
+    benchmark::DoNotOptimize(event.ToLine(pool));
   }
 }
 BENCHMARK(BM_TraceEventSerialize);
 
 void BM_TraceEventParse(benchmark::State& state) {
+  StringPool pool;
   TraceEvent event;
   event.ts = 123456789;
   event.node = 2;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{101, Sys::kOpenAt, 5, "/data/edits.new", Err::kEIO};
-  const std::string line = event.ToLine();
+  event.info = ScfInfo{101, Sys::kOpenAt, 5, pool.Intern("/data/edits.new"), Err::kEIO};
+  const std::string line = event.ToLine(pool);
+  StringPool parse_pool;
   TraceEvent parsed;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TraceEvent::FromLine(line, &parsed));
+    benchmark::DoNotOptimize(TraceEvent::FromLine(line, &parse_pool, &parsed));
   }
 }
 BENCHMARK(BM_TraceEventParse);

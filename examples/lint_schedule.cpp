@@ -7,8 +7,13 @@
 //
 // Usage:
 //   ./build/examples/lint_schedule schedule.yaml
-//   ./build/examples/lint_schedule --demo     # lint a deliberately broken schedule
+//   ./build/examples/lint_schedule --demo          # lint a deliberately broken schedule
+//   ./build/examples/lint_schedule --trace FILE    # validate a saved trace instead
 //   cat schedule.yaml | ./build/examples/lint_schedule
+//
+// --trace runs rose::analyze's TraceValidator over a trace dump (binary or
+// text, auto-detected); load-time diagnostics (bad magic, corrupt frames)
+// count as findings too.
 //
 // Exit codes: 0 clean (warnings allowed), 1 error-severity findings,
 // 2 unreadable/unparseable input.
@@ -20,7 +25,9 @@
 #include <string>
 
 #include "src/analyze/schedule_linter.h"
+#include "src/analyze/trace_validator.h"
 #include "src/common/strings.h"
+#include "src/trace/trace_io.h"
 
 namespace {
 
@@ -69,9 +76,39 @@ rose::FaultSchedule DemoSchedule() {
   return schedule;
 }
 
+int LintTrace(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "lint_schedule: cannot open %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::vector<rose::Diagnostic> diags;
+  const rose::Trace trace = rose::Trace::Load(buf.str(), &diags);
+  std::printf("trace: %s  (%zu events, %s, pool %zu strings)\n", path, trace.size(),
+              rose::LooksLikeBinaryTrace(buf.str()) ? "binary" : "text",
+              trace.pool().size());
+
+  const std::vector<rose::Diagnostic> validation = rose::TraceValidator().Validate(trace);
+  diags.insert(diags.end(), validation.begin(), validation.end());
+  if (diags.empty()) {
+    std::printf("no findings: trace is well-formed.\n");
+    return 0;
+  }
+  std::printf("%zu finding(s):\n", diags.size());
+  for (const rose::Diagnostic& diag : diags) {
+    std::printf("  %s\n", diag.ToString().c_str());
+  }
+  return rose::HasErrors(diags) ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
+    return LintTrace(argv[2]);
+  }
   rose::FaultSchedule schedule;
   if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
     schedule = DemoSchedule();

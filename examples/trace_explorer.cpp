@@ -5,64 +5,153 @@
 // events grouped by type, and shows what the diagnosis front-end extracts
 // from them (candidate faults, benign-fault reduction).
 //
-// Usage: ./build/examples/trace_explorer [seed]
+// Usage:
+//   ./build/examples/trace_explorer [seed] [--save FILE] [--stats]
+//   ./build/examples/trace_explorer --load FILE [--stats]
+//
+//   --save FILE   write the dumped window to FILE — binary container unless
+//                 FILE ends in .txt (then the one-event-per-line text form)
+//   --load FILE   skip the simulated run and explore a saved trace instead;
+//                 binary vs text is auto-detected from the file's magic
+//   --stats       print window statistics (events by type and node, string
+//                 pool size, window time span, encoded sizes)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "src/analyze/trace_validator.h"
 #include "src/diagnose/extract.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+void PrintStats(const rose::Trace& trace) {
+  std::printf("\n--- window statistics ---\n");
+  std::printf("events: %zu\n", trace.size());
+  std::map<rose::EventType, int> by_type;
+  std::map<rose::NodeId, int> by_node;
+  for (const rose::TraceEvent& event : trace.events()) {
+    by_type[event.type]++;
+    by_node[event.node]++;
+  }
+  for (const auto& [type, count] : by_type) {
+    std::printf("  %-3s %d\n", std::string(rose::EventTypeName(type)).c_str(), count);
+  }
+  std::printf("events by node:\n");
+  for (const auto& [node, count] : by_node) {
+    std::printf("  node %d: %d\n", node, count);
+  }
+  std::printf("string pool: %zu strings, %zu payload bytes\n", trace.pool().size(),
+              trace.pool().payload_bytes());
+  if (!trace.empty()) {
+    std::printf("window span: %.3fs .. %.3fs (%.3fs)\n", rose::ToSeconds(trace[0].ts),
+                rose::ToSeconds(trace[trace.size() - 1].ts),
+                rose::ToSeconds(trace[trace.size() - 1].ts - trace[0].ts));
+  }
+  const size_t binary_bytes = trace.SerializeBinary().size();
+  const size_t text_bytes = trace.Serialize().size();
+  std::printf("encoded size: binary %zu bytes, text %zu bytes (%.0f%%)\n", binary_bytes,
+              text_bytes,
+              text_bytes == 0 ? 0.0 : 100.0 * static_cast<double>(binary_bytes) /
+                                          static_cast<double>(text_bytes));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  const uint64_t seed = argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 1234;
-
-  // Borrow the RedisRaft-42 deployment (any guest works; this one crashes
-  // nodes often enough to make an interesting trace).
-  const rose::BugSpec* spec = rose::FindBug("RedisRaft-42");
-  if (spec == nullptr) {
-    return 1;
+  uint64_t seed = 1234;
+  std::string save_path;
+  std::string load_path;
+  bool want_stats = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
+    } else {
+      seed = static_cast<uint64_t>(std::atoll(argv[i]));
+    }
   }
-  rose::BugRunner runner(spec);
 
-  std::printf("--- phase 1: profiling (failure-free run) ---\n");
-  const rose::Profile profile = runner.RunProfiling(seed);
-  std::printf("monitored (infrequent) functions: %zu\n", profile.monitored_functions.size());
-  for (int32_t fid : profile.monitored_functions) {
-    std::printf("  uprobe site: %s\n", spec->binary->NameOf(fid).c_str());
+  rose::Trace trace;
+  rose::Profile profile;
+  const rose::Profile* profile_for_extract = nullptr;
+
+  if (!load_path.empty()) {
+    std::ifstream in(load_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace_explorer: cannot open %s\n", load_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<rose::Diagnostic> diags;
+    trace = rose::Trace::Load(buf.str(), &diags);
+    std::printf("--- loaded %s: %zu events (%s) ---\n", load_path.c_str(), trace.size(),
+                rose::LooksLikeBinaryTrace(buf.str()) ? "binary" : "text");
+    for (const rose::Diagnostic& diag : diags) {
+      std::printf("  %s\n", diag.ToString().c_str());
+    }
+    if (trace.empty() && rose::HasErrors(diags)) {
+      return 1;
+    }
+  } else {
+    // Borrow the RedisRaft-42 deployment (any guest works; this one crashes
+    // nodes often enough to make an interesting trace).
+    const rose::BugSpec* spec = rose::FindBug("RedisRaft-42");
+    if (spec == nullptr) {
+      return 1;
+    }
+    rose::BugRunner runner(spec);
+
+    std::printf("--- phase 1: profiling (failure-free run) ---\n");
+    profile = runner.RunProfiling(seed);
+    profile_for_extract = &profile;
+    std::printf("monitored (infrequent) functions: %zu\n", profile.monitored_functions.size());
+    for (int32_t fid : profile.monitored_functions) {
+      std::printf("  uprobe site: %s\n", spec->binary->NameOf(fid).c_str());
+    }
+    std::printf("benign fault signatures learned: %zu\n\n",
+                profile.benign_scf_signatures.size());
+
+    std::printf("--- phase 2: production run under nemesis ---\n");
+    rose::RunOptions options;
+    options.seed = seed;
+    options.duration = spec->run_duration;
+    options.profile = &profile;
+    options.with_nemesis = true;
+    rose::RunOutcome outcome = runner.RunOnce(options);
+    std::printf("bug manifested: %s; trace window holds %zu events\n\n",
+                outcome.bug ? "yes" : "no", outcome.trace.size());
+    trace = std::move(outcome.trace);
   }
-  std::printf("benign fault signatures learned: %zu\n\n",
-              profile.benign_scf_signatures.size());
-
-  std::printf("--- phase 2: production run under nemesis ---\n");
-  rose::RunOptions options;
-  options.seed = seed;
-  options.duration = spec->run_duration;
-  options.profile = &profile;
-  options.with_nemesis = true;
-  const rose::RunOutcome outcome = runner.RunOnce(options);
-  std::printf("bug manifested: %s; trace window holds %zu events\n\n",
-              outcome.bug ? "yes" : "no", outcome.trace.size());
 
   std::map<rose::EventType, int> counts;
-  for (const rose::TraceEvent& event : outcome.trace.events()) {
+  for (const rose::TraceEvent& event : trace.events()) {
     counts[event.type]++;
   }
   std::printf("event mix: SCF=%d AF=%d ND=%d PS=%d\n", counts[rose::EventType::kSCF],
               counts[rose::EventType::kAF], counts[rose::EventType::kND],
               counts[rose::EventType::kPS]);
   std::printf("last 12 events of the window:\n");
-  const auto& events = outcome.trace.events();
+  const auto& events = trace.events();
   for (size_t i = events.size() > 12 ? events.size() - 12 : 0; i < events.size(); i++) {
-    std::printf("  %s\n", events[i].ToLine().c_str());
+    std::printf("  %s\n", events[i].ToLine(trace.pool()).c_str());
   }
 
-  std::printf("\n--- phase 2b: static trace validation (rose::analyze) ---\n");
+  std::printf("\n--- static trace validation (rose::analyze) ---\n");
   rose::TraceValidateOptions validate_options;
-  validate_options.profile = &profile;
+  validate_options.profile = profile_for_extract;
   const std::vector<rose::Diagnostic> trace_diags =
-      rose::TraceValidator(validate_options).Validate(outcome.trace);
+      rose::TraceValidator(validate_options).Validate(trace);
   if (trace_diags.empty()) {
     std::printf("trace passes validation: timestamps monotonic, pids attributed, "
                 "SCF errnos real, AF ids profiled.\n");
@@ -73,13 +162,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n--- phase 3: fault extraction (diagnosis front-end) ---\n");
-  const rose::ExtractionResult extraction = rose::ExtractFaults(outcome.trace, profile);
+  std::printf("\n--- fault extraction (diagnosis front-end) ---\n");
+  const rose::ExtractionResult extraction =
+      rose::ExtractFaults(trace, profile_for_extract != nullptr ? *profile_for_extract
+                                                                : rose::Profile{});
   std::printf("%d raw fault events; %d removed as benign (FR=%.0f%%); %zu candidates:\n",
               extraction.total_fault_events, extraction.removed_benign,
               extraction.fr_percent, extraction.faults.size());
   for (const rose::CandidateFault& fault : extraction.faults) {
     std::printf("  t=%.3fs  %s\n", rose::ToSeconds(fault.ts), fault.Label().c_str());
+  }
+
+  if (want_stats) {
+    PrintStats(trace);
+  }
+
+  if (!save_path.empty()) {
+    const bool text = save_path.size() > 4 &&
+                      save_path.compare(save_path.size() - 4, 4, ".txt") == 0;
+    std::ofstream out(save_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "trace_explorer: cannot write %s\n", save_path.c_str());
+      return 2;
+    }
+    const std::string encoded = text ? trace.Serialize() : trace.SerializeBinary();
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    std::printf("\nsaved %zu events to %s (%s, %zu bytes)\n", trace.size(), save_path.c_str(),
+                text ? "text" : "binary", encoded.size());
   }
   return 0;
 }

@@ -54,6 +54,16 @@ std::string_view DiagCodeName(DiagCode code) {
       return "TV103";
     case DiagCode::kUnknownAfFunction:
       return "TV104";
+    case DiagCode::kBadTraceMagic:
+      return "TB201";
+    case DiagCode::kBadTraceVersion:
+      return "TB202";
+    case DiagCode::kTruncatedTrace:
+      return "TB203";
+    case DiagCode::kCorruptTraceFrame:
+      return "TB204";
+    case DiagCode::kMalformedTraceFrame:
+      return "TB205";
   }
   return "??";
 }

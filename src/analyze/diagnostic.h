@@ -49,6 +49,12 @@ enum class DiagCode : int16_t {
   kOrphanPid,               // TV102: event from a pid the run never spawned.
   kScfWithOkErrno,          // TV103: "failure" event carrying Err::kOk.
   kUnknownAfFunction,       // TV104: AF function id absent from the profile.
+  // --- Binary trace container (TB...) ---
+  kBadTraceMagic,           // TB201: input lacks the binary-trace magic.
+  kBadTraceVersion,         // TB202: container version newer than this reader.
+  kTruncatedTrace,          // TB203: stream ends mid-frame / without an end frame.
+  kCorruptTraceFrame,       // TB204: frame payload fails its CRC32.
+  kMalformedTraceFrame,     // TB205: frame payload does not decode.
 };
 
 // Stable short form, e.g. "SL001" / "TV103" — what tests assert against and

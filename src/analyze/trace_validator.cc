@@ -34,7 +34,7 @@ Pid PidOf(const TraceEvent& event) {
 
 }  // namespace
 
-std::vector<Diagnostic> TraceValidator::Validate(const Trace& trace) const {
+std::vector<Diagnostic> TraceValidator::Validate(TraceView trace) const {
   std::vector<Diagnostic> diags;
   SimTime prev_ts = 0;
   for (size_t i = 0; i < trace.size(); i++) {

@@ -35,7 +35,9 @@ class TraceValidator {
   explicit TraceValidator(TraceValidateOptions options = {})
       : options_(std::move(options)) {}
 
-  std::vector<Diagnostic> Validate(const Trace& trace) const;
+  // Accepts any trace view (a Trace converts implicitly), including ones
+  // backed by a binary dump loaded via Trace::Load.
+  std::vector<Diagnostic> Validate(TraceView trace) const;
 
  private:
   TraceValidateOptions options_;

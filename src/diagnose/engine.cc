@@ -16,15 +16,15 @@ uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t schedule_hash, uint32_t run_
   return SplitMix64(state);
 }
 
-DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile,
+DiagnosisEngine::DiagnosisEngine(TraceView production, const Profile* profile,
                                  const BinaryInfo* binary, ScheduleRunner runner,
                                  DiagnosisConfig config)
     : production_(production), profile_(profile), binary_(binary),
       runner_(std::move(runner)), config_(std::move(config)),
-      production_index_(*production) {
+      production_index_(production) {
   ExtractOptions options;
   options.use_benign_filter = config_.use_benign_filter;
-  extraction_ = ExtractFaults(*production_, *profile_, options);
+  extraction_ = ExtractFaults(production_, *profile_, options);
 
   // The linter's known-node set: everything the production run spawned plus
   // the configured server nodes (amplification replicates onto those).
@@ -32,7 +32,7 @@ DiagnosisEngine::DiagnosisEngine(const Trace* production, const Profile* profile
   for (NodeId node : config_.server_nodes) {
     lint.known_nodes.insert(node);
   }
-  for (const TraceEvent& event : production_->events()) {
+  for (const TraceEvent& event : production_) {
     if (event.node != kNoNode) {
       lint.known_nodes.insert(event.node);
     }
@@ -99,7 +99,10 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
   tasks.reserve(static_cast<size_t>(config_.confirm_runs));
   for (int run = 0; run < config_.confirm_runs; run++) {
     const uint64_t seed = SeedFor(hash, base_index + static_cast<uint32_t>(run));
-    tasks.push_back([this, &schedule, seed] { return runner_(schedule, seed); });
+    // Reruns only answer "did the bug show?" — no window dump needed.
+    tasks.push_back([this, &schedule, seed] {
+      return runner_(ScheduleRunRequest{&schedule, seed, /*want_trace=*/false});
+    });
   }
   OrderedBatch<ScheduleRunOutcome> batch(pool_.get(), std::move(tasks));
 
@@ -167,21 +170,24 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
   const uint32_t committed = run_counters_[probe.hash];
   ScheduleRunOutcome outcome;
   if (batch != nullptr && probe.batch_slot >= 0 && committed == probe.tentative_index) {
-    outcome = batch->Get(static_cast<size_t>(probe.batch_slot));
+    // Each slot is consumed exactly once, so the batch's stored result can
+    // be moved out instead of copying a whole trace window.
+    outcome = std::move(batch->Get(static_cast<size_t>(probe.batch_slot)));
   } else {
     // Serial path, or the speculation missed: an intervening confirmation of
     // the same schedule advanced its run counter, so the pre-assigned seed
     // is stale. Re-run inline with the committed-index seed — this is what
     // keeps parallel results identical to serial ones.
-    outcome = runner_(probe.schedule, SeedFor(probe.hash, committed));
+    outcome = runner_(ScheduleRunRequest{&probe.schedule, SeedFor(probe.hash, committed)});
   }
   run_counters_[probe.hash] = committed + 1;
   result->total_runs++;
   result->virtual_time += outcome.virtual_duration;
+  const bool bug = outcome.bug;
   if (outcome_out != nullptr) {
-    *outcome_out = outcome;
+    *outcome_out = std::move(outcome);
   }
-  if (!outcome.bug) {
+  if (!bug) {
     return false;
   }
   const double rate = ConfirmBug(probe.schedule, result);
@@ -223,7 +229,8 @@ bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int l
     for (const PlannedProbe& probe : probes) {
       if (probe.batch_slot >= 0) {
         tasks.push_back([this, &probe] {
-          return runner_(probe.schedule, SeedFor(probe.hash, probe.tentative_index));
+          return runner_(
+              ScheduleRunRequest{&probe.schedule, SeedFor(probe.hash, probe.tentative_index)});
         });
       }
     }

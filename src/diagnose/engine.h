@@ -52,6 +52,17 @@ struct ScheduleRunOutcome {
   SimTime virtual_duration = 0;
 };
 
+// One requested execution of a candidate schedule. `want_trace` is false for
+// confirmBug reruns: only the bug verdict matters there, so the runner can
+// skip dumping (and copying back) the million-event window entirely. The
+// tracer must stay attached either way — its virtual-time costs are part of
+// the simulated execution, and dropping them would change the run.
+struct ScheduleRunRequest {
+  const FaultSchedule* schedule = nullptr;
+  uint64_t seed = 0;
+  bool want_trace = true;
+};
+
 // The seed for one execution of one candidate schedule. Deriving seeds from
 // (base_seed, canonical schedule hash, per-schedule run index) — instead of
 // bumping a shared counter per run — keeps every schedule's seed stream
@@ -109,9 +120,11 @@ struct DiagnosisResult {
 
 class DiagnosisEngine {
  public:
-  using ScheduleRunner = std::function<ScheduleRunOutcome(const FaultSchedule&, uint64_t seed)>;
+  using ScheduleRunner = std::function<ScheduleRunOutcome(const ScheduleRunRequest&)>;
 
-  DiagnosisEngine(const Trace* production, const Profile* profile, const BinaryInfo* binary,
+  // `production` is a non-owning view; the caller keeps the trace (and its
+  // string pool) alive and unmodified for the engine's lifetime.
+  DiagnosisEngine(TraceView production, const Profile* profile, const BinaryInfo* binary,
                   ScheduleRunner runner, DiagnosisConfig config);
 
   DiagnosisResult Run();
@@ -188,7 +201,7 @@ class DiagnosisEngine {
   bool Level3(FaultSchedule* schedule, const std::vector<size_t>& priority,
               DiagnosisResult* result);
 
-  const Trace* production_;
+  TraceView production_;
   const Profile* profile_;
   const BinaryInfo* binary_;
   ScheduleRunner runner_;

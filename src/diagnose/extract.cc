@@ -25,8 +25,10 @@ std::string CandidateFault::Label() const {
 
 namespace {
 
-// Groups overlapping ND events into partition faults.
-std::vector<CandidateFault> GroupNdEvents(const std::vector<TraceEvent>& nd_events) {
+// Groups overlapping ND events into partition faults. `nd_events` ids
+// resolve against `trace`'s pool.
+std::vector<CandidateFault> GroupNdEvents(TraceView trace,
+                                          const std::vector<TraceEvent>& nd_events) {
   struct Group {
     SimTime begin = 0;
     SimTime end = 0;
@@ -59,17 +61,16 @@ std::vector<CandidateFault> GroupNdEvents(const std::vector<TraceEvent>& nd_even
   std::vector<CandidateFault> out;
   for (const Group& group : groups) {
     // The isolated endpoint is the ip participating in the most pairs.
-    std::map<std::string, int> degree;
-    std::set<std::string> all_ips;
+    // Keys are resolved views into the trace's pool — ordered maps keep the
+    // historical lexicographic tie-break, with no per-ip allocation.
+    std::map<std::string_view, int> degree;
     SimTime max_duration = 0;
     for (const NdInfo& nd : group.members) {
-      degree[nd.src_ip]++;
-      degree[nd.dst_ip]++;
-      all_ips.insert(nd.src_ip);
-      all_ips.insert(nd.dst_ip);
+      degree[trace.str(nd.src_ip)]++;
+      degree[trace.str(nd.dst_ip)]++;
       max_duration = std::max(max_duration, nd.duration);
     }
-    std::string isolated;
+    std::string_view isolated;
     int best = -1;
     for (const auto& [ip, count] : degree) {
       if (count > best) {
@@ -81,10 +82,10 @@ std::vector<CandidateFault> GroupNdEvents(const std::vector<TraceEvent>& nd_even
     fault.kind = FaultKind::kNetworkPartition;
     fault.ts = group.begin;
     fault.nd_duration = max_duration;
-    fault.group_a = {isolated};
-    for (const std::string& ip : all_ips) {
+    fault.group_a = {std::string(isolated)};
+    for (const auto& [ip, count] : degree) {
       if (ip != isolated) {
-        fault.group_b.push_back(ip);
+        fault.group_b.emplace_back(ip);
       }
     }
     fault.node = group.node;
@@ -95,7 +96,7 @@ std::vector<CandidateFault> GroupNdEvents(const std::vector<TraceEvent>& nd_even
 
 }  // namespace
 
-ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
+ExtractionResult ExtractFaults(TraceView trace, const Profile& profile,
                                const ExtractOptions& options) {
   ExtractionResult result;
   std::vector<CandidateFault> faults;
@@ -103,22 +104,23 @@ ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
   std::set<std::string> seen_scf;
   std::map<NodeId, SimTime> last_crash;
 
-  for (const TraceEvent& event : trace.events()) {
+  for (const TraceEvent& event : trace) {
     switch (event.type) {
       case EventType::kSCF: {
         const ScfInfo& scf = event.scf();
+        const std::string filename(trace.str(scf.filename));
         result.total_fault_events++;
         const bool benign =
             options.use_benign_filter &&
             (profile.benign_scf_signatures.count(
-                 ScfSignature(scf.sys, scf.filename, scf.err)) != 0 ||
+                 ScfSignature(scf.sys, filename, scf.err)) != 0 ||
              profile.benign_scf_signatures.count(ScfSignature(scf.sys, "", scf.err)) != 0);
         if (benign) {
           result.removed_benign++;
           break;
         }
         const std::string dedup_key = StrFormat(
-            "%d|%d|%s|%d", event.node, static_cast<int>(scf.sys), scf.filename.c_str(),
+            "%d|%d|%s|%d", event.node, static_cast<int>(scf.sys), filename.c_str(),
             static_cast<int>(scf.err));
         if (!seen_scf.insert(dedup_key).second) {
           break;  // Repeat of an already-known failing call.
@@ -129,7 +131,7 @@ ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
         fault.ts = event.ts;
         fault.sys = scf.sys;
         fault.err = scf.err;
-        fault.filename = scf.filename;
+        fault.filename = filename;
         faults.push_back(std::move(fault));
         break;
       }
@@ -163,7 +165,8 @@ ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
         result.total_fault_events++;
         const NdInfo& nd = event.nd();
         if (options.use_benign_filter &&
-            profile.benign_nd_pairs.count({nd.src_ip, nd.dst_ip}) != 0) {
+            profile.benign_nd_pairs.count({std::string(trace.str(nd.src_ip)),
+                                           std::string(trace.str(nd.dst_ip))}) != 0) {
           result.removed_benign++;
           break;
         }
@@ -175,7 +178,7 @@ ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
     }
   }
 
-  std::vector<CandidateFault> partitions = GroupNdEvents(nd_events);
+  std::vector<CandidateFault> partitions = GroupNdEvents(trace, nd_events);
   faults.insert(faults.end(), partitions.begin(), partitions.end());
   std::stable_sort(faults.begin(), faults.end(),
                    [](const CandidateFault& a, const CandidateFault& b) { return a.ts < b.ts; });

@@ -63,7 +63,9 @@ struct ExtractOptions {
   bool use_benign_filter = true;
 };
 
-ExtractionResult ExtractFaults(const Trace& trace, const Profile& profile,
+// `trace` is a read-only view: candidate faults detach from it (filenames
+// and ip groups become owned strings), so the result outlives the trace.
+ExtractionResult ExtractFaults(TraceView trace, const Profile& profile,
                                const ExtractOptions& options = {});
 
 // Priority order for contextualization: PS first, then ND, then SCF,

@@ -3,17 +3,20 @@
 namespace rose {
 
 DiagnosisEngine::ScheduleRunner MakeScheduleRunner(BugRunner* runner, const Profile* profile) {
-  return [runner, profile](const FaultSchedule& schedule, uint64_t seed) {
+  return [runner, profile](const ScheduleRunRequest& request) {
     RunOptions options;
-    options.seed = seed;
+    options.seed = request.seed;
     options.duration = runner->spec().run_duration;
-    options.schedule = &schedule;
+    options.schedule = request.schedule;
     options.profile = profile;
-    const RunOutcome outcome = runner->RunOnce(options);
+    options.want_trace = request.want_trace;
+    RunOutcome outcome = runner->RunOnce(options);
     ScheduleRunOutcome result;
     result.bug = outcome.bug;
-    result.trace = outcome.trace;
-    result.feedback = outcome.feedback;
+    // Move, don't copy: the window can be a million events, and the engine
+    // runs thousands of candidates.
+    result.trace = std::move(outcome.trace);
+    result.feedback = std::move(outcome.feedback);
     result.virtual_duration = outcome.virtual_duration;
     return result;
   };
@@ -61,7 +64,7 @@ RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config) {
   }
   diagnosis_config.base_seed = config.seed * 1000 + 40000;
 
-  DiagnosisEngine engine(&*production, &report.profile, spec.binary,
+  DiagnosisEngine engine(*production, &report.profile, spec.binary,
                          MakeScheduleRunner(&runner, &report.profile), diagnosis_config);
   report.diagnosis = engine.Run();
   return report;

@@ -81,7 +81,9 @@ RunOutcome BugRunner::RunOnce(const RunOptions& options) const {
   RunOutcome outcome;
   outcome.bug = deployment.oracle ? deployment.oracle() : false;
   if (tracer.has_value()) {
-    outcome.trace = tracer->Dump();
+    if (options.want_trace) {
+      outcome.trace = tracer->Dump();
+    }
     outcome.tracer_stats = tracer->stats();
   }
   if (executor.has_value()) {
@@ -111,12 +113,12 @@ std::optional<Trace> BugRunner::ObtainProductionTrace(const Profile& profile,
     } else if (spec_->manual_production.has_value()) {
       options.schedule = &*spec_->manual_production;
     }
-    const RunOutcome outcome = RunOnce(options);
+    RunOutcome outcome = RunOnce(options);
     if (outcome.bug) {
       if (attempts_used != nullptr) {
         *attempts_used = attempt + 1;
       }
-      return outcome.trace;
+      return std::move(outcome.trace);
     }
   }
   if (attempts_used != nullptr) {

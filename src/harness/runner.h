@@ -24,6 +24,10 @@ struct RunOptions {
   const Profile* profile = nullptr;         // Supplies AF monitoring sites.
   TracerConfig tracer_config;               // Mode/window/etc.
   bool with_tracer = true;
+  // When false the tracer still runs (its virtual-time costs are part of the
+  // simulated execution) but the window is never dumped into the outcome —
+  // for runs that only need the bug verdict, e.g. confirmBug reruns.
+  bool want_trace = true;
 };
 
 struct RunOutcome {

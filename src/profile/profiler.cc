@@ -5,9 +5,13 @@
 
 namespace rose {
 
-std::string ScfSignature(Sys sys, const std::string& filename, Err err) {
-  return StrFormat("%s|%s|%s", std::string(SysName(sys)).c_str(), filename.c_str(),
-                   std::string(ErrName(err)).c_str());
+std::string ScfSignature(Sys sys, std::string_view filename, Err err) {
+  std::string out(SysName(sys));
+  out += '|';
+  out.append(filename);
+  out += '|';
+  out.append(ErrName(err));
+  return out;
 }
 
 Profiler::Profiler(SimKernel* kernel, const BinaryInfo* binary, ProfilerConfig config)
@@ -60,14 +64,15 @@ void Profiler::OnFunctionEnter(SimTime /*now*/, Pid pid, int32_t function_id) {
   }
 }
 
-void Profiler::AbsorbCleanTrace(const Trace& trace) {
-  for (const TraceEvent& event : trace.events()) {
+void Profiler::AbsorbCleanTrace(TraceView trace) {
+  for (const TraceEvent& event : trace) {
     if (event.type == EventType::kSCF) {
       const auto& scf = event.scf();
-      benign_scf_.insert(ScfSignature(scf.sys, scf.filename, scf.err));
+      benign_scf_.insert(ScfSignature(scf.sys, trace.str(scf.filename), scf.err));
       benign_scf_.insert(ScfSignature(scf.sys, "", scf.err));
     } else if (event.type == EventType::kND) {
-      benign_nd_.insert({event.nd().src_ip, event.nd().dst_ip});
+      benign_nd_.insert({std::string(trace.str(event.nd().src_ip)),
+                         std::string(trace.str(event.nd().dst_ip))});
     }
   }
 }

@@ -31,7 +31,7 @@ struct ProfilerConfig {
 };
 
 // Canonical signature of a benign SCF: "sys|filename|errno".
-std::string ScfSignature(Sys sys, const std::string& filename, Err err);
+std::string ScfSignature(Sys sys, std::string_view filename, Err err);
 
 struct Profile {
   // Monitoring sites for the tracing phase.
@@ -64,7 +64,7 @@ class Profiler : public KernelObserver {
 
   // Folds a clean-run trace (from a Rose tracer on the same run) into the
   // benign-fault baseline.
-  void AbsorbCleanTrace(const Trace& trace);
+  void AbsorbCleanTrace(TraceView trace);
 
   // Classifies candidates into frequent/infrequent using the elapsed virtual
   // time since Attach() and returns the finished profile.

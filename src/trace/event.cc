@@ -20,14 +20,15 @@ std::string_view EventTypeName(EventType type) {
   return "??";
 }
 
-std::string TraceEvent::ToLine() const {
+std::string TraceEvent::ToLine(const StringPool& pool) const {
   switch (type) {
     case EventType::kSCF: {
       const auto& scf_info = scf();
+      const std::string filename(pool.View(scf_info.filename));
       return StrFormat("%lld SCF node=%d pid=%d sys=%s fd=%d file=%s errno=%s",
                        static_cast<long long>(ts), node, scf_info.pid,
                        std::string(SysName(scf_info.sys)).c_str(), scf_info.fd,
-                       scf_info.filename.empty() ? "-" : scf_info.filename.c_str(),
+                       filename.empty() ? "-" : filename.c_str(),
                        std::string(ErrName(scf_info.err)).c_str());
     }
     case EventType::kAF: {
@@ -38,8 +39,10 @@ std::string TraceEvent::ToLine() const {
     case EventType::kND: {
       const auto& nd_info = nd();
       return StrFormat("%lld ND node=%d src=%s dst=%s dur=%lld pkts=%llu",
-                       static_cast<long long>(ts), node, nd_info.src_ip.c_str(),
-                       nd_info.dst_ip.c_str(), static_cast<long long>(nd_info.duration),
+                       static_cast<long long>(ts), node,
+                       std::string(pool.View(nd_info.src_ip)).c_str(),
+                       std::string(pool.View(nd_info.dst_ip)).c_str(),
+                       static_cast<long long>(nd_info.duration),
                        static_cast<unsigned long long>(nd_info.packet_count));
     }
     case EventType::kPS: {
@@ -71,7 +74,7 @@ bool TokenInt(const std::string& token, std::string_view key, int64_t* out) {
 
 }  // namespace
 
-bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
+bool TraceEvent::FromLine(const std::string& line, StringPool* pool, TraceEvent* out) {
   const std::vector<std::string> tokens = Split(line, ' ');
   if (tokens.size() < 3) {
     return false;
@@ -97,13 +100,13 @@ bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
       } else if (TokenValue(token, "sys", &text)) {
         SysFromName(text, &info.sys);
       } else if (TokenValue(token, "file", &text)) {
-        info.filename = text == "-" ? "" : text;
+        info.filename = pool->Intern(text == "-" ? "" : text);
       } else if (TokenValue(token, "errno", &text)) {
         info.err = ErrFromName(text);
       }
     }
     out->type = EventType::kSCF;
-    out->info = std::move(info);
+    out->info = info;
     return true;
   }
   if (type == "AF") {
@@ -126,9 +129,9 @@ bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
     for (const auto& token : tokens) {
       std::string text;
       if (TokenValue(token, "src", &text)) {
-        info.src_ip = text;
+        info.src_ip = pool->Intern(text);
       } else if (TokenValue(token, "dst", &text)) {
-        info.dst_ip = text;
+        info.dst_ip = pool->Intern(text);
       } else if (TokenInt(token, "dur", &value)) {
         info.duration = value;
       } else if (TokenInt(token, "pkts", &value)) {
@@ -136,7 +139,7 @@ bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
       }
     }
     out->type = EventType::kND;
-    out->info = std::move(info);
+    out->info = info;
     return true;
   }
   if (type == "PS") {
@@ -167,6 +170,55 @@ bool TraceEvent::FromLine(const std::string& line, TraceEvent* out) {
   return false;
 }
 
+namespace {
+
+// Re-interns one id from `source` into `dest`, memoizing via `cache` (a
+// source-id -> dest-id table) when provided.
+StrId RemapId(StrId id, const StringPool& source, StringPool* dest,
+              std::vector<StrId>* cache) {
+  if (id == kEmptyStrId) {
+    return kEmptyStrId;
+  }
+  constexpr StrId kUnmapped = static_cast<StrId>(-1);
+  if (cache != nullptr) {
+    if (cache->size() < source.size()) {
+      cache->resize(source.size(), kUnmapped);
+    }
+    if (id < cache->size() && (*cache)[id] != kUnmapped) {
+      return (*cache)[id];
+    }
+  }
+  const StrId mapped = dest->Intern(source.View(id));
+  if (cache != nullptr && id < cache->size()) {
+    (*cache)[id] = mapped;
+  }
+  return mapped;
+}
+
+}  // namespace
+
+void Trace::AppendRemapped(const TraceEvent& event, const StringPool& source,
+                           std::vector<StrId>* cache) {
+  TraceEvent copy = event;
+  switch (copy.type) {
+    case EventType::kSCF: {
+      auto& info = std::get<ScfInfo>(copy.info);
+      info.filename = RemapId(info.filename, source, &pool_, cache);
+      break;
+    }
+    case EventType::kND: {
+      auto& info = std::get<NdInfo>(copy.info);
+      info.src_ip = RemapId(info.src_ip, source, &pool_, cache);
+      info.dst_ip = RemapId(info.dst_ip, source, &pool_, cache);
+      break;
+    }
+    case EventType::kAF:
+    case EventType::kPS:
+      break;
+  }
+  events_.push_back(std::move(copy));
+}
+
 std::vector<TraceEvent> Trace::OfType(EventType type) const {
   std::vector<TraceEvent> out;
   for (const auto& event : events_) {
@@ -178,8 +230,12 @@ std::vector<TraceEvent> Trace::OfType(EventType type) const {
 }
 
 std::vector<AfInfo> Trace::FunctionsBefore(NodeId node, SimTime before) const {
+  return TraceView(*this).FunctionsBefore(node, before);
+}
+
+std::vector<AfInfo> TraceView::FunctionsBefore(NodeId node, SimTime before) const {
   std::vector<AfInfo> out;
-  for (const auto& event : events_) {
+  for (const auto& event : *this) {
     if (event.ts > before) {
       break;  // Inclusive: an AF at the fault's own timestamp (the function
               // the process was executing when it died) still precedes it.
@@ -192,10 +248,60 @@ std::vector<AfInfo> Trace::FunctionsBefore(NodeId node, SimTime before) const {
   return out;
 }
 
+bool TraceEquals(TraceView a, TraceView b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); i++) {
+    const TraceEvent& ea = a[i];
+    const TraceEvent& eb = b[i];
+    if (ea.ts != eb.ts || ea.node != eb.node || ea.type != eb.type) {
+      return false;
+    }
+    switch (ea.type) {
+      case EventType::kSCF: {
+        const ScfInfo& sa = ea.scf();
+        const ScfInfo& sb = eb.scf();
+        if (sa.pid != sb.pid || sa.sys != sb.sys || sa.fd != sb.fd || sa.err != sb.err ||
+            a.str(sa.filename) != b.str(sb.filename)) {
+          return false;
+        }
+        break;
+      }
+      case EventType::kAF: {
+        const AfInfo& fa = ea.af();
+        const AfInfo& fb = eb.af();
+        if (fa.pid != fb.pid || fa.function_id != fb.function_id) {
+          return false;
+        }
+        break;
+      }
+      case EventType::kND: {
+        const NdInfo& na = ea.nd();
+        const NdInfo& nb = eb.nd();
+        if (na.duration != nb.duration || na.packet_count != nb.packet_count ||
+            a.str(na.src_ip) != b.str(nb.src_ip) || a.str(na.dst_ip) != b.str(nb.dst_ip)) {
+          return false;
+        }
+        break;
+      }
+      case EventType::kPS: {
+        const PsInfo& pa = ea.ps();
+        const PsInfo& pb = eb.ps();
+        if (pa.pid != pb.pid || pa.state != pb.state || pa.duration != pb.duration) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
 std::string Trace::Serialize() const {
   std::string out;
   for (const auto& event : events_) {
-    out += event.ToLine();
+    out += event.ToLine(pool_);
     out += '\n';
   }
   return out;
@@ -208,7 +314,7 @@ Trace Trace::Parse(const std::string& text) {
       continue;
     }
     TraceEvent event;
-    if (TraceEvent::FromLine(line, &event)) {
+    if (TraceEvent::FromLine(line, &trace.pool(), &event)) {
       trace.Append(std::move(event));
     }
   }
@@ -219,7 +325,9 @@ Trace Trace::Merge(const std::vector<Trace>& traces) {
   // Per-node dumps are already timestamp-ordered, so a k-way merge beats
   // concat + stable_sort. Stability contract: ties keep input-trace order
   // (trace 0's events before trace 1's), and order within a trace — exactly
-  // what stable_sort over the concatenation produced.
+  // what stable_sort over the concatenation produced. Strings are
+  // re-interned into the merged trace's own pool; the per-input caches make
+  // that one hash lookup per distinct string, not per event.
   size_t total = 0;
   bool all_sorted = true;
   for (const auto& trace : traces) {
@@ -231,17 +339,26 @@ Trace Trace::Merge(const std::vector<Trace>& traces) {
       }
     }
   }
-  std::vector<TraceEvent> all;
-  all.reserve(total);
+  Trace out;
+  out.events().reserve(total);
+  std::vector<std::vector<StrId>> remap(traces.size());
   if (!all_sorted) {
     // An unsorted input would break the merge invariant; fall back to the
     // sort so behavior matches the historical contract bit-for-bit.
-    for (const auto& trace : traces) {
-      all.insert(all.end(), trace.events().begin(), trace.events().end());
+    std::vector<std::pair<size_t, const TraceEvent*>> all;
+    all.reserve(total);
+    for (size_t t = 0; t < traces.size(); t++) {
+      for (const TraceEvent& event : traces[t].events()) {
+        all.emplace_back(t, &event);
+      }
     }
-    std::stable_sort(all.begin(), all.end(),
-                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
-    return Trace(std::move(all));
+    std::stable_sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      return a.second->ts < b.second->ts;
+    });
+    for (const auto& [t, event] : all) {
+      out.AppendRemapped(*event, traces[t].pool(), &remap[t]);
+    }
+    return out;
   }
 
   struct Cursor {
@@ -269,17 +386,18 @@ Trace Trace::Merge(const std::vector<Trace>& traces) {
     std::pop_heap(heap.begin(), heap.end(), later);
     Cursor cursor = heap.back();
     heap.pop_back();
-    all.push_back(traces[cursor.trace].events()[cursor.pos]);
+    out.AppendRemapped(traces[cursor.trace].events()[cursor.pos], traces[cursor.trace].pool(),
+                       &remap[cursor.trace]);
     if (++cursor.pos < traces[cursor.trace].size()) {
       heap.push_back(cursor);
       std::push_heap(heap.begin(), heap.end(), later);
     }
   }
-  return Trace(std::move(all));
+  return out;
 }
 
-TraceIndex::TraceIndex(const Trace& trace) {
-  for (const TraceEvent& event : trace.events()) {
+TraceIndex::TraceIndex(TraceView trace) {
+  for (const TraceEvent& event : trace) {
     if (event.type != EventType::kAF) {
       continue;
     }

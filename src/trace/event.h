@@ -8,6 +8,13 @@
 //   PS  — process state {pid, state, duration}
 // Events carry the node id of the originating process so multi-node merged
 // traces stay attributable.
+//
+// Strings (SCF filenames, ND ip addresses) are interned: events store 32-bit
+// StrIds resolved against the StringPool owned by the containing Trace.
+// That keeps TraceEvent fixed-size and trivially copyable-cheap, which is
+// what lets a million-event window be snapshotted, merged, and serialized
+// without a million heap strings. Ids are pool-relative — moving an event
+// into another trace goes through Trace::AppendRemapped.
 #ifndef SRC_TRACE_EVENT_H_
 #define SRC_TRACE_EVENT_H_
 
@@ -20,8 +27,11 @@
 #include "src/os/process.h"
 #include "src/os/syscall.h"
 #include "src/sim/time.h"
+#include "src/trace/string_pool.h"
 
 namespace rose {
+
+struct Diagnostic;  // src/analyze/diagnostic.h — binary load reports through it.
 
 enum class EventType : int8_t { kSCF = 0, kAF, kND, kPS };
 
@@ -31,7 +41,9 @@ struct ScfInfo {
   Pid pid = kNoPid;
   Sys sys = Sys::kOpen;
   int32_t fd = -1;
-  std::string filename;  // Resolved from the fd map during dump post-processing.
+  // Interned pathname (resolved from the fd map during dump post-processing);
+  // kEmptyStrId when unknown.
+  StrId filename = kEmptyStrId;
   Err err = Err::kOk;
 };
 
@@ -41,8 +53,8 @@ struct AfInfo {
 };
 
 struct NdInfo {
-  std::string src_ip;
-  std::string dst_ip;
+  StrId src_ip = kEmptyStrId;
+  StrId dst_ip = kEmptyStrId;
   SimTime duration = 0;
   uint64_t packet_count = 0;
 };
@@ -64,17 +76,23 @@ struct TraceEvent {
   const NdInfo& nd() const { return std::get<NdInfo>(info); }
   const PsInfo& ps() const { return std::get<PsInfo>(info); }
 
-  // One-line textual form (the on-disk dump format).
-  std::string ToLine() const;
-  // Parses a line produced by ToLine(); returns false on malformed input.
-  static bool FromLine(const std::string& line, TraceEvent* out);
+  // One-line textual form (the human-readable dump format); `pool` resolves
+  // the event's interned strings.
+  std::string ToLine(const StringPool& pool) const;
+  // Parses a line produced by ToLine(), interning strings into `pool`;
+  // returns false on malformed input.
+  static bool FromLine(const std::string& line, StringPool* pool, TraceEvent* out);
 };
 
-// A dumped trace window, ordered by timestamp.
+// A dumped trace window, ordered by timestamp. Owns the string pool its
+// events' StrIds resolve against.
 class Trace {
  public:
   Trace() = default;
-  explicit Trace(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+  // Adopts `events` whose ids already resolve against `pool` (the tracer's
+  // dump and the binary reader build traces this way).
+  Trace(std::vector<TraceEvent> events, StringPool pool)
+      : events_(std::move(events)), pool_(std::move(pool)) {}
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::vector<TraceEvent>& events() { return events_; }
@@ -82,24 +100,90 @@ class Trace {
   bool empty() const { return events_.empty(); }
   const TraceEvent& operator[](size_t i) const { return events_[i]; }
 
+  const StringPool& pool() const { return pool_; }
+  StringPool& pool() { return pool_; }
+  // Interns into this trace's pool (use when constructing events in place).
+  StrId Intern(std::string_view s) { return pool_.Intern(s); }
+  // Resolves an id from this trace's pool.
+  std::string_view str(StrId id) const { return pool_.View(id); }
+
+  // Appends an event whose ids already resolve against this trace's pool.
   void Append(TraceEvent event) { events_.push_back(std::move(event)); }
 
-  // Events of one type, in order.
+  // Appends an event from another trace, re-interning its strings from
+  // `source` into this trace's pool. `cache` (optional) memoizes the
+  // source-id -> local-id mapping across calls with the same source pool.
+  void AppendRemapped(const TraceEvent& event, const StringPool& source,
+                      std::vector<StrId>* cache = nullptr);
+
+  // Events of one type, in order. The returned events' ids still resolve
+  // against this trace's pool.
   std::vector<TraceEvent> OfType(EventType type) const;
   // AF events on `node` with ts < `before`, most recent first — the
   // "functions which precede F" input to Algorithm 1.
   std::vector<AfInfo> FunctionsBefore(NodeId node, SimTime before) const;
 
-  // Serialization (one event per line).
+  // Text serialization (one event per line).
   std::string Serialize() const;
   static Trace Parse(const std::string& text);
 
-  // Merges per-node traces into one timestamp-ordered trace (stable for ties).
+  // Binary serialization (magic + framed chunks; see src/trace/trace_io.h
+  // and DESIGN.md §9). ParseBinary never throws: corrupt or truncated input
+  // yields the events of every intact frame plus Diagnostics (appended to
+  // `diags` when non-null) describing what was dropped.
+  std::string SerializeBinary() const;
+  static Trace ParseBinary(std::string_view data, std::vector<Diagnostic>* diags = nullptr);
+  // Auto-detects binary (magic header) vs text and parses accordingly.
+  static Trace Load(std::string_view data, std::vector<Diagnostic>* diags = nullptr);
+
+  // Merges per-node traces into one timestamp-ordered trace (stable for
+  // ties), re-interning every input's strings into the merged trace's pool.
   static Trace Merge(const std::vector<Trace>& traces);
 
  private:
   std::vector<TraceEvent> events_;
+  StringPool pool_;
 };
+
+// A non-owning, read-only view of a trace: a span of events plus the pool
+// their ids resolve against. Views are two pointers and a length — pass them
+// by value. The viewed trace must outlive the view unmodified (growing the
+// trace may relocate both the events and the pool arena); every read-only
+// consumer (extraction, validation, profiling absorption, indexing) takes a
+// TraceView so callers never copy a window just to inspect it.
+class TraceView {
+ public:
+  TraceView() = default;
+  TraceView(const TraceEvent* events, size_t count, const StringPool* pool)
+      : events_(events), count_(count), pool_(pool) {}
+  // Implicit: any API taking a TraceView accepts a Trace directly.
+  TraceView(const Trace& trace)  // NOLINT(google-explicit-constructor)
+      : events_(trace.events().data()), count_(trace.size()), pool_(&trace.pool()) {}
+
+  const TraceEvent* begin() const { return events_; }
+  const TraceEvent* end() const { return events_ + count_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const TraceEvent& operator[](size_t i) const { return events_[i]; }
+
+  const StringPool& pool() const {
+    static const StringPool kEmptyPool;
+    return pool_ == nullptr ? kEmptyPool : *pool_;
+  }
+  std::string_view str(StrId id) const { return pool().View(id); }
+
+  // Same contract as Trace::FunctionsBefore.
+  std::vector<AfInfo> FunctionsBefore(NodeId node, SimTime before) const;
+
+ private:
+  const TraceEvent* events_ = nullptr;
+  size_t count_ = 0;
+  const StringPool* pool_ = nullptr;
+};
+
+// Semantic equality: same event sequence with identical resolved strings
+// (the underlying StrIds may differ between pools).
+bool TraceEquals(TraceView a, TraceView b);
 
 // Memoized FunctionsBefore over an immutable, timestamp-ordered trace.
 //
@@ -109,13 +193,13 @@ class Trace {
 // buckets AF events per node once (O(events) build) and answers each query
 // with one binary search plus the size of the answer.
 //
-// Precondition: the trace's events are ordered by ts (true for merged /
+// Precondition: the viewed events are ordered by ts (true for merged /
 // parsed production dumps) and the trace outlives the index unmodified.
 // Results are bit-identical to Trace::FunctionsBefore on such traces.
 class TraceIndex {
  public:
   TraceIndex() = default;
-  explicit TraceIndex(const Trace& trace);
+  explicit TraceIndex(TraceView trace);
 
   // AF events on `node` with ts <= `before`, most recent first.
   std::vector<AfInfo> FunctionsBefore(NodeId node, SimTime before) const;

@@ -1,0 +1,495 @@
+#include "src/trace/trace_io.h"
+
+#include <array>
+
+#include "src/common/strings.h"
+
+namespace rose {
+
+namespace {
+
+constexpr uint8_t kFramePool = 1;
+constexpr uint8_t kFrameEvents = 2;
+constexpr uint8_t kFrameEnd = 3;
+// kind + payload_len + crc32.
+constexpr size_t kFrameHeaderSize = 1 + 4 + 4;
+constexpr size_t kStreamHeaderSize = 4 + 2 + 2;
+
+void PutU16LE(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32LE(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; i++) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16LE(std::string_view data) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(data[0]) |
+                               (static_cast<uint8_t>(data[1]) << 8));
+}
+
+uint32_t GetU32LE(std::string_view data) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; i++) {
+    value |= static_cast<uint32_t>(static_cast<uint8_t>(data[i])) << (8 * i);
+  }
+  return value;
+}
+
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; bit++) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(std::string_view* data, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t i = 0;
+  while (i < data->size() && shift < 64) {
+    const auto byte = static_cast<uint8_t>((*data)[i++]);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      data->remove_prefix(i);
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Ran off the end, or more than 10 continuation bytes.
+}
+
+uint32_t Crc32(std::string_view data) {
+  const auto& table = Crc32Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool LooksLikeBinaryTrace(std::string_view data) {
+  return data.size() >= 4 && data[0] == kTraceMagic[0] && data[1] == kTraceMagic[1] &&
+         data[2] == kTraceMagic[2] && data[3] == kTraceMagic[3];
+}
+
+// --- TraceWriter ------------------------------------------------------------
+
+TraceWriter::TraceWriter(std::string* out, const StringPool* pool, size_t events_per_frame)
+    : out_(out), pool_(pool),
+      events_per_frame_(events_per_frame == 0 ? 1 : events_per_frame) {
+  out_->append(kTraceMagic, sizeof(kTraceMagic));
+  PutU16LE(out_, kTraceFormatVersion);
+  PutU16LE(out_, 0);  // Reserved.
+}
+
+void TraceWriter::EmitFrame(uint8_t kind, std::string_view payload) {
+  out_->push_back(static_cast<char>(kind));
+  PutU32LE(out_, static_cast<uint32_t>(payload.size()));
+  PutU32LE(out_, Crc32(payload));
+  out_->append(payload);
+}
+
+void TraceWriter::FlushPool() {
+  if (pool_flushed_ >= pool_->size()) {
+    return;
+  }
+  std::string payload;
+  PutVarint(&payload, pool_flushed_);
+  PutVarint(&payload, pool_->size() - pool_flushed_);
+  for (size_t id = pool_flushed_; id < pool_->size(); id++) {
+    const std::string_view s = pool_->View(static_cast<StrId>(id));
+    PutVarint(&payload, s.size());
+    payload.append(s);
+  }
+  pool_flushed_ = pool_->size();
+  EmitFrame(kFramePool, payload);
+}
+
+void TraceWriter::FlushEvents() {
+  if (buffered_ == 0) {
+    return;
+  }
+  // Strings first: an event frame only references ids already streamed.
+  FlushPool();
+  std::string payload;
+  PutVarint(&payload, buffered_);
+  payload.append(events_payload_);
+  EmitFrame(kFrameEvents, payload);
+  events_payload_.clear();
+  buffered_ = 0;
+}
+
+void TraceWriter::Add(const TraceEvent& event) {
+  std::string* p = &events_payload_;
+  PutVarint(p, ZigZagEncode(event.ts - prev_ts_));
+  prev_ts_ = event.ts;
+  p->push_back(static_cast<char>(event.type));
+  PutVarint(p, ZigZagEncode(event.node));
+  switch (event.type) {
+    case EventType::kSCF: {
+      const ScfInfo& info = event.scf();
+      PutVarint(p, ZigZagEncode(info.pid));
+      PutVarint(p, static_cast<uint64_t>(info.sys));
+      PutVarint(p, ZigZagEncode(info.fd));
+      PutVarint(p, info.filename);
+      PutVarint(p, static_cast<uint64_t>(info.err));
+      break;
+    }
+    case EventType::kAF: {
+      const AfInfo& info = event.af();
+      PutVarint(p, ZigZagEncode(info.pid));
+      PutVarint(p, ZigZagEncode(info.function_id));
+      break;
+    }
+    case EventType::kND: {
+      const NdInfo& info = event.nd();
+      PutVarint(p, info.src_ip);
+      PutVarint(p, info.dst_ip);
+      PutVarint(p, ZigZagEncode(info.duration));
+      PutVarint(p, info.packet_count);
+      break;
+    }
+    case EventType::kPS: {
+      const PsInfo& info = event.ps();
+      PutVarint(p, ZigZagEncode(info.pid));
+      p->push_back(static_cast<char>(info.state));
+      PutVarint(p, ZigZagEncode(info.duration));
+      break;
+    }
+  }
+  if (++buffered_ >= events_per_frame_) {
+    FlushEvents();
+  }
+}
+
+void TraceWriter::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  FlushEvents();
+  // The full pool is part of the artifact even when no event references the
+  // tail (e.g. an empty trace still round-trips its pool).
+  FlushPool();
+  EmitFrame(kFrameEnd, {});
+}
+
+// --- TraceReader ------------------------------------------------------------
+
+TraceReader::TraceReader(std::string_view data) : rest_(data) {
+  if (!LooksLikeBinaryTrace(data)) {
+    Fail(DiagCode::kBadTraceMagic, Severity::kError,
+         StrFormat("input does not start with the RTRC magic (%zu bytes)", data.size()),
+         "is this a text dump? Trace::Load auto-detects the format");
+    return;
+  }
+  if (data.size() < kStreamHeaderSize) {
+    Fail(DiagCode::kTruncatedTrace, Severity::kError,
+         "stream ends inside the container header",
+         "the dump was cut off while writing its first 8 bytes");
+    return;
+  }
+  const uint16_t version = GetU16LE(data.substr(4, 2));
+  if (version > kTraceFormatVersion) {
+    Fail(DiagCode::kBadTraceVersion, Severity::kError,
+         StrFormat("container version %u, this reader understands <= %u", version,
+                   kTraceFormatVersion),
+         "re-dump with this build, or upgrade the reader");
+    return;
+  }
+  rest_.remove_prefix(kStreamHeaderSize);
+}
+
+void TraceReader::Fail(DiagCode code, Severity severity, std::string message,
+                       std::string hint) {
+  Diagnostic diag;
+  diag.code = code;
+  diag.severity = severity;
+  diag.message = std::move(message);
+  diag.hint = std::move(hint);
+  diags_.push_back(std::move(diag));
+  if (severity == Severity::kError) {
+    done_ = true;
+  }
+}
+
+bool TraceReader::ok() const {
+  for (const Diagnostic& diag : diags_) {
+    if (diag.severity == Severity::kError) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TraceReader::DecodePoolFrame(std::string_view payload) {
+  uint64_t first_id = 0;
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &first_id) || !GetVarint(&payload, &count)) {
+    return false;
+  }
+  if (first_id != pool_.size()) {
+    // Ids must be dense and in stream order, or event ids resolve wrongly.
+    return false;
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t length = 0;
+    if (!GetVarint(&payload, &length) || length > payload.size()) {
+      return false;
+    }
+    const std::string_view s = payload.substr(0, length);
+    if (pool_.Intern(s) != first_id + i) {
+      return false;  // Duplicate or empty string would desynchronize ids.
+    }
+    payload.remove_prefix(length);
+  }
+  return payload.empty();
+}
+
+bool TraceReader::DecodeEventFrame(std::string_view payload) {
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &count)) {
+    return false;
+  }
+  frame_events_.clear();
+  frame_events_.reserve(count);
+  frame_pos_ = 0;
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t raw = 0;
+    if (!GetVarint(&payload, &raw)) {
+      return false;
+    }
+    TraceEvent event;
+    event.ts = prev_ts_ + ZigZagDecode(raw);
+    prev_ts_ = event.ts;
+    if (payload.empty()) {
+      return false;
+    }
+    const auto type = static_cast<uint8_t>(payload[0]);
+    payload.remove_prefix(1);
+    if (type > static_cast<uint8_t>(EventType::kPS)) {
+      return false;
+    }
+    event.type = static_cast<EventType>(type);
+    if (!GetVarint(&payload, &raw)) {
+      return false;
+    }
+    event.node = static_cast<NodeId>(ZigZagDecode(raw));
+    switch (event.type) {
+      case EventType::kSCF: {
+        ScfInfo info;
+        uint64_t sys = 0;
+        uint64_t filename = 0;
+        uint64_t err = 0;
+        uint64_t pid = 0;
+        uint64_t fd = 0;
+        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &sys) ||
+            !GetVarint(&payload, &fd) || !GetVarint(&payload, &filename) ||
+            !GetVarint(&payload, &err) || filename >= pool_.size()) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.sys = static_cast<Sys>(sys);
+        info.fd = static_cast<int32_t>(ZigZagDecode(fd));
+        info.filename = static_cast<StrId>(filename);
+        info.err = static_cast<Err>(err);
+        event.info = info;
+        break;
+      }
+      case EventType::kAF: {
+        AfInfo info;
+        uint64_t pid = 0;
+        uint64_t fid = 0;
+        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &fid)) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.function_id = static_cast<int32_t>(ZigZagDecode(fid));
+        event.info = info;
+        break;
+      }
+      case EventType::kND: {
+        NdInfo info;
+        uint64_t src = 0;
+        uint64_t dst = 0;
+        uint64_t duration = 0;
+        uint64_t packets = 0;
+        if (!GetVarint(&payload, &src) || !GetVarint(&payload, &dst) ||
+            !GetVarint(&payload, &duration) || !GetVarint(&payload, &packets) ||
+            src >= pool_.size() || dst >= pool_.size()) {
+          return false;
+        }
+        info.src_ip = static_cast<StrId>(src);
+        info.dst_ip = static_cast<StrId>(dst);
+        info.duration = ZigZagDecode(duration);
+        info.packet_count = packets;
+        event.info = info;
+        break;
+      }
+      case EventType::kPS: {
+        PsInfo info;
+        uint64_t pid = 0;
+        uint64_t duration = 0;
+        if (!GetVarint(&payload, &pid) || payload.empty()) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.state = static_cast<ProcState>(payload[0]);
+        payload.remove_prefix(1);
+        if (!GetVarint(&payload, &duration)) {
+          return false;
+        }
+        info.duration = ZigZagDecode(duration);
+        event.info = info;
+        break;
+      }
+    }
+    frame_events_.push_back(std::move(event));
+  }
+  return payload.empty();
+}
+
+bool TraceReader::LoadFrame() {
+  while (!done_) {
+    if (rest_.empty()) {
+      if (!saw_end_) {
+        Fail(DiagCode::kTruncatedTrace, Severity::kError,
+             "stream ends without an end-of-stream frame",
+             "the dump was cut off at a frame boundary; events up to here are intact");
+      }
+      done_ = true;
+      return false;
+    }
+    if (saw_end_) {
+      Fail(DiagCode::kMalformedTraceFrame, Severity::kWarning,
+           StrFormat("%zu trailing bytes after the end-of-stream frame", rest_.size()),
+           "trailing garbage is ignored");
+      done_ = true;
+      return false;
+    }
+    if (rest_.size() < kFrameHeaderSize) {
+      Fail(DiagCode::kTruncatedTrace, Severity::kError,
+           StrFormat("stream ends inside a frame header (%zu bytes left)", rest_.size()),
+           "the dump was cut off mid-frame; events up to here are intact");
+      return false;
+    }
+    const auto kind = static_cast<uint8_t>(rest_[0]);
+    const uint32_t payload_len = GetU32LE(rest_.substr(1, 4));
+    const uint32_t crc = GetU32LE(rest_.substr(5, 4));
+    if (rest_.size() - kFrameHeaderSize < payload_len) {
+      Fail(DiagCode::kTruncatedTrace, Severity::kError,
+           StrFormat("frame announces %u payload bytes but only %zu remain", payload_len,
+                     rest_.size() - kFrameHeaderSize),
+           "the dump was cut off mid-frame; events up to here are intact");
+      return false;
+    }
+    const std::string_view payload = rest_.substr(kFrameHeaderSize, payload_len);
+    rest_.remove_prefix(kFrameHeaderSize + payload_len);
+    if (Crc32(payload) != crc) {
+      Fail(DiagCode::kCorruptTraceFrame, Severity::kError,
+           StrFormat("frame payload (%u bytes, kind %u) fails its CRC32", payload_len, kind),
+           "the dump was corrupted at rest; events before this frame are intact");
+      return false;
+    }
+    switch (kind) {
+      case kFramePool:
+        if (!DecodePoolFrame(payload)) {
+          Fail(DiagCode::kMalformedTraceFrame, Severity::kError,
+               "string-pool frame does not decode",
+               "the dump was written by a broken or incompatible writer");
+          return false;
+        }
+        break;
+      case kFrameEvents:
+        if (!DecodeEventFrame(payload)) {
+          frame_events_.clear();
+          frame_pos_ = 0;
+          Fail(DiagCode::kMalformedTraceFrame, Severity::kError,
+               "event frame does not decode",
+               "the dump was written by a broken or incompatible writer");
+          return false;
+        }
+        if (!frame_events_.empty()) {
+          return true;
+        }
+        break;
+      case kFrameEnd:
+        saw_end_ = true;
+        break;
+      default:
+        // Unknown frame kinds are skippable by construction (forward
+        // compatibility): the CRC already proved the payload intact.
+        break;
+    }
+  }
+  return false;
+}
+
+bool TraceReader::Next(TraceEvent* out) {
+  if (frame_pos_ >= frame_events_.size()) {
+    if (!LoadFrame()) {
+      return false;
+    }
+  }
+  *out = frame_events_[frame_pos_++];
+  return true;
+}
+
+// --- Trace binary entry points ---------------------------------------------
+
+std::string Trace::SerializeBinary() const {
+  std::string out;
+  TraceWriter writer(&out, &pool_);
+  for (const TraceEvent& event : events_) {
+    writer.Add(event);
+  }
+  writer.Finish();
+  return out;
+}
+
+Trace Trace::ParseBinary(std::string_view data, std::vector<Diagnostic>* diags) {
+  TraceReader reader(data);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.Next(&event)) {
+    events.push_back(event);
+  }
+  if (diags != nullptr) {
+    diags->insert(diags->end(), reader.diagnostics().begin(), reader.diagnostics().end());
+  }
+  // The reader interned ids in stream order, so its pool resolves the
+  // decoded events directly.
+  return Trace(std::move(events), reader.pool());
+}
+
+Trace Trace::Load(std::string_view data, std::vector<Diagnostic>* diags) {
+  if (LooksLikeBinaryTrace(data)) {
+    return ParseBinary(data, diags);
+  }
+  return Parse(std::string(data));
+}
+
+}  // namespace rose

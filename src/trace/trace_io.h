@@ -1,0 +1,135 @@
+// Binary trace container (DESIGN.md §9).
+//
+// The paper's `dump` primitive turns the in-kernel window into a durable
+// artifact the diagnosis phase re-reads thousands of times; text lines make
+// that artifact ~10x larger and ~10x slower to parse than necessary. The
+// binary container stores the interned string table and varint-delta
+// encoded events in CRC-checked frames:
+//
+//   header:  'R' 'T' 'R' 'C' | u16 version (LE) | u16 reserved
+//   frame:   u8 kind | u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//   kinds:   1 = string-pool delta, 2 = event chunk, 3 = end-of-stream
+//
+// Pool frames carry the strings newly interned since the previous pool
+// frame (varint first_id, varint count, then varint len + raw bytes each),
+// so a writer can interleave pool and event frames while streaming. Event
+// frames carry varint count followed by per-event records: zigzag-varint
+// delta timestamp (previous event's ts persists across frames), u8 type,
+// zigzag-varint node, then the type-specific fields. The end frame (empty
+// payload) distinguishes a complete stream from one truncated at a frame
+// boundary.
+//
+// Failure semantics: the reader never throws and never loses intact data —
+// a bad magic, version, CRC, or truncation stops decoding at the last good
+// frame and reports a Diagnostic (TB2xx codes, src/analyze/diagnostic.h).
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/trace/event.h"
+#include "src/trace/string_pool.h"
+
+namespace rose {
+
+inline constexpr char kTraceMagic[4] = {'R', 'T', 'R', 'C'};
+inline constexpr uint16_t kTraceFormatVersion = 1;
+
+// --- Encoding primitives (exposed for tests and benchmarks) ----------------
+
+// LEB128 unsigned varint.
+void PutVarint(std::string* out, uint64_t value);
+// Consumes a varint from the front of `*data`; false on overrun/overflow.
+bool GetVarint(std::string_view* data, uint64_t* value);
+
+// Zigzag maps small-magnitude signed values (timestamp deltas, fds, pids)
+// onto small unsigned varints.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+// CRC-32 (IEEE 802.3 reflected polynomial 0xEDB88320).
+uint32_t Crc32(std::string_view data);
+
+// True when `data` begins with the binary-trace magic (how Trace::Load picks
+// a parser).
+bool LooksLikeBinaryTrace(std::string_view data);
+
+// --- Streaming writer -------------------------------------------------------
+
+// Appends a binary trace stream to `*out`. Events must reference `*pool`
+// (normally the owning Trace's pool); the pool may keep growing between
+// Add() calls — strings interned since the last flush are emitted in a pool
+// frame ahead of the next event frame. Call Finish() exactly once.
+class TraceWriter {
+ public:
+  static constexpr size_t kDefaultEventsPerFrame = 4096;
+
+  TraceWriter(std::string* out, const StringPool* pool,
+              size_t events_per_frame = kDefaultEventsPerFrame);
+
+  void Add(const TraceEvent& event);
+  void Finish();
+
+ private:
+  void FlushEvents();
+  void FlushPool();
+  void EmitFrame(uint8_t kind, std::string_view payload);
+
+  std::string* out_;
+  const StringPool* pool_;
+  size_t events_per_frame_;
+  // Next pool id to emit; id 0 ("") is implicit in every pool.
+  size_t pool_flushed_ = 1;
+  std::string events_payload_;
+  size_t buffered_ = 0;
+  SimTime prev_ts_ = 0;
+  bool finished_ = false;
+};
+
+// --- Streaming reader -------------------------------------------------------
+
+// Decodes a binary trace stream frame by frame. Events stream out through
+// Next(); their StrIds resolve against pool(), which grows as pool frames
+// are consumed (ids match the writer's because both sides intern in order).
+class TraceReader {
+ public:
+  explicit TraceReader(std::string_view data);
+
+  // Produces the next event. Returns false at end-of-stream — clean or not;
+  // consult ok()/diagnostics() to tell. Never throws.
+  bool Next(TraceEvent* out);
+
+  const StringPool& pool() const { return pool_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  // False once an error-severity diagnostic has been recorded.
+  bool ok() const;
+
+ private:
+  // Decodes frames until an event frame yields events, the end frame is
+  // seen, or the stream fails. Returns true when frame_events_ has data.
+  bool LoadFrame();
+  bool DecodePoolFrame(std::string_view payload);
+  bool DecodeEventFrame(std::string_view payload);
+  void Fail(DiagCode code, Severity severity, std::string message, std::string hint);
+
+  std::string_view rest_;
+  StringPool pool_;
+  std::vector<Diagnostic> diags_;
+  bool done_ = false;
+  bool saw_end_ = false;
+  SimTime prev_ts_ = 0;
+  std::vector<TraceEvent> frame_events_;
+  size_t frame_pos_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -120,9 +120,9 @@ void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
   info.fd = inv.fd;
   info.err = result.err;
   if (SysTakesPath(inv.sys)) {
-    info.filename = inv.path;
+    info.filename = pool_.Intern(inv.path);
   } else if (!inv.remote_ip.empty()) {
-    info.filename = "sock:" + inv.remote_ip;
+    info.filename = pool_.Intern("sock:" + inv.remote_ip);
   }
 
   TraceEvent event;
@@ -176,7 +176,7 @@ void Tracer::OnPacketIn(SimTime now, const std::string& src_ip, const std::strin
       event.ts = now;
       event.node = kernel_->NodeOfIp(dst_ip);
       event.type = EventType::kND;
-      event.info = NdInfo{src_ip, dst_ip, gap, conn.packet_count};
+      event.info = NdInfo{pool_.Intern(src_ip), pool_.Intern(dst_ip), gap, conn.packet_count};
       RecordEvent(std::move(event));
     }
   }
@@ -243,8 +243,8 @@ Trace Tracer::Dump() {
       continue;
     }
     auto& info = std::get<ScfInfo>(event.info);
-    if (info.filename.empty() && info.fd >= 0) {
-      info.filename = ResolveFd(info.pid, info.fd, event.ts);
+    if (info.filename == kEmptyStrId && info.fd >= 0) {
+      info.filename = pool_.Intern(ResolveFd(info.pid, info.fd, event.ts));
     }
   }
 
@@ -284,16 +284,26 @@ Trace Tracer::Dump() {
       event.ts = now;
       event.node = kernel_->NodeOfIp(key.second);
       event.type = EventType::kND;
-      event.info = NdInfo{key.first, key.second, now - conn.last_packet, conn.packet_count};
+      event.info = NdInfo{pool_.Intern(key.first), pool_.Intern(key.second),
+                          now - conn.last_packet, conn.packet_count};
       events.push_back(std::move(event));
     }
   }
 
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+
+  // Compact into the output trace's own pool: the tracer's pool accumulates
+  // every string ever seen, but a dump only carries the window's survivors.
+  Trace trace;
+  trace.events().reserve(events.size());
+  std::vector<StrId> remap;
+  for (const TraceEvent& event : events) {
+    trace.AppendRemapped(event, pool_, &remap);
+  }
   dump_processing_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return Trace(std::move(events));
+  return trace;
 }
 
 TracerStats Tracer::stats() const {
@@ -305,15 +315,11 @@ TracerStats Tracer::stats() const {
   stats.function_probe_hits = function_probe_hits_;
   stats.virtual_overhead = virtual_overhead_;
   stats.dump_processing_seconds = dump_processing_seconds_;
-  int64_t memory = 0;
-  for (const TraceEvent& event : window_.Snapshot()) {
-    memory += static_cast<int64_t>(sizeof(TraceEvent));
-    if (event.type == EventType::kSCF) {
-      memory += static_cast<int64_t>(event.scf().filename.size());
-    }
-  }
-  memory += static_cast<int64_t>(bytes_copied_);
-  stats.memory_bytes = memory;
+  // Events are fixed-size now (strings interned), so the footprint is a
+  // multiplication, not a window scan.
+  stats.memory_bytes = static_cast<int64_t>(window_.size() * sizeof(TraceEvent)) +
+                       static_cast<int64_t>(pool_.payload_bytes()) +
+                       static_cast<int64_t>(bytes_copied_);
   return stats;
 }
 

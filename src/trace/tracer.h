@@ -126,6 +126,10 @@ class Tracer : public KernelObserver, public IngressTap {
   bool polling_ = false;
 
   RingBuffer<TraceEvent> window_;
+  // Pool the in-window events' StrIds resolve against. It only grows while
+  // tracing (ids of overwritten events are never reused), so Dump() compacts
+  // into the output trace's own pool.
+  StringPool pool_;
   std::map<uint64_t, std::vector<FdBinding>> fd_bindings_;
   std::map<std::pair<std::string, std::string>, ConnState> connections_;
   std::set<Pid> crash_reported_;

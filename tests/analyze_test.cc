@@ -325,12 +325,12 @@ TEST(CanonicalHashTest, PartitionGroupsAreUnorderedSets) {
 
 // --- Trace validator ---------------------------------------------------------
 
-TraceEvent ScfEvent(SimTime ts, NodeId node, Pid pid, Err err) {
+TraceEvent ScfEvent(Trace& trace, SimTime ts, NodeId node, Pid pid, Err err) {
   TraceEvent event;
   event.ts = ts;
   event.node = node;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{pid, Sys::kWrite, 3, "/data/log", err};
+  event.info = ScfInfo{pid, Sys::kWrite, 3, trace.Intern("/data/log"), err};
   return event;
 }
 
@@ -345,15 +345,15 @@ TraceEvent AfEvent(SimTime ts, NodeId node, Pid pid, int32_t fid) {
 
 TEST(TraceValidatorTest, CleanTracePasses) {
   Trace trace;
-  trace.Append(ScfEvent(Seconds(1), 0, 100, Err::kEIO));
+  trace.Append(ScfEvent(trace,Seconds(1), 0, 100, Err::kEIO));
   trace.Append(AfEvent(Seconds(2), 0, 100, 7));
   EXPECT_TRUE(TraceValidator().Validate(trace).empty());
 }
 
 TEST(TraceValidatorTest, FlagsNonMonotonicTimestamps) {
   Trace trace;
-  trace.Append(ScfEvent(Seconds(5), 0, 100, Err::kEIO));
-  trace.Append(ScfEvent(Seconds(2), 0, 100, Err::kEIO));  // Goes backwards.
+  trace.Append(ScfEvent(trace,Seconds(5), 0, 100, Err::kEIO));
+  trace.Append(ScfEvent(trace,Seconds(2), 0, 100, Err::kEIO));  // Goes backwards.
   const std::vector<Diagnostic> diags = TraceValidator().Validate(trace);
   const std::vector<Diagnostic> matching =
       OfCode(diags, DiagCode::kNonMonotonicTimestamp);
@@ -364,8 +364,8 @@ TEST(TraceValidatorTest, FlagsNonMonotonicTimestamps) {
 
 TEST(TraceValidatorTest, FlagsOrphanPids) {
   Trace trace;
-  trace.Append(ScfEvent(Seconds(1), 0, kNoPid, Err::kEIO));  // Structurally bad.
-  trace.Append(ScfEvent(Seconds(2), 0, 999, Err::kEIO));     // Never spawned.
+  trace.Append(ScfEvent(trace,Seconds(1), 0, kNoPid, Err::kEIO));  // Structurally bad.
+  trace.Append(ScfEvent(trace,Seconds(2), 0, 999, Err::kEIO));     // Never spawned.
   TraceValidateOptions options;
   options.known_pids = {100, 101};
   const std::vector<Diagnostic> diags = TraceValidator(options).Validate(trace);
@@ -377,7 +377,7 @@ TEST(TraceValidatorTest, FlagsOrphanPids) {
 
 TEST(TraceValidatorTest, FlagsScfWithOkErrno) {
   Trace trace;
-  trace.Append(ScfEvent(Seconds(1), 0, 100, Err::kOk));
+  trace.Append(ScfEvent(trace,Seconds(1), 0, 100, Err::kOk));
   const std::vector<Diagnostic> diags = TraceValidator().Validate(trace);
   ASSERT_TRUE(HasCode(diags, DiagCode::kScfWithOkErrno));
   EXPECT_TRUE(HasErrors(diags));

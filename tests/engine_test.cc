@@ -33,12 +33,14 @@ TraceEvent Af(SimTime ts, NodeId node, int32_t fid) {
   return event;
 }
 
-TraceEvent Scf(SimTime ts, NodeId node, Sys sys, const std::string& file, Err err) {
+// Interns `file` into the destination trace's pool.
+TraceEvent Scf(Trace& trace, SimTime ts, NodeId node, Sys sys, const std::string& file,
+               Err err) {
   TraceEvent event;
   event.ts = ts;
   event.node = node;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{100 + node, sys, 3, file, err};
+  event.info = ScfInfo{100 + node, sys, 3, trace.Intern(file), err};
   return event;
 }
 
@@ -54,7 +56,8 @@ DiagnosisEngine::ScheduleRunner PredicateRunner(
     std::function<bool(const FaultSchedule&)> bug_if,
     std::function<void(const FaultSchedule&, ScheduleRunOutcome*)> annotate = nullptr) {
   return [bug_if = std::move(bug_if), annotate = std::move(annotate)](
-             const FaultSchedule& schedule, uint64_t /*seed*/) {
+             const ScheduleRunRequest& request) {
+    const FaultSchedule& schedule = *request.schedule;
     ScheduleRunOutcome outcome;
     outcome.bug = bug_if(schedule);
     outcome.virtual_duration = Seconds(30);
@@ -85,7 +88,7 @@ TEST(EngineTest, LevelOneSucceedsWhenOrderSuffices) {
     return false;
   });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 1);
@@ -97,7 +100,7 @@ TEST(EngineTest, LevelOneSucceedsWhenOrderSuffices) {
 
 TEST(EngineTest, ScfSweepFindsNthInvocation) {
   Trace production;
-  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  production.Append(Scf(production, Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
   Profile profile;
 
   auto runner = PredicateRunner([](const FaultSchedule& schedule) {
@@ -109,7 +112,7 @@ TEST(EngineTest, ScfSweepFindsNthInvocation) {
     return false;
   });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 2);
@@ -123,12 +126,13 @@ TEST(EngineTest, ScfSweepFindsNthInvocation) {
 
 TEST(EngineTest, PrunedDuplicatesNeverReachTheRunner) {
   Trace production;
-  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  production.Append(Scf(production, Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
   Profile profile;
 
   // Record the canonical hash of every schedule the runner actually executes.
   std::vector<uint64_t> executed;
-  auto runner = [&executed](const FaultSchedule& schedule, uint64_t /*seed*/) {
+  auto runner = [&executed](const ScheduleRunRequest& request) {
+    const FaultSchedule& schedule = *request.schedule;
     executed.push_back(CanonicalHash(schedule));
     ScheduleRunOutcome outcome;
     outcome.bug = false;  // Never reproduces: the full sweep runs.
@@ -140,7 +144,7 @@ TEST(EngineTest, PrunedDuplicatesNeverReachTheRunner) {
     return outcome;
   };
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_FALSE(result.reproduced);
   EXPECT_GE(result.schedules_pruned_duplicate, 1);
@@ -154,7 +158,7 @@ TEST(EngineTest, PruningLeavesValidDiagnosisUnchanged) {
   // Same scripted bug as ScfSweepFindsNthInvocation: pruning must not change
   // what the engine ultimately finds, only how many runs it spends.
   Trace production;
-  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  production.Append(Scf(production, Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
   Profile profile;
   auto runner = PredicateRunner([](const FaultSchedule& schedule) {
     for (const auto& fault : schedule.faults) {
@@ -165,7 +169,7 @@ TEST(EngineTest, PruningLeavesValidDiagnosisUnchanged) {
     return false;
   });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   ASSERT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 2);
@@ -211,7 +215,7 @@ TEST(EngineTest, AlgorithmOneBuildsFunctionContext) {
         outcome->trace.Append(Af(Seconds(9), 0, 10));
       });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 2);
@@ -227,7 +231,8 @@ TEST(EngineTest, AmplificationTriggersWhenFaultNotInjected) {
 
   // In testing, function 10 only ever runs on node 1 (role moved); a crash
   // conditioned on it fires only when the schedule was amplified.
-  auto runner = [&](const FaultSchedule& schedule, uint64_t /*seed*/) {
+  auto runner = [&](const ScheduleRunRequest& request) {
+    const FaultSchedule& schedule = *request.schedule;
     ScheduleRunOutcome outcome;
     outcome.virtual_duration = Seconds(30);
     outcome.feedback.outcomes.resize(schedule.faults.size());
@@ -254,7 +259,7 @@ TEST(EngineTest, AmplificationTriggersWhenFaultNotInjected) {
     return outcome;
   };
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 2);
@@ -285,7 +290,7 @@ TEST(EngineTest, LevelThreeExploresOffsetsInPriorityOrder) {
     }
     return false;
   });
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_TRUE(result.reproduced);
   EXPECT_EQ(result.level, 3);
@@ -307,7 +312,8 @@ TEST(EngineTest, FlakyScheduleBelowTargetSavedAndReturnedAsCandidate) {
 
   // The bug fires on every 3rd run only (~33% replay, below the 60% target).
   int run_counter = 0;
-  auto runner = [&run_counter](const FaultSchedule& schedule, uint64_t /*seed*/) {
+  auto runner = [&run_counter](const ScheduleRunRequest& request) {
+    const FaultSchedule& schedule = *request.schedule;
     ScheduleRunOutcome outcome;
     outcome.virtual_duration = Seconds(30);
     outcome.feedback.outcomes.resize(schedule.faults.size());
@@ -318,7 +324,7 @@ TEST(EngineTest, FlakyScheduleBelowTargetSavedAndReturnedAsCandidate) {
     return outcome;
   };
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   // ConfirmBug abandons once 4 clean runs accumulate (paper line 26), so a
   // ~33% schedule never reaches the 60% target and reports unreproduced.
@@ -332,7 +338,7 @@ TEST(EngineTest, NoFaultsMeansNoReproduction) {
   Profile profile;
   auto runner = PredicateRunner([](const FaultSchedule&) { return true; });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   const DiagnosisResult result = engine.Run();
   EXPECT_FALSE(result.reproduced);
   EXPECT_EQ(result.total_runs, 0);
@@ -347,7 +353,7 @@ TEST(EngineTest, FaultOrderAblationDropsOrderConditions) {
   BinaryInfo binary;
   DiagnosisConfig config = TestConfig();
   config.enforce_fault_order = false;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, config);
+  DiagnosisEngine engine(production, &profile, &binary, runner, config);
   const DiagnosisResult result = engine.Run();
   ASSERT_TRUE(result.reproduced);
   for (const auto& fault : result.schedule.faults) {
@@ -381,14 +387,14 @@ void ExpectSameDiagnosis(const DiagnosisResult& serial, const DiagnosisResult& p
 DiagnosisResult Diagnose(const Trace& production, const Profile& profile,
                          const BinaryInfo& binary, const DiagnosisEngine::ScheduleRunner& runner,
                          DiagnosisConfig config) {
-  DiagnosisEngine engine(&production, &profile, &binary, runner, std::move(config));
+  DiagnosisEngine engine(production, &profile, &binary, runner, std::move(config));
   return engine.Run();
 }
 
 TEST(ParallelEngineTest, ScfSweepBugIdenticalAcrossParallelism) {
   // Bug "A": an nth-invocation sweep bug — the Level-2 wave-front path.
   Trace production;
-  production.Append(Scf(Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
+  production.Append(Scf(production, Seconds(5), 0, Sys::kWrite, "/data/txnlog", Err::kEIO));
   Profile profile;
   BinaryInfo binary;
   auto runner = PredicateRunner([](const FaultSchedule& schedule) {
@@ -455,15 +461,15 @@ TEST(ParallelEngineTest, SeedDependentOutcomesIdenticalAcrossParallelism) {
   production.Append(Ps(Seconds(5), 0, ProcState::kCrashed));
   Profile profile;
   BinaryInfo binary;
-  auto runner = [](const FaultSchedule& schedule, uint64_t seed) {
+  auto runner = [](const ScheduleRunRequest& request) {
     ScheduleRunOutcome outcome;
     outcome.virtual_duration = Seconds(30);
-    outcome.feedback.outcomes.resize(schedule.faults.size());
+    outcome.feedback.outcomes.resize(request.schedule->faults.size());
     for (auto& fault : outcome.feedback.outcomes) {
       fault.injected = true;
       fault.injected_at = Seconds(10);
     }
-    outcome.bug = seed % 3 != 0;  // Pure in the seed: ~67% replay rate.
+    outcome.bug = request.seed % 3 != 0;  // Pure in the seed: ~67% replay rate.
     return outcome;
   };
   DiagnosisConfig config = TestConfig();
@@ -494,7 +500,8 @@ TEST(ParallelEngineTest, EarlyAbandonCancelsSpeculativeConfirmRuns) {
     std::atomic<int> invocations{0};
   };
   auto state = std::make_shared<SharedState>();
-  auto runner = [state](const FaultSchedule& schedule, uint64_t /*seed*/) {
+  auto runner = [state](const ScheduleRunRequest& request) {
+    const FaultSchedule& schedule = *request.schedule;
     state->invocations.fetch_add(1);
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     ScheduleRunOutcome outcome;
@@ -547,7 +554,7 @@ TEST(ParallelEngineTest, FunctionsBeforeIndexMatchesLinearScan) {
       if (rng.NextBool(0.6)) {
         trace.Append(Af(ts, node, static_cast<int32_t>(rng.NextBelow(10))));
       } else if (rng.NextBool(0.5)) {
-        trace.Append(Scf(ts, node, Sys::kWrite, "/f", Err::kEIO));
+        trace.Append(Scf(trace, ts, node, Sys::kWrite, "/f", Err::kEIO));
       } else {
         trace.Append(Ps(ts, node, ProcState::kCrashed));
       }
@@ -572,11 +579,11 @@ TEST(EngineTest, FrPercentPropagated) {
   Profile profile;
   profile.benign_scf_signatures.insert(ScfSignature(Sys::kStat, "/c", Err::kENOENT));
   Trace production;
-  production.Append(Scf(1, 0, Sys::kStat, "/c", Err::kENOENT));
+  production.Append(Scf(production, 1, 0, Sys::kStat, "/c", Err::kENOENT));
   production.Append(Ps(Seconds(2), 0, ProcState::kCrashed));
   auto runner = PredicateRunner([](const FaultSchedule&) { return true; });
   BinaryInfo binary;
-  DiagnosisEngine engine(&production, &profile, &binary, runner, TestConfig());
+  DiagnosisEngine engine(production, &profile, &binary, runner, TestConfig());
   EXPECT_DOUBLE_EQ(engine.Run().fr_percent, 50.0);
 }
 

@@ -5,12 +5,14 @@
 namespace rose {
 namespace {
 
-TraceEvent Scf(SimTime ts, NodeId node, Sys sys, const std::string& file, Err err) {
+// The string-bearing builders intern into the destination trace's pool.
+TraceEvent Scf(Trace& trace, SimTime ts, NodeId node, Sys sys, const std::string& file,
+               Err err) {
   TraceEvent event;
   event.ts = ts;
   event.node = node;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{100 + node, sys, 3, file, err};
+  event.info = ScfInfo{100 + node, sys, 3, trace.Intern(file), err};
   return event;
 }
 
@@ -23,13 +25,13 @@ TraceEvent Ps(SimTime ts, NodeId node, ProcState state, SimTime duration = 0) {
   return event;
 }
 
-TraceEvent Nd(SimTime ts, const std::string& src, const std::string& dst, SimTime duration,
-              NodeId node = 0) {
+TraceEvent Nd(Trace& trace, SimTime ts, const std::string& src, const std::string& dst,
+              SimTime duration, NodeId node = 0) {
   TraceEvent event;
   event.ts = ts;
   event.node = node;
   event.type = EventType::kND;
-  event.info = NdInfo{src, dst, duration, 100};
+  event.info = NdInfo{trace.Intern(src), trace.Intern(dst), duration, 100};
   return event;
 }
 
@@ -37,8 +39,8 @@ TEST(ExtractTest, BenignScfsRemovedAndCounted) {
   Profile profile;
   profile.benign_scf_signatures.insert(ScfSignature(Sys::kStat, "/opt.conf", Err::kENOENT));
   Trace trace;
-  trace.Append(Scf(10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));   // Benign.
-  trace.Append(Scf(20, 0, Sys::kWrite, "/data/log", Err::kEIO));     // Real.
+  trace.Append(Scf(trace,10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));   // Benign.
+  trace.Append(Scf(trace,20, 0, Sys::kWrite, "/data/log", Err::kEIO));     // Real.
   const ExtractionResult result = ExtractFaults(trace, profile);
   ASSERT_EQ(result.faults.size(), 1u);
   EXPECT_EQ(result.faults[0].sys, Sys::kWrite);
@@ -51,7 +53,7 @@ TEST(ExtractTest, BareSignatureAlsoMatches) {
   Profile profile;
   profile.benign_scf_signatures.insert(ScfSignature(Sys::kReadlink, "", Err::kEINVAL));
   Trace trace;
-  trace.Append(Scf(10, 0, Sys::kReadlink, "/some/new/path", Err::kEINVAL));
+  trace.Append(Scf(trace,10, 0, Sys::kReadlink, "/some/new/path", Err::kEINVAL));
   EXPECT_TRUE(ExtractFaults(trace, profile).faults.empty());
 }
 
@@ -59,7 +61,7 @@ TEST(ExtractTest, BenignFilterCanBeDisabled) {
   Profile profile;
   profile.benign_scf_signatures.insert(ScfSignature(Sys::kStat, "/opt.conf", Err::kENOENT));
   Trace trace;
-  trace.Append(Scf(10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));
+  trace.Append(Scf(trace,10, 0, Sys::kStat, "/opt.conf", Err::kENOENT));
   ExtractOptions options;
   options.use_benign_filter = false;
   EXPECT_EQ(ExtractFaults(trace, profile, options).faults.size(), 1u);
@@ -69,9 +71,9 @@ TEST(ExtractTest, DuplicateScfsDeduplicated) {
   Profile profile;
   Trace trace;
   for (int i = 0; i < 5; i++) {
-    trace.Append(Scf(10 + i, 0, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));
+    trace.Append(Scf(trace,10 + i, 0, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));
   }
-  trace.Append(Scf(99, 1, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));  // Other node.
+  trace.Append(Scf(trace,99, 1, Sys::kConnect, "sock:10.0.0.2", Err::kETIMEDOUT));  // Other node.
   const ExtractionResult result = ExtractFaults(trace, profile);
   EXPECT_EQ(result.faults.size(), 2u);  // One per (node, signature).
 }
@@ -108,10 +110,10 @@ TEST(ExtractTest, OverlappingNdEventsGroupIntoOnePartition) {
   Trace trace;
   // A partition isolating 10.0.0.1 from two peers: four ND events whose
   // intervals overlap.
-  trace.Append(Nd(Seconds(13), "10.0.0.1", "10.0.0.2", Seconds(8)));
-  trace.Append(Nd(Seconds(13), "10.0.0.2", "10.0.0.1", Seconds(8)));
-  trace.Append(Nd(Seconds(14), "10.0.0.1", "10.0.0.3", Seconds(8)));
-  trace.Append(Nd(Seconds(14), "10.0.0.3", "10.0.0.1", Seconds(8)));
+  trace.Append(Nd(trace,Seconds(13), "10.0.0.1", "10.0.0.2", Seconds(8)));
+  trace.Append(Nd(trace,Seconds(13), "10.0.0.2", "10.0.0.1", Seconds(8)));
+  trace.Append(Nd(trace,Seconds(14), "10.0.0.1", "10.0.0.3", Seconds(8)));
+  trace.Append(Nd(trace,Seconds(14), "10.0.0.3", "10.0.0.1", Seconds(8)));
   const ExtractionResult result = ExtractFaults(trace, profile);
   ASSERT_EQ(result.faults.size(), 1u);
   const CandidateFault& fault = result.faults[0];
@@ -125,8 +127,8 @@ TEST(ExtractTest, OverlappingNdEventsGroupIntoOnePartition) {
 TEST(ExtractTest, DisjointNdEventsStaySeparate) {
   Profile profile;
   Trace trace;
-  trace.Append(Nd(Seconds(10), "a", "b", Seconds(5)));
-  trace.Append(Nd(Seconds(30), "a", "b", Seconds(5)));
+  trace.Append(Nd(trace,Seconds(10), "a", "b", Seconds(5)));
+  trace.Append(Nd(trace,Seconds(30), "a", "b", Seconds(5)));
   EXPECT_EQ(ExtractFaults(trace, profile).faults.size(), 2u);
 }
 
@@ -134,7 +136,7 @@ TEST(ExtractTest, BenignNdPairsRemoved) {
   Profile profile;
   profile.benign_nd_pairs.insert({"a", "b"});
   Trace trace;
-  trace.Append(Nd(Seconds(10), "a", "b", Seconds(6)));
+  trace.Append(Nd(trace,Seconds(10), "a", "b", Seconds(6)));
   const ExtractionResult result = ExtractFaults(trace, profile);
   EXPECT_TRUE(result.faults.empty());
   EXPECT_EQ(result.removed_benign, 1);
@@ -143,9 +145,9 @@ TEST(ExtractTest, BenignNdPairsRemoved) {
 TEST(ExtractTest, FaultsSortedChronologically) {
   Profile profile;
   Trace trace;
-  trace.Append(Scf(Seconds(9), 0, Sys::kWrite, "/l", Err::kEIO));
+  trace.Append(Scf(trace,Seconds(9), 0, Sys::kWrite, "/l", Err::kEIO));
   trace.Append(Ps(Seconds(2), 1, ProcState::kCrashed));
-  trace.Append(Nd(Seconds(12), "a", "b", Seconds(6)));  // Starts at 6 s.
+  trace.Append(Nd(trace,Seconds(12), "a", "b", Seconds(6)));  // Starts at 6 s.
   const ExtractionResult result = ExtractFaults(trace, profile);
   ASSERT_EQ(result.faults.size(), 3u);
   EXPECT_EQ(result.faults[0].kind, FaultKind::kProcessCrash);

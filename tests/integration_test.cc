@@ -53,7 +53,7 @@ TEST(PipelineTest, ProductionTraceContainsInjectedFault) {
   EXPECT_EQ(attempts, 1);
   bool found = false;
   for (const TraceEvent& event : trace->events()) {
-    if (event.type == EventType::kSCF && event.scf().filename == "/data/snapshot.0" &&
+    if (event.type == EventType::kSCF && trace->str(event.scf().filename) == "/data/snapshot.0" &&
         event.scf().err == Err::kEIO) {
       found = true;
     }

@@ -154,7 +154,7 @@ TEST_F(ProfilerTest, AbsorbCleanTraceAddsNdPairs) {
   nd.ts = 1;
   nd.node = 0;
   nd.type = EventType::kND;
-  nd.info = NdInfo{"10.0.0.9", "10.0.0.1", Seconds(6), 50};
+  nd.info = NdInfo{clean.Intern("10.0.0.9"), clean.Intern("10.0.0.1"), Seconds(6), 50};
   clean.Append(nd);
   profiler.AbsorbCleanTrace(clean);
   const Profile profile = profiler.BuildProfile();

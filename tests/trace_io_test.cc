@@ -1,0 +1,354 @@
+// Binary trace container tests: round-trip fidelity against the text format,
+// pool remapping under Merge, and graceful rejection of damaged input.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analyze/schedule_linter.h"
+#include "src/common/rng.h"
+#include "src/diagnose/engine.h"
+#include "src/trace/trace_io.h"
+
+namespace rose {
+namespace {
+
+constexpr Sys kSysChoices[] = {Sys::kOpen,   Sys::kOpenAt, Sys::kRead, Sys::kWrite,
+                               Sys::kStat,   Sys::kConnect, Sys::kClose};
+constexpr Err kErrChoices[] = {Err::kEIO,    Err::kENOENT, Err::kEBADF,
+                               Err::kENOSPC, Err::kETIMEDOUT};
+
+// A randomized multi-node trace exercising all four event kinds with a mix
+// of repeated and distinct strings.
+Trace RandomTrace(uint64_t seed, int events) {
+  Rng rng(seed);
+  Trace trace;
+  SimTime ts = 0;
+  for (int i = 0; i < events; i++) {
+    ts += static_cast<SimTime>(rng.NextBelow(5000));  // Duplicates allowed.
+    TraceEvent event;
+    event.ts = ts;
+    event.node = static_cast<NodeId>(rng.NextBelow(5));
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        event.type = EventType::kSCF;
+        const std::string file =
+            rng.NextBool(0.3) ? "" : "/data/file" + std::to_string(rng.NextBelow(7));
+        event.info = ScfInfo{static_cast<Pid>(100 + rng.NextBelow(8)),
+                             kSysChoices[rng.NextBelow(std::size(kSysChoices))],
+                             static_cast<int32_t>(rng.NextBelow(32)) - 1,
+                             trace.Intern(file),
+                             kErrChoices[rng.NextBelow(std::size(kErrChoices))]};
+        break;
+      }
+      case 1:
+        event.type = EventType::kAF;
+        event.info = AfInfo{static_cast<Pid>(100 + rng.NextBelow(8)),
+                            static_cast<int32_t>(rng.NextBelow(64))};
+        break;
+      case 2: {
+        event.type = EventType::kND;
+        const std::string src = "10.0.0." + std::to_string(1 + rng.NextBelow(5));
+        const std::string dst = "10.0.0." + std::to_string(1 + rng.NextBelow(5));
+        event.info = NdInfo{trace.Intern(src), trace.Intern(dst),
+                            static_cast<SimTime>(rng.NextBelow(10'000'000)), rng.NextBelow(500)};
+        break;
+      }
+      default:
+        event.type = EventType::kPS;
+        event.info = PsInfo{static_cast<Pid>(100 + rng.NextBelow(8)),
+                            rng.NextBool(0.5) ? ProcState::kCrashed : ProcState::kPaused,
+                            static_cast<SimTime>(rng.NextBelow(8'000'000))};
+        break;
+    }
+    trace.Append(event);
+  }
+  return trace;
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  for (uint64_t value : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                         0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull}) {
+    std::string buffer;
+    PutVarint(&buffer, value);
+    std::string_view rest = buffer;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(&rest, &decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(rest.empty());
+  }
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buffer;
+  PutVarint(&buffer, 1ull << 40);
+  std::string_view rest(buffer.data(), buffer.size() - 1);
+  uint64_t decoded = 0;
+  EXPECT_FALSE(GetVarint(&rest, &decoded));
+}
+
+TEST(ZigZagTest, RoundTripsSignedValues) {
+  for (int64_t value : {0ll, 1ll, -1ll, 63ll, -64ll, (1ll << 40), -(1ll << 40)}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(value)), value);
+  }
+  EXPECT_EQ(ZigZagEncode(-1), 1u);  // Small magnitudes stay small.
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(TraceIoTest, BinaryRoundTripEqualsTextRoundTrip) {
+  for (uint64_t seed = 1; seed <= 8; seed++) {
+    const Trace original = RandomTrace(seed * 7919, 500);
+    std::vector<Diagnostic> diags;
+    const Trace from_binary = Trace::ParseBinary(original.SerializeBinary(), &diags);
+    EXPECT_TRUE(diags.empty());
+    const Trace from_text = Trace::Parse(original.Serialize());
+    EXPECT_TRUE(TraceEquals(original, from_binary)) << "seed " << seed;
+    EXPECT_TRUE(TraceEquals(original, from_text)) << "seed " << seed;
+    EXPECT_TRUE(TraceEquals(from_binary, from_text)) << "seed " << seed;
+  }
+}
+
+TEST(TraceIoTest, LoadAutoDetectsFormat) {
+  const Trace original = RandomTrace(42, 200);
+  EXPECT_TRUE(LooksLikeBinaryTrace(original.SerializeBinary()));
+  EXPECT_FALSE(LooksLikeBinaryTrace(original.Serialize()));
+  EXPECT_TRUE(TraceEquals(original, Trace::Load(original.SerializeBinary())));
+  EXPECT_TRUE(TraceEquals(original, Trace::Load(original.Serialize())));
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const Trace empty;
+  std::vector<Diagnostic> diags;
+  const Trace parsed = Trace::ParseBinary(empty.SerializeBinary(), &diags);
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(TraceIoTest, MultiFrameStreamsRoundTrip) {
+  // Force many frames: 500 events at 16 events/frame, with pool frames
+  // interleaved as new strings appear.
+  const Trace original = RandomTrace(99, 500);
+  std::string encoded;
+  {
+    TraceWriter writer(&encoded, &original.pool(), /*events_per_frame=*/16);
+    for (const TraceEvent& event : original.events()) {
+      writer.Add(event);
+    }
+    writer.Finish();
+  }
+  TraceReader reader(encoded);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.Next(&event)) {
+    events.push_back(event);
+  }
+  EXPECT_TRUE(reader.ok());
+  const Trace streamed(std::move(events), reader.pool());
+  EXPECT_TRUE(TraceEquals(original, streamed));
+}
+
+TEST(TraceIoTest, MergeRemapsPoolIds) {
+  // Both traces use the same strings but intern them in opposite orders, so
+  // the same StrId means different things in each pool.
+  Trace a;
+  {
+    TraceEvent event;
+    event.ts = 10;
+    event.node = 0;
+    event.type = EventType::kND;
+    event.info = NdInfo{a.Intern("10.0.0.1"), a.Intern("10.0.0.2"), 5, 1};
+    a.Append(event);
+  }
+  Trace b;
+  {
+    TraceEvent event;
+    event.ts = 20;
+    event.node = 1;
+    event.type = EventType::kND;
+    event.info = NdInfo{b.Intern("10.0.0.2"), b.Intern("10.0.0.1"), 5, 1};
+    b.Append(event);
+    TraceEvent scf;
+    scf.ts = 30;
+    scf.node = 1;
+    scf.type = EventType::kSCF;
+    scf.info = ScfInfo{100, Sys::kWrite, 3, b.Intern("/data/log"), Err::kEIO};
+    b.Append(scf);
+  }
+  // Same id in both pools, but it names "10.0.0.1" in a and "10.0.0.2" in b.
+  ASSERT_EQ(a[0].nd().src_ip, b[0].nd().src_ip);
+  ASSERT_NE(a.str(a[0].nd().src_ip), b.str(b[0].nd().src_ip));
+
+  const Trace merged = Trace::Merge({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.str(merged[0].nd().src_ip), "10.0.0.1");
+  EXPECT_EQ(merged.str(merged[0].nd().dst_ip), "10.0.0.2");
+  EXPECT_EQ(merged.str(merged[1].nd().src_ip), "10.0.0.2");
+  EXPECT_EQ(merged.str(merged[1].nd().dst_ip), "10.0.0.1");
+  EXPECT_EQ(merged.str(merged[2].scf().filename), "/data/log");
+  // Shared strings dedupe in the merged pool: empty + 2 ips + 1 path.
+  EXPECT_EQ(merged.pool().size(), 4u);
+}
+
+TEST(TraceIoTest, MergedRandomTracesSurviveBinaryRoundTrip) {
+  const Trace merged =
+      Trace::Merge({RandomTrace(7, 200), RandomTrace(11, 200), RandomTrace(13, 200)});
+  std::vector<Diagnostic> diags;
+  const Trace parsed = Trace::ParseBinary(merged.SerializeBinary(), &diags);
+  EXPECT_TRUE(diags.empty());
+  EXPECT_TRUE(TraceEquals(merged, parsed));
+}
+
+TEST(TraceIoTest, BadMagicRejectedWithDiagnostic) {
+  std::vector<Diagnostic> diags;
+  const Trace parsed = Trace::ParseBinary("XXXX not a trace", &diags);
+  EXPECT_TRUE(parsed.empty());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, DiagCode::kBadTraceMagic);
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(TraceIoTest, FutureVersionRejectedWithDiagnostic) {
+  std::string encoded = RandomTrace(3, 10).SerializeBinary();
+  encoded[4] = char(0xFF);  // Bump the little-endian version field.
+  std::vector<Diagnostic> diags;
+  const Trace parsed = Trace::ParseBinary(encoded, &diags);
+  EXPECT_TRUE(parsed.empty());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, DiagCode::kBadTraceVersion);
+}
+
+TEST(TraceIoTest, TruncationAtEveryByteNeverCrashes) {
+  const Trace original = RandomTrace(5, 120);
+  const std::string encoded = original.SerializeBinary();
+  for (size_t cut = 0; cut < encoded.size(); cut++) {
+    std::vector<Diagnostic> diags;
+    const Trace parsed = Trace::ParseBinary(std::string_view(encoded).substr(0, cut), &diags);
+    // Anything shorter than the full stream must say so, and whatever events
+    // did decode must be a prefix of the original.
+    EXPECT_FALSE(diags.empty()) << "cut at " << cut;
+    ASSERT_LE(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); i++) {
+      EXPECT_EQ(parsed[i].ts, original[i].ts);
+      EXPECT_EQ(parsed[i].type, original[i].type);
+    }
+  }
+}
+
+TEST(TraceIoTest, CorruptCrcDropsFrameButKeepsIntactOnes) {
+  const Trace original = RandomTrace(21, 300);
+  std::string encoded;
+  {
+    TraceWriter writer(&encoded, &original.pool(), /*events_per_frame=*/64);
+    for (const TraceEvent& event : original.events()) {
+      writer.Add(event);
+    }
+    writer.Finish();
+  }
+  // Flip one byte near the end of the stream (inside a late frame's payload)
+  // so early frames still decode.
+  std::string corrupted = encoded;
+  corrupted[corrupted.size() - 20] ^= char(0x40);
+  std::vector<Diagnostic> diags;
+  const Trace parsed = Trace::ParseBinary(corrupted, &diags);
+  EXPECT_FALSE(diags.empty());
+  bool saw_corruption = false;
+  for (const Diagnostic& diag : diags) {
+    if (diag.code == DiagCode::kCorruptTraceFrame ||
+        diag.code == DiagCode::kMalformedTraceFrame ||
+        diag.code == DiagCode::kTruncatedTrace) {
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+  EXPECT_LT(parsed.size(), original.size());
+  for (size_t i = 0; i < parsed.size(); i++) {
+    EXPECT_EQ(parsed[i].ts, original[i].ts);
+  }
+}
+
+// The acceptance bar for the data plane: feeding the diagnosis engine a
+// binary-round-tripped production trace yields a bit-for-bit identical
+// DiagnosisResult.
+TEST(TraceIoTest, DiagnosisIdenticalAfterBinaryRoundTrip) {
+  Trace production;
+  {
+    TraceEvent scf;
+    scf.ts = Seconds(5);
+    scf.node = 0;
+    scf.type = EventType::kSCF;
+    scf.info = ScfInfo{100, Sys::kWrite, 3, production.Intern("/data/txnlog"), Err::kEIO};
+    production.Append(scf);
+    TraceEvent af;
+    af.ts = Seconds(6);
+    af.node = 1;
+    af.type = EventType::kAF;
+    af.info = AfInfo{101, 7};
+    production.Append(af);
+    TraceEvent ps;
+    ps.ts = Seconds(7);
+    ps.node = 1;
+    ps.type = EventType::kPS;
+    ps.info = PsInfo{101, ProcState::kCrashed, 0};
+    production.Append(ps);
+  }
+  std::vector<Diagnostic> diags;
+  const Trace round_tripped = Trace::ParseBinary(production.SerializeBinary(), &diags);
+  ASSERT_TRUE(diags.empty());
+  ASSERT_TRUE(TraceEquals(production, round_tripped));
+
+  Profile profile;
+  BinaryInfo binary;
+  DiagnosisConfig config;
+  config.server_nodes = {0, 1, 2};
+  config.level1_attempts = 1;
+  auto runner = [](const ScheduleRunRequest& request) {
+    ScheduleRunOutcome outcome;
+    outcome.virtual_duration = Seconds(30);
+    outcome.feedback.outcomes.resize(request.schedule->faults.size());
+    for (auto& fault : outcome.feedback.outcomes) {
+      fault.injected = true;
+      fault.injected_at = Seconds(10);
+    }
+    for (const auto& fault : request.schedule->faults) {
+      if (fault.kind == FaultKind::kSyscallFailure && fault.syscall.nth == 3) {
+        outcome.bug = true;
+      }
+    }
+    return outcome;
+  };
+
+  auto diagnose = [&](const Trace& trace) {
+    DiagnosisEngine engine(trace, &profile, &binary, runner, config);
+    return engine.Run();
+  };
+  const DiagnosisResult in_memory = diagnose(production);
+  const DiagnosisResult from_binary = diagnose(round_tripped);
+  EXPECT_EQ(in_memory.reproduced, from_binary.reproduced);
+  EXPECT_EQ(CanonicalHash(in_memory.schedule), CanonicalHash(from_binary.schedule));
+  EXPECT_EQ(in_memory.fault_summary, from_binary.fault_summary);
+  EXPECT_DOUBLE_EQ(in_memory.replay_rate, from_binary.replay_rate);
+  EXPECT_EQ(in_memory.level, from_binary.level);
+  EXPECT_EQ(in_memory.schedules_generated, from_binary.schedules_generated);
+  EXPECT_EQ(in_memory.schedules_pruned_invalid, from_binary.schedules_pruned_invalid);
+  EXPECT_EQ(in_memory.schedules_pruned_duplicate, from_binary.schedules_pruned_duplicate);
+  EXPECT_EQ(in_memory.total_runs, from_binary.total_runs);
+  EXPECT_EQ(in_memory.virtual_time, from_binary.virtual_time);
+}
+
+TEST(TraceIoTest, BinaryEncodingIsSmallerThanText) {
+  const Trace trace = RandomTrace(77, 2000);
+  const size_t binary_size = trace.SerializeBinary().size();
+  const size_t text_size = trace.Serialize().size();
+  // The acceptance target is <=50%; fail loudly if the container regresses.
+  EXPECT_LE(binary_size * 2, text_size)
+      << "binary " << binary_size << " vs text " << text_size;
+}
+
+}  // namespace
+}  // namespace rose

@@ -10,12 +10,14 @@
 namespace rose {
 namespace {
 
-TraceEvent MakeScf(SimTime ts, NodeId node, Sys sys, const std::string& file, Err err) {
+// Builds an SCF event whose filename is interned in `pool`.
+TraceEvent MakeScf(StringPool* pool, SimTime ts, NodeId node, Sys sys,
+                   const std::string& file, Err err) {
   TraceEvent event;
   event.ts = ts;
   event.node = node;
   event.type = EventType::kSCF;
-  event.info = ScfInfo{100, sys, 3, file, err};
+  event.info = ScfInfo{100, sys, 3, pool->Intern(file), err};
   return event;
 }
 
@@ -28,75 +30,114 @@ TraceEvent MakeAf(SimTime ts, NodeId node, Pid pid, int32_t fid) {
   return event;
 }
 
+TEST(StringPoolTest, InternsDedupedIdsAndResolvesViews) {
+  StringPool pool;
+  EXPECT_EQ(pool.size(), 1u);  // The implicit empty string.
+  EXPECT_EQ(pool.Intern(""), kEmptyStrId);
+  const StrId a = pool.Intern("/data/a");
+  const StrId b = pool.Intern("/data/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.Intern("/data/a"), a);  // Deduped.
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.View(a), "/data/a");
+  EXPECT_EQ(pool.View(b), "/data/b");
+  EXPECT_EQ(pool.View(kEmptyStrId), "");
+  EXPECT_EQ(pool.View(999), "");  // Out of range resolves empty, never UB.
+  EXPECT_EQ(pool.payload_bytes(), 14u);
+}
+
+TEST(StringPoolTest, CopiedPoolResolvesIndependently) {
+  StringPool pool;
+  const StrId a = pool.Intern("alpha");
+  StringPool copy = pool;
+  const StrId b = pool.Intern("beta");  // Grows only the original.
+  EXPECT_EQ(copy.View(a), "alpha");
+  EXPECT_EQ(copy.View(b), "");
+  EXPECT_EQ(copy.Intern("beta"), b);  // Same id order from the same history.
+}
+
 TEST(TraceEventTest, ScfLineRoundTrip) {
-  const TraceEvent event = MakeScf(12345, 2, Sys::kOpenAt, "/data/x", Err::kEIO);
+  StringPool pool;
+  const TraceEvent event = MakeScf(&pool, 12345, 2, Sys::kOpenAt, "/data/x", Err::kEIO);
+  StringPool parsed_pool;
   TraceEvent parsed;
-  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(pool), &parsed_pool, &parsed));
   EXPECT_EQ(parsed.ts, 12345);
   EXPECT_EQ(parsed.node, 2);
   EXPECT_EQ(parsed.type, EventType::kSCF);
   EXPECT_EQ(parsed.scf().sys, Sys::kOpenAt);
-  EXPECT_EQ(parsed.scf().filename, "/data/x");
+  EXPECT_EQ(parsed_pool.View(parsed.scf().filename), "/data/x");
   EXPECT_EQ(parsed.scf().err, Err::kEIO);
 }
 
 TEST(TraceEventTest, ScfEmptyFilenameRoundTrip) {
-  const TraceEvent event = MakeScf(7, 0, Sys::kRead, "", Err::kEBADF);
+  StringPool pool;
+  const TraceEvent event = MakeScf(&pool, 7, 0, Sys::kRead, "", Err::kEBADF);
+  StringPool parsed_pool;
   TraceEvent parsed;
-  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
-  EXPECT_EQ(parsed.scf().filename, "");
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(pool), &parsed_pool, &parsed));
+  EXPECT_EQ(parsed.scf().filename, kEmptyStrId);
 }
 
 TEST(TraceEventTest, AfLineRoundTrip) {
+  const StringPool pool;
   const TraceEvent event = MakeAf(99, 1, 200, 17);
+  StringPool parsed_pool;
   TraceEvent parsed;
-  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(pool), &parsed_pool, &parsed));
   EXPECT_EQ(parsed.type, EventType::kAF);
   EXPECT_EQ(parsed.af().pid, 200);
   EXPECT_EQ(parsed.af().function_id, 17);
 }
 
 TEST(TraceEventTest, NdLineRoundTrip) {
+  StringPool pool;
   TraceEvent event;
   event.ts = 5000;
   event.node = 3;
   event.type = EventType::kND;
-  event.info = NdInfo{"10.0.0.1", "10.0.0.2", Seconds(7), 123};
+  event.info = NdInfo{pool.Intern("10.0.0.1"), pool.Intern("10.0.0.2"), Seconds(7), 123};
+  StringPool parsed_pool;
   TraceEvent parsed;
-  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
-  EXPECT_EQ(parsed.nd().src_ip, "10.0.0.1");
-  EXPECT_EQ(parsed.nd().dst_ip, "10.0.0.2");
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(pool), &parsed_pool, &parsed));
+  EXPECT_EQ(parsed_pool.View(parsed.nd().src_ip), "10.0.0.1");
+  EXPECT_EQ(parsed_pool.View(parsed.nd().dst_ip), "10.0.0.2");
   EXPECT_EQ(parsed.nd().duration, Seconds(7));
   EXPECT_EQ(parsed.nd().packet_count, 123u);
 }
 
 TEST(TraceEventTest, PsLineRoundTrip) {
+  const StringPool pool;
   TraceEvent event;
   event.ts = 1;
   event.node = 0;
   event.type = EventType::kPS;
   event.info = PsInfo{150, ProcState::kPaused, Seconds(4)};
+  StringPool parsed_pool;
   TraceEvent parsed;
-  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(), &parsed));
+  ASSERT_TRUE(TraceEvent::FromLine(event.ToLine(pool), &parsed_pool, &parsed));
   EXPECT_EQ(parsed.ps().state, ProcState::kPaused);
   EXPECT_EQ(parsed.ps().duration, Seconds(4));
 }
 
 TEST(TraceEventTest, MalformedLinesRejected) {
+  StringPool pool;
   TraceEvent parsed;
-  EXPECT_FALSE(TraceEvent::FromLine("", &parsed));
-  EXPECT_FALSE(TraceEvent::FromLine("notanumber SCF node=0", &parsed));
-  EXPECT_FALSE(TraceEvent::FromLine("123 BOGUS node=0", &parsed));
+  EXPECT_FALSE(TraceEvent::FromLine("", &pool, &parsed));
+  EXPECT_FALSE(TraceEvent::FromLine("notanumber SCF node=0", &pool, &parsed));
+  EXPECT_FALSE(TraceEvent::FromLine("123 BOGUS node=0", &pool, &parsed));
 }
 
 TEST(TraceTest, SerializeParseRoundTrip) {
   Trace trace;
-  trace.Append(MakeScf(10, 0, Sys::kWrite, "/a", Err::kENOSPC));
+  trace.Append(MakeScf(&trace.pool(), 10, 0, Sys::kWrite, "/a", Err::kENOSPC));
   trace.Append(MakeAf(20, 1, 101, 5));
   const Trace parsed = Trace::Parse(trace.Serialize());
   ASSERT_EQ(parsed.size(), 2u);
   EXPECT_EQ(parsed[0].type, EventType::kSCF);
+  EXPECT_EQ(parsed.str(parsed[0].scf().filename), "/a");
   EXPECT_EQ(parsed[1].type, EventType::kAF);
+  EXPECT_TRUE(TraceEquals(trace, parsed));
 }
 
 TEST(TraceTest, MergeSortsByTimestampStably) {
@@ -193,9 +234,9 @@ TEST(TraceTest, FunctionsBeforeIsInclusiveMostRecentFirst) {
 
 TEST(TraceTest, OfTypeFilters) {
   Trace trace;
-  trace.Append(MakeScf(1, 0, Sys::kRead, "", Err::kEIO));
+  trace.Append(MakeScf(&trace.pool(), 1, 0, Sys::kRead, "", Err::kEIO));
   trace.Append(MakeAf(2, 0, 1, 1));
-  trace.Append(MakeScf(3, 0, Sys::kWrite, "", Err::kEIO));
+  trace.Append(MakeScf(&trace.pool(), 3, 0, Sys::kWrite, "", Err::kEIO));
   EXPECT_EQ(trace.OfType(EventType::kSCF).size(), 2u);
   EXPECT_EQ(trace.OfType(EventType::kAF).size(), 1u);
   EXPECT_EQ(trace.OfType(EventType::kPS).size(), 0u);

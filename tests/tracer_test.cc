@@ -82,7 +82,7 @@ TEST_F(TracerTest, FdResolutionInDumpPostProcessing) {
   const Trace trace = tracer.Dump();
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_EQ(trace[0].scf().sys, Sys::kWrite);
-  EXPECT_EQ(trace[0].scf().filename, "/data/journal");  // Resolved from the fd map.
+  EXPECT_EQ(trace.str(trace[0].scf().filename), "/data/journal");  // Resolved from the fd map.
 }
 
 TEST_F(TracerTest, MonitoredFunctionsProduceAfEvents) {
@@ -116,7 +116,7 @@ TEST_F(TracerTest, NdDetectedWhenEstablishedFlowGoesSilent) {
   const auto nds = trace.OfType(EventType::kND);
   ASSERT_EQ(nds.size(), 1u);
   EXPECT_NEAR(ToSeconds(nds[0].nd().duration), 8.0, 0.2);
-  EXPECT_EQ(nds[0].nd().src_ip, "10.0.0.1");
+  EXPECT_EQ(trace.str(nds[0].nd().src_ip), "10.0.0.1");
 }
 
 TEST_F(TracerTest, ShortBurstConnectionsDoNotProduceNd) {

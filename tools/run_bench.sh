@@ -1,36 +1,46 @@
 #!/usr/bin/env bash
-# Runs the parallel-diagnosis benchmark and emits machine-readable JSON
-# (BENCH_diagnosis.json) next to the chosen output directory.
+# Runs the machine-readable benchmarks and emits JSON next to the chosen
+# output directory:
+#   BENCH_diagnosis.json — parallel-diagnosis engine (bench_diagnosis_parallel)
+#   BENCH_trace_io.json  — trace text/binary serialization (bench_trace_io)
 #
 # Usage:
 #   tools/run_bench.sh [build_dir] [out_dir]
 #
 # build_dir defaults to ./build (configured + built already, or this script
-# builds the bench target for you); out_dir defaults to the repo root.
+# builds the bench targets for you); out_dir defaults to the repo root.
 # Extra repetitions / filters can be passed via BENCH_ARGS, e.g.:
 #   BENCH_ARGS='--benchmark_repetitions=5' tools/run_bench.sh
 #
-# Interpreting results: per-arg rows are parallelism levels (1/2/4/8). The
-# reproduced/schedules/sim_runs counters must be identical across levels for
-# the same bug — that is the engine's determinism guarantee; a difference is
-# a bug, not noise. Wall-clock speedup scales with real cores (a 1-core host
-# shows flat times).
+# Interpreting results:
+#  - BENCH_diagnosis: per-arg rows are parallelism levels (1/2/4/8). The
+#    reproduced/schedules/sim_runs counters must be identical across levels
+#    for the same bug — that is the engine's determinism guarantee; a
+#    difference is a bug, not noise. Wall-clock speedup scales with real
+#    cores (a 1-core host shows flat times).
+#  - BENCH_trace_io: BM_ParseBinary must be >= 2x faster than BM_ParseText
+#    and the binary encoded_bytes counter <= 50% of the text one on the
+#    1M-event window (the binary container's acceptance bar).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
 out_dir="${2:-.}"
-out_json="${out_dir}/BENCH_diagnosis.json"
 
 if [ ! -d "$build_dir" ]; then
   cmake -S . -B "$build_dir"
 fi
-cmake --build "$build_dir" --target bench_diagnosis_parallel -j "$(nproc)"
+cmake --build "$build_dir" --target bench_diagnosis_parallel bench_trace_io -j "$(nproc)"
 
 "${build_dir}/bench/bench_diagnosis_parallel" \
-  --benchmark_out="$out_json" \
+  --benchmark_out="${out_dir}/BENCH_diagnosis.json" \
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_diagnosis.json"
 
-echo "wrote $out_json"
+"${build_dir}/bench/bench_trace_io" \
+  --benchmark_out="${out_dir}/BENCH_trace_io.json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_trace_io.json"
