@@ -77,17 +77,13 @@ rose::FaultSchedule DemoSchedule() {
 }
 
 int LintTrace(const char* path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::vector<rose::Diagnostic> diags;
+  const rose::Trace trace = rose::LoadTraceFile(path, &diags);
+  if (!rose::OfCode(diags, rose::DiagCode::kTraceFileUnreadable).empty()) {
     std::fprintf(stderr, "lint_schedule: cannot open %s\n", path);
     return 2;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::vector<rose::Diagnostic> diags;
-  const rose::Trace trace = rose::Trace::Load(buf.str(), &diags);
-  std::printf("trace: %s  (%zu events, %s, pool %zu strings)\n", path, trace.size(),
-              rose::LooksLikeBinaryTrace(buf.str()) ? "binary" : "text",
+  std::printf("trace: %s  (%zu events, pool %zu strings)\n", path, trace.size(),
               trace.pool().size());
 
   const std::vector<rose::Diagnostic> validation = rose::TraceValidator().Validate(trace);

@@ -6,12 +6,19 @@
 //   ./build/examples/reproduce_bug all             # reproduce every bug
 //
 // Flags:
-//   --parallelism=N   worker threads for candidate execution (default: the
-//                     machine's hardware concurrency). Any value yields the
-//                     identical report; it only changes wall-clock time.
+//   --parallelism=N     worker threads for candidate execution (default: the
+//                       machine's hardware concurrency). Any value yields the
+//                       identical report; it only changes wall-clock time.
+//   --tries=N           retry with fresh seeds up to N times when a run ends
+//                       without reproduction (default 3).
+//   --schedule-out=FILE write the confirmed schedule's canonical YAML to FILE
+//                       (single-bug mode; the same bytes `rose_served` caches
+//                       and `rose_serve_cli` prints).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "src/common/parallel.h"
 #include "src/harness/bug_registry.h"
@@ -19,11 +26,12 @@
 
 namespace {
 
-int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, bool verbose) {
+int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, int tries,
+           bool verbose, const std::string& schedule_out) {
   rose::RoseConfig config;
   config.seed = seed;
   config.diagnosis.parallelism = parallelism;
-  const rose::RoseReport report = rose::ReproduceBugRobust(spec, config);
+  const rose::RoseReport report = rose::ReproduceBugRobust(spec, config, tries);
   if (!report.trace_obtained) {
     std::printf("%-18s  NO PRODUCTION TRACE (after %d attempts)\n", spec.id.c_str(),
                 report.production_attempts);
@@ -37,6 +45,16 @@ int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, bool verbo
   if (verbose && report.reproduced()) {
     std::printf("%s\n", report.diagnosis.schedule.ToYaml().c_str());
   }
+  if (!schedule_out.empty() && report.reproduced()) {
+    std::ofstream out(schedule_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "reproduce_bug: cannot write %s\n", schedule_out.c_str());
+      return 2;
+    }
+    // Byte-exact ToYaml so the file diffs cleanly against served results.
+    out << report.diagnosis.schedule.ToYaml();
+    std::printf("confirmed schedule written to %s\n", schedule_out.c_str());
+  }
   return report.reproduced() ? 0 : 1;
 }
 
@@ -44,6 +62,8 @@ int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, bool verbo
 
 int main(int argc, char** argv) {
   int parallelism = rose::WorkerPool::DefaultParallelism();
+  int tries = 3;
+  std::string schedule_out;
   // Peel off flags; what remains is <bug-id>|all [seed].
   const char* positional[2] = {nullptr, nullptr};
   int num_positional = 0;
@@ -54,6 +74,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--parallelism must be >= 1\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--tries=", 8) == 0) {
+      tries = std::atoi(argv[i] + 8);
+      if (tries < 1) {
+        std::fprintf(stderr, "--tries must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--schedule-out=", 15) == 0) {
+      schedule_out = argv[i] + 15;
     } else if (num_positional < 2) {
       positional[num_positional++] = argv[i];
     }
@@ -72,7 +100,8 @@ int main(int argc, char** argv) {
   if (std::strcmp(positional[0], "all") == 0) {
     int failures = 0;
     for (const rose::BugSpec* spec : rose::AllBugs()) {
-      failures += RunOne(*spec, seed, parallelism, /*verbose=*/false);
+      failures += RunOne(*spec, seed, parallelism, tries, /*verbose=*/false,
+                         /*schedule_out=*/"");
     }
     return failures == 0 ? 0 : 1;
   }
@@ -81,5 +110,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown bug id: %s\n", positional[0]);
     return 2;
   }
-  return RunOne(*spec, seed, parallelism, /*verbose=*/true);
+  return RunOne(*spec, seed, parallelism, tries, /*verbose=*/true, schedule_out);
 }

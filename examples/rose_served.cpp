@@ -1,0 +1,213 @@
+// rose_served — the diagnosis daemon, serving several clients at once.
+//
+// Stands up a DiagnosisService listening on a simulated Unix socket, connects
+// one client per requested job, and pumps everything until the queue drains.
+// Each submission is either a saved dump pair (bug=BASE loads BASE.trc +
+// BASE.profile) or generated on the fly by simulating phases 1–2 for the
+// named bug. Confirmed schedules land in --out as <bug>-<seed>.yaml —
+// byte-identical to offline `reproduce_bug --schedule-out` for the same seed.
+//
+// With --cache-dir the result store persists: restart the daemon on the same
+// directory and resubmissions are answered from disk without an engine run.
+//
+// Usage:
+//   ./build/examples/rose_served [flags] <bug-id>[=DUMPBASE] ...
+//
+// Flags:
+//   --cache-dir DIR    persist confirmed schedules across restarts
+//   --out DIR          write confirmed schedule YAML files here (default ".")
+//   --concurrency N    diagnosis jobs running at once (default 2)
+//   --queue N          queued-job bound; overflow is rejected with kQueueFull
+//   --seed N           submission seed (default 42)
+//
+// Example — three bugs, two of them identical (the duplicate coalesces):
+//   ./build/examples/rose_served RedisRaft-43 MiniZK-1058 RedisRaft-43
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/bug_registry.h"
+#include "src/harness/runner.h"
+#include "src/net/transport.h"
+#include "src/serve/client.h"
+#include "src/serve/service.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+struct Submission {
+  std::string bug_id;
+  std::string dump_base;  // Empty = simulate phases 1-2.
+  std::unique_ptr<rose::ServeClient> client;
+  uint64_t handle = 0;
+  bool reported = false;
+};
+
+bool ObtainDump(const Submission& sub, uint64_t seed, rose::Profile* profile,
+                rose::Trace* trace) {
+  if (!sub.dump_base.empty()) {
+    std::vector<rose::Diagnostic> diags;
+    *trace = rose::LoadTraceFile(sub.dump_base + ".trc", &diags);
+    if (rose::HasErrors(diags)) {
+      for (const rose::Diagnostic& diag : diags) {
+        std::fprintf(stderr, "  %s\n", diag.ToString().c_str());
+      }
+      return false;
+    }
+    std::ifstream prof_in(sub.dump_base + ".profile", std::ios::binary);
+    if (!prof_in) {
+      std::fprintf(stderr, "rose_served: cannot open %s.profile\n", sub.dump_base.c_str());
+      return false;
+    }
+    std::ostringstream buf;
+    buf << prof_in.rdbuf();
+    return rose::ParseProfile(buf.str(), profile);
+  }
+  const rose::BugSpec* spec = rose::FindBug(sub.bug_id);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "rose_served: unknown bug id %s\n", sub.bug_id.c_str());
+    return false;
+  }
+  rose::BugRunner runner(spec);
+  *profile = runner.RunProfiling(seed);
+  std::optional<rose::Trace> production = runner.ObtainProductionTrace(*profile, seed + 17);
+  if (!production.has_value()) {
+    std::fprintf(stderr, "rose_served: %s never surfaced\n", sub.bug_id.c_str());
+    return false;
+  }
+  *trace = std::move(*production);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rose::ServeConfig config;
+  std::string out_dir = ".";
+  uint64_t seed = 42;
+  std::vector<Submission> submissions;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      config.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--concurrency") == 0 && i + 1 < argc) {
+      config.max_concurrent_jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      config.queue_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      Submission sub;
+      const char* eq = std::strchr(argv[i], '=');
+      if (eq != nullptr) {
+        sub.bug_id.assign(argv[i], static_cast<size_t>(eq - argv[i]));
+        sub.dump_base = eq + 1;
+      } else {
+        sub.bug_id = argv[i];
+      }
+      submissions.push_back(std::move(sub));
+    }
+  }
+  if (submissions.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--cache-dir DIR] [--out DIR] [--concurrency N] [--queue N] "
+                 "[--seed N] <bug-id>[=DUMPBASE] ...\n", argv[0]);
+    return 2;
+  }
+  std::filesystem::create_directories(out_dir);
+
+  rose::DiagnosisService service(config);
+  rose::SimSocketSpace sockets;
+  sockets.Listen("/run/rose_served.sock");
+  std::printf("rose_served: listening (concurrency=%d queue=%zu cache=%s)\n",
+              config.max_concurrent_jobs, config.queue_capacity,
+              config.cache_dir.empty() ? "memory" : config.cache_dir.c_str());
+
+  // One connection per submission — the daemon's per-client fairness and
+  // duplicate coalescing are visible with several tenants.
+  size_t client_index = 0;
+  for (Submission& sub : submissions) {
+    client_index++;
+    rose::Profile profile;
+    rose::Trace trace;
+    if (!ObtainDump(sub, seed, &profile, &trace)) {
+      return 1;
+    }
+    std::shared_ptr<rose::Transport> end = sockets.Connect("/run/rose_served.sock");
+    service.Attach(sockets.Accept("/run/rose_served.sock"));
+    sub.client = std::make_unique<rose::ServeClient>(end);
+    rose::SubmitRequest request;
+    request.bug_id = sub.bug_id;
+    request.seed = seed;
+    request.tag = sub.bug_id;
+    request.profile = std::move(profile);
+    request.trace = std::move(trace);
+    sub.handle = sub.client->Submit(request);
+    std::printf("client %zu: submitted %s (%zu events)\n", client_index,
+                sub.bug_id.c_str(), request.trace.size());
+  }
+
+  int failures = 0;
+  for (;;) {
+    bool all_done = true;
+    for (Submission& sub : submissions) {
+      sub.client->Poll();
+      for (const rose::ProgressMsg& msg : sub.client->TakeProgress(sub.handle)) {
+        std::printf("  [%s] %s\n", sub.bug_id.c_str(), msg.ToString().c_str());
+      }
+      if (!sub.client->done(sub.handle)) {
+        all_done = false;
+        continue;
+      }
+      if (sub.reported) {
+        continue;
+      }
+      sub.reported = true;
+      if (sub.client->failed(sub.handle)) {
+        std::printf("%-18s  REJECTED: %s\n", sub.bug_id.c_str(),
+                    sub.client->error_message(sub.handle).c_str());
+        failures++;
+        continue;
+      }
+      const rose::ServeJobResult& result = sub.client->result(sub.handle);
+      const char* how = result.cached ? "cache" : result.coalesced ? "coalesced" : "ran";
+      std::printf("%-18s  %s  L%d  RR=%3.0f%%  sched=%d runs=%d  (%s)  [%s]\n",
+                  sub.bug_id.c_str(), result.reproduced ? "REPRODUCED " : "NOT-REPRO  ",
+                  result.level, result.replay_rate, result.schedules, result.runs, how,
+                  result.fault_summary.c_str());
+      if (result.reproduced) {
+        const std::string path = out_dir + "/" + sub.bug_id + "-" +
+                                 std::to_string(seed) + ".yaml";
+        std::ofstream out(path, std::ios::binary);
+        out << result.schedule_yaml;
+        std::printf("  schedule -> %s\n", path.c_str());
+      } else {
+        failures++;
+      }
+    }
+    service.Poll();
+    if (all_done && service.idle()) {
+      break;
+    }
+  }
+
+  const rose::ServeStats& stats = service.stats();
+  std::printf("\nstats: submitted=%llu completed=%llu cache_hits=%llu coalesced=%llu "
+              "rejected_full=%llu invalid=%llu corrupt_frames=%llu engine_runs=%llu\n",
+              static_cast<unsigned long long>(stats.jobs_submitted),
+              static_cast<unsigned long long>(stats.jobs_completed),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.rejected_queue_full),
+              static_cast<unsigned long long>(stats.rejected_invalid),
+              static_cast<unsigned long long>(stats.corrupt_frames),
+              static_cast<unsigned long long>(stats.engine_runs));
+  return failures == 0 ? 0 : 1;
+}

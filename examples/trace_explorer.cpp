@@ -8,20 +8,27 @@
 // Usage:
 //   ./build/examples/trace_explorer [seed] [--save FILE] [--stats]
 //   ./build/examples/trace_explorer --load FILE [--stats]
+//   ./build/examples/trace_explorer --merge A B [C...] [--save FILE] [--stats]
 //
 //   --save FILE   write the dumped window to FILE — binary container unless
 //                 FILE ends in .txt (then the one-event-per-line text form)
 //   --load FILE   skip the simulated run and explore a saved trace instead;
 //                 binary vs text is auto-detected from the file's magic
+//   --merge ...   k-way merge saved per-node traces (Trace::Merge):
+//                 timestamp-ordered, stable for ties, strings re-interned
+//                 into one pool; combine with --save to persist the result
 //   --stats       print window statistics (events by type and node, string
 //                 pool size, window time span, encoded sizes)
+//
+// Exit status: 0 on success; 1 when a loaded file carries error-severity
+// container diagnostics (TB2xx — truncation, CRC damage, unreadable file),
+// even if intact frames still produced events.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/analyze/trace_validator.h"
 #include "src/diagnose/extract.h"
@@ -68,14 +75,23 @@ int main(int argc, char** argv) {
   uint64_t seed = 1234;
   std::string save_path;
   std::string load_path;
+  std::vector<std::string> merge_paths;
+  bool merging = false;
   bool want_stats = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
       save_path = argv[++i];
+      merging = false;
     } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
       load_path = argv[++i];
+      merging = false;
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      merging = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+      merging = false;
+    } else if (merging) {
+      merge_paths.push_back(argv[i]);
     } else {
       seed = static_cast<uint64_t>(std::atoll(argv[i]));
     }
@@ -84,24 +100,44 @@ int main(int argc, char** argv) {
   rose::Trace trace;
   rose::Profile profile;
   const rose::Profile* profile_for_extract = nullptr;
+  // Set when a loaded file carried error diagnostics; the tool keeps going
+  // (intact frames are still worth exploring) but exits nonzero.
+  bool load_damaged = false;
 
-  if (!load_path.empty()) {
-    std::ifstream in(load_path, std::ios::binary);
-    if (!in) {
-      std::fprintf(stderr, "trace_explorer: cannot open %s\n", load_path.c_str());
+  if (!merge_paths.empty()) {
+    if (merge_paths.size() < 2) {
+      std::fprintf(stderr, "trace_explorer: --merge needs at least two files\n");
       return 2;
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    std::vector<rose::Trace> inputs;
+    for (const std::string& path : merge_paths) {
+      std::vector<rose::Diagnostic> diags;
+      rose::Trace input = rose::LoadTraceFile(path, &diags);
+      std::printf("--- loaded %s: %zu events ---\n", path.c_str(), input.size());
+      for (const rose::Diagnostic& diag : diags) {
+        std::printf("  %s\n", diag.ToString().c_str());
+      }
+      if (rose::HasErrors(diags)) {
+        load_damaged = true;
+      }
+      inputs.push_back(std::move(input));
+    }
+    trace = rose::Trace::Merge(inputs);
+    std::printf("--- merged %zu traces: %zu events ---\n", inputs.size(), trace.size());
+  } else if (!load_path.empty()) {
     std::vector<rose::Diagnostic> diags;
-    trace = rose::Trace::Load(buf.str(), &diags);
-    std::printf("--- loaded %s: %zu events (%s) ---\n", load_path.c_str(), trace.size(),
-                rose::LooksLikeBinaryTrace(buf.str()) ? "binary" : "text");
+    trace = rose::LoadTraceFile(load_path, &diags);
+    std::printf("--- loaded %s: %zu events ---\n", load_path.c_str(), trace.size());
     for (const rose::Diagnostic& diag : diags) {
       std::printf("  %s\n", diag.ToString().c_str());
     }
-    if (trace.empty() && rose::HasErrors(diags)) {
-      return 1;
+    if (rose::HasErrors(diags)) {
+      // Keep exploring whatever survived, but fail the invocation: scripts
+      // must not mistake a truncated dump for a good one.
+      load_damaged = true;
+      if (trace.empty()) {
+        return 1;
+      }
     }
   } else {
     // Borrow the RedisRaft-42 deployment (any guest works; this one crashes
@@ -180,15 +216,12 @@ int main(int argc, char** argv) {
   if (!save_path.empty()) {
     const bool text = save_path.size() > 4 &&
                       save_path.compare(save_path.size() - 4, 4, ".txt") == 0;
-    std::ofstream out(save_path, std::ios::binary);
-    if (!out) {
+    if (!rose::SaveTraceFile(save_path, trace, text)) {
       std::fprintf(stderr, "trace_explorer: cannot write %s\n", save_path.c_str());
       return 2;
     }
-    const std::string encoded = text ? trace.Serialize() : trace.SerializeBinary();
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    std::printf("\nsaved %zu events to %s (%s, %zu bytes)\n", trace.size(), save_path.c_str(),
-                text ? "text" : "binary", encoded.size());
+    std::printf("\nsaved %zu events to %s (%s)\n", trace.size(), save_path.c_str(),
+                text ? "text" : "binary");
   }
-  return 0;
+  return load_damaged ? 1 : 0;
 }

@@ -64,6 +64,8 @@ std::string_view DiagCodeName(DiagCode code) {
       return "TB204";
     case DiagCode::kMalformedTraceFrame:
       return "TB205";
+    case DiagCode::kTraceFileUnreadable:
+      return "TB206";
   }
   return "??";
 }

@@ -55,6 +55,7 @@ enum class DiagCode : int16_t {
   kTruncatedTrace,          // TB203: stream ends mid-frame / without an end frame.
   kCorruptTraceFrame,       // TB204: frame payload fails its CRC32.
   kMalformedTraceFrame,     // TB205: frame payload does not decode.
+  kTraceFileUnreadable,     // TB206: trace file missing or not readable.
 };
 
 // Stable short form, e.g. "SL001" / "TV103" — what tests assert against and

@@ -90,4 +90,19 @@ std::vector<Diagnostic> TraceValidator::Validate(TraceView trace) const {
   return diags;
 }
 
+uint64_t CanonicalTraceHash(TraceView trace) {
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis.
+  auto mix = [&hash](std::string_view bytes) {
+    for (char ch : bytes) {
+      hash ^= static_cast<uint8_t>(ch);
+      hash *= 0x100000001b3ULL;  // FNV prime.
+    }
+  };
+  for (const TraceEvent& event : trace) {
+    mix(event.ToLine(trace.pool()));
+    mix("\n");
+  }
+  return hash;
+}
+
 }  // namespace rose

@@ -43,6 +43,13 @@ class TraceValidator {
   TraceValidateOptions options_;
 };
 
+// Pool-independent canonical hash of a trace window: FNV-1a over every
+// event's resolved one-line form. Two windows hash equal iff TraceEquals —
+// interning order, pool layout, and text/binary round-trips don't matter.
+// This is the dedup key the serve result cache is built on (a resubmitted
+// dump, or the same dump after save/load/merge, maps to the same diagnosis).
+uint64_t CanonicalTraceHash(TraceView trace);
+
 }  // namespace rose
 
 #endif  // SRC_ANALYZE_TRACE_VALIDATOR_H_

@@ -88,6 +88,21 @@ FaultSchedule DiagnosisEngine::BuildLevel1() const {
   return schedule;
 }
 
+void DiagnosisEngine::Notify(DiagnosisProgress::Kind kind, const DiagnosisResult& result,
+                             double rate, std::string detail) const {
+  if (!config_.on_progress) {
+    return;
+  }
+  DiagnosisProgress progress;
+  progress.kind = kind;
+  progress.level = notify_level_;
+  progress.schedules_generated = result.schedules_generated;
+  progress.total_runs = result.total_runs;
+  progress.rate = rate;
+  progress.detail = std::move(detail);
+  config_.on_progress(progress);
+}
+
 double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResult* result) {
   const uint64_t hash = CanonicalHash(schedule);
   const uint32_t base_index = run_counters_[hash];
@@ -125,6 +140,8 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
     } else {
       clean_runs++;
     }
+    Notify(DiagnosisProgress::Kind::kConfirmRun, *result,
+           100.0 * static_cast<double>(bug_runs) / static_cast<double>(consumed), "");
   }
   run_counters_[hash] = base_index + consumed;
   return 100.0 * static_cast<double>(bug_runs) / static_cast<double>(config_.confirm_runs);
@@ -167,6 +184,7 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
     return false;
   }
   result->schedules_generated++;
+  notify_level_ = level;
   const uint32_t committed = run_counters_[probe.hash];
   ScheduleRunOutcome outcome;
   if (batch != nullptr && probe.batch_slot >= 0 && committed == probe.tentative_index) {
@@ -184,6 +202,8 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
   result->total_runs++;
   result->virtual_time += outcome.virtual_duration;
   const bool bug = outcome.bug;
+  Notify(DiagnosisProgress::Kind::kCandidate, *result, bug ? 100.0 : 0.0,
+         probe.schedule.Summary());
   if (outcome_out != nullptr) {
     *outcome_out = std::move(outcome);
   }
@@ -490,6 +510,8 @@ DiagnosisResult DiagnosisEngine::Run() {
   FaultSchedule schedule = BuildLevel1();
   const std::vector<FaultSchedule> attempts(
       static_cast<size_t>(std::max(config_.level1_attempts, 0)), schedule);
+  notify_level_ = 1;
+  Notify(DiagnosisProgress::Kind::kLevelStart, result, 0, "level 1: production order");
   if (RunWave(attempts, 1, /*allow_duplicate=*/true, /*budget=*/0, &result)) {
     result.fault_summary = result.schedule.Summary();
     return result;
@@ -498,18 +520,24 @@ DiagnosisResult DiagnosisEngine::Run() {
   const std::vector<size_t> priority = PrioritizeFaults(extraction_.faults);
 
   // Level 2: invocation sweeps and function-chain contexts.
+  notify_level_ = 2;
+  Notify(DiagnosisProgress::Kind::kLevelStart, result, 0, "level 2: fault contexts");
   if (Level2(&schedule, priority, &result)) {
     result.fault_summary = result.schedule.Summary();
     return result;
   }
 
   // Level 3: intra-function offsets.
+  notify_level_ = 3;
+  Notify(DiagnosisProgress::Kind::kLevelStart, result, 0, "level 3: intra-function offsets");
   if (Level3(&schedule, priority, &result)) {
     result.fault_summary = result.schedule.Summary();
     return result;
   }
 
   // Pruning runs: re-examine saved candidates (paper §4.5.2).
+  notify_level_ = 0;
+  Notify(DiagnosisProgress::Kind::kLevelStart, result, 0, "pruning runs: saved candidates");
   const Candidate* best = nullptr;
   for (const Candidate& candidate : saved_candidates_) {
     if (best == nullptr || candidate.rate > best->rate) {

@@ -71,6 +71,25 @@ struct ScheduleRunRequest {
 // speculative parallel execution reproduce the serial engine exactly.
 uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t schedule_hash, uint32_t run_index);
 
+// A milestone in a running diagnosis, reported through
+// DiagnosisConfig::on_progress. Observation only: the callback sees every
+// level transition, candidate execution, and confirmBug rerun in the
+// deterministic consumption order (it fires on the engine's consuming
+// thread, never from workers), and nothing the callback does can change the
+// DiagnosisResult. The serve daemon streams these to clients as progress
+// frames; leave the callback empty and diagnosis is byte-identical.
+struct DiagnosisProgress {
+  enum class Kind : int8_t { kLevelStart = 0, kCandidate, kConfirmRun };
+  Kind kind = Kind::kCandidate;
+  int level = 0;               // 1..3 (0 for the final pruning-runs phase).
+  int schedules_generated = 0;  // Counter snapshots at emission time.
+  int total_runs = 0;
+  // kConfirmRun: running replay-rate estimate over the reruns consumed so far.
+  double rate = 0;
+  // kCandidate: the schedule's fault summary.
+  std::string detail;
+};
+
 struct DiagnosisConfig {
   double target_replay_rate = 60.0;
   int confirm_runs = 10;
@@ -95,6 +114,8 @@ struct DiagnosisConfig {
   int parallelism = 1;
   // Server nodes (amplification targets).
   std::vector<NodeId> server_nodes;
+  // Progress observer (see DiagnosisProgress); null = silent.
+  std::function<void(const DiagnosisProgress&)> on_progress;
   // Ablations.
   bool enforce_fault_order = true;
   bool use_amplification = true;
@@ -158,6 +179,10 @@ class DiagnosisEngine {
     return DeriveRunSeed(config_.base_seed, schedule_hash, run_index);
   }
 
+  // Reports one milestone through config_.on_progress (no-op when unset).
+  void Notify(DiagnosisProgress::Kind kind, const DiagnosisResult& result, double rate,
+              std::string detail) const;
+
   // Lints, dedups, and assigns the speculative run index for one candidate.
   // `local_counts` tracks in-wave index bumps for not-yet-committed probes.
   PlannedProbe PlanProbe(FaultSchedule schedule, bool allow_duplicate,
@@ -215,6 +240,8 @@ class DiagnosisEngine {
   // Per-schedule committed run counts (canonical hash -> next run index).
   std::map<uint64_t, uint32_t> run_counters_;
   std::vector<Candidate> saved_candidates_;
+  // Level currently being consumed, for progress reporting only.
+  int notify_level_ = 0;
   // Worker pool for speculative candidate execution; null when parallelism <= 1.
   std::unique_ptr<WorkerPool> pool_;
 };

@@ -35,6 +35,24 @@ RoseReport ReproduceBugRobust(const BugSpec& spec, const RoseConfig& config, int
   return last;
 }
 
+DiagnosisResult DiagnoseTrace(const BugSpec& spec, const Profile& profile,
+                              TraceView production, const RoseConfig& config) {
+  BugRunner runner(&spec);
+  DiagnosisConfig diagnosis_config = config.diagnosis;
+  if (diagnosis_config.server_nodes.empty()) {
+    // Default: every deployed server is an amplification target. Discover
+    // them from a throwaway deployment.
+    SimWorld world(config.seed);
+    Deployment deployment = spec.deploy(world, config.seed);
+    diagnosis_config.server_nodes = deployment.servers;
+  }
+  diagnosis_config.base_seed = config.seed * 1000 + 40000;
+
+  DiagnosisEngine engine(production, &profile, spec.binary,
+                         MakeScheduleRunner(&runner, &profile), diagnosis_config);
+  return engine.Run();
+}
+
 RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config) {
   RoseReport report;
   report.bug_id = spec.id;
@@ -54,19 +72,7 @@ RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config) {
   report.trace_obtained = true;
 
   // Phases 3+4: diagnosis with reproduction feedback.
-  DiagnosisConfig diagnosis_config = config.diagnosis;
-  if (diagnosis_config.server_nodes.empty()) {
-    // Default: every deployed server is an amplification target. Discover
-    // them from a throwaway deployment.
-    SimWorld world(config.seed);
-    Deployment deployment = spec.deploy(world, config.seed);
-    diagnosis_config.server_nodes = deployment.servers;
-  }
-  diagnosis_config.base_seed = config.seed * 1000 + 40000;
-
-  DiagnosisEngine engine(*production, &report.profile, spec.binary,
-                         MakeScheduleRunner(&runner, &report.profile), diagnosis_config);
-  report.diagnosis = engine.Run();
+  report.diagnosis = DiagnoseTrace(spec, report.profile, *production, config);
   return report;
 }
 

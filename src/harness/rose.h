@@ -41,6 +41,16 @@ struct RoseReport {
 // Runs the full Rose workflow on one bug.
 RoseReport ReproduceBug(const BugSpec& spec, const RoseConfig& config = {});
 
+// Phases 3+4 alone: diagnose an already-captured production dump against an
+// already-learned profile. This is the entry point the serve daemon uses for
+// submitted dumps; ReproduceBug routes through it too, so an offline run and
+// a served run of the same (dump, profile, seed) are the same computation —
+// which is what makes their confirmed-schedule YAML byte-identical. Applies
+// the same defaulting ReproduceBug always did: server_nodes discovered from
+// a throwaway deployment when unset, base_seed derived from config.seed.
+DiagnosisResult DiagnoseTrace(const BugSpec& spec, const Profile& profile,
+                              TraceView production, const RoseConfig& config = {});
+
 // Like ReproduceBug, but retries with fresh seeds when a run ends without
 // reproduction — the paper runs Rose multiple times for the bugs whose
 // schedules replay below 100% and reports the (averaged) successful runs.

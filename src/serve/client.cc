@@ -1,0 +1,243 @@
+#include "src/serve/client.h"
+
+namespace rose {
+namespace {
+
+// Chunk size for transport reads; small enough to exercise reassembly.
+constexpr size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+ServeClient::ServeClient(std::shared_ptr<Transport> transport, ServeClientConfig config)
+    : transport_(std::move(transport)), config_(config) {
+  AppendServeHeader(&outbox_);
+}
+
+uint64_t ServeClient::Submit(const SubmitRequest& request) {
+  const uint64_t handle = next_handle_++;
+  PendingJob& job = jobs_[handle];
+  job.handle = handle;
+  job.encoded = EncodeSubmit(request);
+  job.state = JobState::kAwaitingAccept;
+  AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
+  accept_fifo_.push_back(handle);
+  return handle;
+}
+
+void ServeClient::Poll() {
+  if (broken_) {
+    return;
+  }
+
+  // Backoff bookkeeping: jobs waiting out a queue-full rejection re-enter the
+  // wire when their counter hits zero. Resubmission order follows handle
+  // order, which keeps the FIFO correlation well-defined.
+  for (auto& [handle, job] : jobs_) {
+    if (job.state != JobState::kBackoff) {
+      continue;
+    }
+    if (--job.backoff_left > 0) {
+      continue;
+    }
+    job.state = JobState::kAwaitingAccept;
+    AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
+    accept_fifo_.push_back(handle);
+    retries_performed_++;
+  }
+
+  // Flush as much of the outbox as the transport accepts (short writes mean
+  // the pipe is full; the remainder goes out on a later Poll()).
+  if (outbox_sent_ < outbox_.size() && transport_->writable()) {
+    std::string_view rest(outbox_.data() + outbox_sent_, outbox_.size() - outbox_sent_);
+    outbox_sent_ += transport_->Write(rest);
+    if (outbox_sent_ == outbox_.size()) {
+      outbox_.clear();
+      outbox_sent_ = 0;
+    } else if (outbox_sent_ > 64 * 1024 && outbox_sent_ >= outbox_.size() / 2) {
+      outbox_.erase(0, outbox_sent_);
+      outbox_sent_ = 0;
+    }
+  }
+
+  // Pull inbound bytes and process every complete frame.
+  while (transport_->readable()) {
+    std::string chunk = transport_->Read(kReadChunk);
+    if (chunk.empty()) {
+      break;
+    }
+    decoder_.Feed(chunk);
+  }
+  DecodedFrame frame;
+  for (;;) {
+    FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) {
+      break;
+    }
+    if (status == FrameDecoder::Status::kBadStream) {
+      broken_ = true;
+      // Every in-flight job fails: the stream cannot carry answers anymore.
+      for (auto& [handle, job] : jobs_) {
+        if (job.state != JobState::kDone && job.state != JobState::kFailed) {
+          job.state = JobState::kFailed;
+          job.error = ServeError::kVersionMismatch;
+          job.error_message = "serve stream header rejected";
+        }
+      }
+      return;
+    }
+    if (status == FrameDecoder::Status::kCorruptFrame) {
+      continue;  // Server frames are regenerable; resynchronization handled it.
+    }
+    HandleFrame(frame);
+  }
+}
+
+void ServeClient::HandleFrame(const DecodedFrame& frame) {
+  switch (frame.kind) {
+    case ServeFrame::kAccepted: {
+      AcceptedMsg msg;
+      if (!DecodeAccepted(frame.payload, &msg)) {
+        return;
+      }
+      PendingJob* job = OldestAwaitingAccept();
+      if (job == nullptr) {
+        return;
+      }
+      accept_fifo_.pop_front();
+      job->state = JobState::kAccepted;
+      job->server_job_id = msg.job_id;
+      job->accept_kind = msg.kind;
+      return;
+    }
+    case ServeFrame::kProgress: {
+      ProgressMsg msg;
+      if (!DecodeProgress(frame.payload, &msg)) {
+        return;
+      }
+      if (PendingJob* job = ByServerJobId(msg.job_id)) {
+        job->progress.push_back(std::move(msg));
+      }
+      return;
+    }
+    case ServeFrame::kResult: {
+      ResultMsg msg;
+      if (!DecodeResult(frame.payload, &msg)) {
+        return;
+      }
+      PendingJob* job = ByServerJobId(msg.job_id);
+      if (job == nullptr) {
+        return;
+      }
+      job->state = JobState::kDone;
+      job->result.reproduced = msg.reproduced;
+      job->result.cached = msg.cached;
+      job->result.coalesced = msg.coalesced;
+      job->result.replay_rate = msg.rate_permille / 10.0;
+      job->result.level = static_cast<int>(msg.level);
+      job->result.schedules = static_cast<int>(msg.schedules);
+      job->result.runs = static_cast<int>(msg.runs);
+      job->result.schedule_yaml = std::move(msg.schedule_yaml);
+      job->result.fault_summary = std::move(msg.fault_summary);
+      return;
+    }
+    case ServeFrame::kError: {
+      ErrorMsg msg;
+      if (!DecodeError(frame.payload, &msg)) {
+        return;
+      }
+      // job_id 0 = pre-admission rejection, correlated FIFO; otherwise the
+      // server names the job.
+      PendingJob* job =
+          msg.job_id == 0 ? OldestAwaitingAccept() : ByServerJobId(msg.job_id);
+      if (job == nullptr) {
+        return;
+      }
+      if (msg.job_id == 0) {
+        accept_fifo_.pop_front();
+      }
+      if (msg.code == ServeError::kQueueFull && config_.auto_retry_queue_full &&
+          job->attempts < config_.max_retries) {
+        job->state = JobState::kBackoff;
+        job->backoff_left = config_.backoff_base_rounds << job->attempts;
+        job->attempts++;
+        return;
+      }
+      job->state = JobState::kFailed;
+      job->error = msg.code;
+      job->error_message = std::move(msg.message);
+      return;
+    }
+    case ServeFrame::kSubmit:
+      return;  // Client never receives submissions; skip per protocol rules.
+  }
+}
+
+ServeClient::PendingJob* ServeClient::OldestAwaitingAccept() {
+  while (!accept_fifo_.empty()) {
+    auto it = jobs_.find(accept_fifo_.front());
+    if (it != jobs_.end() && it->second.state == JobState::kAwaitingAccept) {
+      return &it->second;
+    }
+    accept_fifo_.pop_front();  // Stale entry (job already resolved).
+  }
+  return nullptr;
+}
+
+ServeClient::PendingJob* ServeClient::ByServerJobId(uint64_t job_id) {
+  for (auto& [handle, job] : jobs_) {
+    if (job.server_job_id == job_id && job.state == JobState::kAccepted) {
+      return &job;
+    }
+  }
+  return nullptr;
+}
+
+const ServeClient::PendingJob& ServeClient::Get(uint64_t handle) const {
+  static const PendingJob kEmpty;
+  auto it = jobs_.find(handle);
+  return it == jobs_.end() ? kEmpty : it->second;
+}
+
+bool ServeClient::done(uint64_t handle) const {
+  JobState state = Get(handle).state;
+  return state == JobState::kDone || state == JobState::kFailed;
+}
+
+bool ServeClient::failed(uint64_t handle) const {
+  return Get(handle).state == JobState::kFailed;
+}
+
+ServeError ServeClient::error_code(uint64_t handle) const { return Get(handle).error; }
+
+const std::string& ServeClient::error_message(uint64_t handle) const {
+  return Get(handle).error_message;
+}
+
+const ServeJobResult& ServeClient::result(uint64_t handle) const {
+  return Get(handle).result;
+}
+
+AcceptKind ServeClient::accept_kind(uint64_t handle) const {
+  return Get(handle).accept_kind;
+}
+
+std::vector<ProgressMsg> ServeClient::TakeProgress(uint64_t handle) {
+  auto it = jobs_.find(handle);
+  if (it == jobs_.end()) {
+    return {};
+  }
+  std::vector<ProgressMsg> out = std::move(it->second.progress);
+  it->second.progress.clear();
+  return out;
+}
+
+bool ServeClient::all_done() const {
+  for (const auto& [handle, job] : jobs_) {
+    if (job.state != JobState::kDone && job.state != JobState::kFailed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rose

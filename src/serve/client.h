@@ -1,0 +1,126 @@
+// Client half of the serve protocol (DESIGN.md §10).
+//
+// A ServeClient owns one connection to a DiagnosisService. Submit() encodes
+// a diagnosis job and queues its bytes; Poll() moves data both ways — it
+// drains the outbox into the transport (handling the short writes a bounded
+// wire produces), reassembles inbound frames, and advances each job's state
+// machine:
+//
+//     pending-send -> awaiting-accept -> accepted -> done | failed
+//                          ^                  (progress streams in between)
+//                          '--- queue-full rejection re-queues the submit
+//                               after an exponential backoff (Poll rounds)
+//
+// The server answers submissions in FIFO order, so the client correlates
+// kAccepted/kError frames with the oldest in-flight submission; kProgress /
+// kResult frames carry the server-assigned job id.
+#ifndef SRC_SERVE_CLIENT_H_
+#define SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/serve/protocol.h"
+
+namespace rose {
+
+struct ServeClientConfig {
+  // Queue-full handling: resubmit after backoff_base << attempt Poll rounds,
+  // up to max_retries; then the job fails with the typed error.
+  bool auto_retry_queue_full = true;
+  int max_retries = 8;
+  int backoff_base_rounds = 1;
+};
+
+// Terminal state of one submitted job.
+struct ServeJobResult {
+  bool reproduced = false;
+  bool cached = false;
+  bool coalesced = false;
+  double replay_rate = 0;  // Percent.
+  int level = 0;
+  int schedules = 0;
+  int runs = 0;
+  std::string schedule_yaml;
+  std::string fault_summary;
+};
+
+class ServeClient {
+ public:
+  explicit ServeClient(std::shared_ptr<Transport> transport,
+                       ServeClientConfig config = {});
+
+  // Queues one submission; returns a client-side handle. `request.trace` /
+  // `request.profile` are encoded immediately (no lifetime obligations).
+  uint64_t Submit(const SubmitRequest& request);
+
+  // One pump cycle; call interleaved with the service's Poll().
+  void Poll();
+
+  // --- Per-handle observation -------------------------------------------------
+  bool done(uint64_t handle) const;      // Result or failure reached.
+  bool failed(uint64_t handle) const;
+  // Typed error for a failed handle (kNone otherwise).
+  ServeError error_code(uint64_t handle) const;
+  const std::string& error_message(uint64_t handle) const;
+  const ServeJobResult& result(uint64_t handle) const;
+  // Disposition from the kAccepted frame (valid once accepted).
+  AcceptKind accept_kind(uint64_t handle) const;
+  // Drains the progress lines received for `handle` since the last call.
+  std::vector<ProgressMsg> TakeProgress(uint64_t handle);
+
+  bool all_done() const;
+  // Queue-full retries performed so far (across all handles).
+  int retries_performed() const { return retries_performed_; }
+  // True when the server stream turned out to be unusable (bad header).
+  bool broken() const { return broken_; }
+
+ private:
+  enum class JobState : uint8_t {
+    kBackoff,         // Waiting `backoff_left` rounds before (re)sending.
+    kAwaitingAccept,  // Bytes queued/sent; no kAccepted/kError yet.
+    kAccepted,        // Server job id known; awaiting result.
+    kDone,
+    kFailed,
+  };
+
+  struct PendingJob {
+    uint64_t handle = 0;
+    JobState state = JobState::kAwaitingAccept;
+    std::string encoded;  // Submit payload, kept for retries.
+    int attempts = 0;
+    int backoff_left = 0;
+    uint64_t server_job_id = 0;
+    AcceptKind accept_kind = AcceptKind::kQueued;
+    ServeError error = ServeError::kNone;
+    std::string error_message;
+    ServeJobResult result;
+    std::vector<ProgressMsg> progress;
+  };
+
+  void HandleFrame(const DecodedFrame& frame);
+  PendingJob* OldestAwaitingAccept();
+  PendingJob* ByServerJobId(uint64_t job_id);
+  const PendingJob& Get(uint64_t handle) const;
+
+  std::shared_ptr<Transport> transport_;
+  ServeClientConfig config_;
+  FrameDecoder decoder_;
+  std::string outbox_;
+  size_t outbox_sent_ = 0;
+  std::map<uint64_t, PendingJob> jobs_;
+  // Submission order on the wire — the server's response order.
+  std::deque<uint64_t> accept_fifo_;
+  uint64_t next_handle_ = 1;
+  int retries_performed_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace rose
+
+#endif  // SRC_SERVE_CLIENT_H_

@@ -1,0 +1,392 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/trace/trace_io.h"
+
+namespace rose {
+
+namespace {
+
+void PutLengthPrefixed(std::string* out, std::string_view bytes) {
+  PutVarint(out, bytes.size());
+  out->append(bytes.data(), bytes.size());
+}
+
+bool GetLengthPrefixed(std::string_view* data, std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetVarint(data, &len) || len > data->size()) {
+    return false;
+  }
+  *out = data->substr(0, static_cast<size_t>(len));
+  data->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+void PutU32LE(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out->append(bytes, 4);
+}
+
+uint32_t ReadU32LE(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
+
+std::string_view ServeErrorName(ServeError error) {
+  switch (error) {
+    case ServeError::kNone: return "none";
+    case ServeError::kQueueFull: return "queue_full";
+    case ServeError::kInvalidTrace: return "invalid_trace";
+    case ServeError::kUnknownBug: return "unknown_bug";
+    case ServeError::kBadFrame: return "bad_frame";
+    case ServeError::kVersionMismatch: return "version_mismatch";
+    case ServeError::kMalformedRequest: return "malformed_request";
+  }
+  return "?";
+}
+
+std::string ProgressMsg::ToString() const {
+  const char* what = "";
+  switch (kind) {
+    case ProgressKind::kRunning: what = "running"; break;
+    case ProgressKind::kLevelStart: what = "level-start"; break;
+    case ProgressKind::kCandidate: what = "candidate"; break;
+    case ProgressKind::kConfirm: what = "confirm"; break;
+  }
+  std::string line = StrFormat("job %llu %s L%u sched=%u runs=%u rate=%.1f%%",
+                               static_cast<unsigned long long>(job_id), what, level,
+                               schedules, runs, static_cast<double>(rate_permille) / 10.0);
+  if (!detail.empty()) {
+    line += "  [" + detail + "]";
+  }
+  return line;
+}
+
+// --- Framing -----------------------------------------------------------------
+
+void AppendServeHeader(std::string* out) {
+  out->append(kServeMagic, sizeof(kServeMagic));
+  out->push_back(static_cast<char>(kServeProtocolVersion & 0xff));
+  out->push_back(static_cast<char>(kServeProtocolVersion >> 8));
+  out->push_back(0);
+  out->push_back(0);
+}
+
+void AppendServeFrame(std::string* out, ServeFrame kind, std::string_view payload) {
+  out->push_back(static_cast<char>(kind));
+  PutU32LE(out, static_cast<uint32_t>(payload.size()));
+  PutU32LE(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+FrameDecoder::Status FrameDecoder::Next(DecodedFrame* out) {
+  if (dead_) {
+    return Status::kBadStream;
+  }
+  std::string_view rest = std::string_view(buffer_).substr(consumed_);
+  if (!header_done_) {
+    if (rest.size() < 8) {
+      return Status::kNeedMore;
+    }
+    if (std::memcmp(rest.data(), kServeMagic, sizeof(kServeMagic)) != 0) {
+      dead_ = true;
+      return Status::kBadStream;
+    }
+    const uint16_t version = static_cast<uint16_t>(static_cast<uint8_t>(rest[4])) |
+                             static_cast<uint16_t>(static_cast<uint8_t>(rest[5])) << 8;
+    if (version > kServeProtocolVersion) {
+      dead_ = true;
+      return Status::kBadStream;
+    }
+    consumed_ += 8;
+    header_done_ = true;
+    rest.remove_prefix(8);
+  }
+  if (rest.size() < 9) {
+    Compact();
+    return Status::kNeedMore;
+  }
+  const uint8_t kind = static_cast<uint8_t>(rest[0]);
+  const uint32_t len = ReadU32LE(rest.data() + 1);
+  const uint32_t crc = ReadU32LE(rest.data() + 5);
+  if (len > kMaxServeFramePayload) {
+    // A length this large cannot be a real frame; resynchronization is
+    // impossible without trusting it, so the stream is dead.
+    dead_ = true;
+    return Status::kBadStream;
+  }
+  if (rest.size() - 9 < len) {
+    Compact();
+    return Status::kNeedMore;
+  }
+  const std::string_view payload = rest.substr(9, len);
+  consumed_ += 9 + len;  // Consume the frame either way: length is trusted,
+                         // payload integrity is not.
+  if (Crc32(payload) != crc) {
+    Compact();
+    return Status::kCorruptFrame;
+  }
+  out->kind = static_cast<ServeFrame>(kind);
+  out->payload.assign(payload.data(), payload.size());
+  Compact();
+  return Status::kFrame;
+}
+
+void FrameDecoder::Compact() {
+  // Reclaim consumed prefix once it dominates the buffer, amortizing the
+  // memmove across many small frames.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+// --- Message codecs ----------------------------------------------------------
+
+std::string EncodeSubmit(const SubmitRequest& request) {
+  std::string payload;
+  PutLengthPrefixed(&payload, request.bug_id);
+  PutVarint(&payload, request.seed);
+  PutLengthPrefixed(&payload, request.tag);
+  PutLengthPrefixed(&payload, SerializeProfile(request.profile));
+  PutLengthPrefixed(&payload, request.trace.SerializeBinary());
+  return payload;
+}
+
+bool DecodeSubmit(std::string_view payload, SubmitRequest* out,
+                  std::vector<Diagnostic>* trace_diags) {
+  std::string_view bug_id;
+  std::string_view tag;
+  std::string_view profile_text;
+  std::string_view trace_blob;
+  if (!GetLengthPrefixed(&payload, &bug_id) || !GetVarint(&payload, &out->seed) ||
+      !GetLengthPrefixed(&payload, &tag) || !GetLengthPrefixed(&payload, &profile_text) ||
+      !GetLengthPrefixed(&payload, &trace_blob)) {
+    return false;
+  }
+  out->bug_id = std::string(bug_id);
+  out->tag = std::string(tag);
+  if (!ParseProfile(profile_text, &out->profile)) {
+    return false;
+  }
+  out->trace = Trace::ParseBinary(trace_blob, trace_diags);
+  return true;
+}
+
+std::string EncodeAccepted(const AcceptedMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  payload.push_back(static_cast<char>(msg.kind));
+  PutVarint(&payload, msg.queue_depth);
+  return payload;
+}
+
+bool DecodeAccepted(std::string_view payload, AcceptedMsg* out) {
+  if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
+    return false;
+  }
+  const uint8_t kind = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  if (kind > static_cast<uint8_t>(AcceptKind::kCoalesced)) {
+    return false;
+  }
+  out->kind = static_cast<AcceptKind>(kind);
+  return GetVarint(&payload, &out->queue_depth);
+}
+
+std::string EncodeProgress(const ProgressMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  payload.push_back(static_cast<char>(msg.kind));
+  PutVarint(&payload, msg.level);
+  PutVarint(&payload, msg.schedules);
+  PutVarint(&payload, msg.runs);
+  PutVarint(&payload, msg.rate_permille);
+  PutLengthPrefixed(&payload, msg.detail);
+  return payload;
+}
+
+bool DecodeProgress(std::string_view payload, ProgressMsg* out) {
+  if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
+    return false;
+  }
+  const uint8_t kind = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  if (kind > static_cast<uint8_t>(ProgressKind::kConfirm)) {
+    return false;
+  }
+  out->kind = static_cast<ProgressKind>(kind);
+  uint64_t level = 0, schedules = 0, runs = 0, rate = 0;
+  std::string_view detail;
+  if (!GetVarint(&payload, &level) || !GetVarint(&payload, &schedules) ||
+      !GetVarint(&payload, &runs) || !GetVarint(&payload, &rate) ||
+      !GetLengthPrefixed(&payload, &detail)) {
+    return false;
+  }
+  out->level = static_cast<uint32_t>(level);
+  out->schedules = static_cast<uint32_t>(schedules);
+  out->runs = static_cast<uint32_t>(runs);
+  out->rate_permille = static_cast<uint32_t>(rate);
+  out->detail = std::string(detail);
+  return true;
+}
+
+std::string EncodeResult(const ResultMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  const uint8_t flags = static_cast<uint8_t>((msg.reproduced ? 1 : 0) |
+                                             (msg.cached ? 2 : 0) | (msg.coalesced ? 4 : 0));
+  payload.push_back(static_cast<char>(flags));
+  PutVarint(&payload, msg.rate_permille);
+  PutVarint(&payload, msg.level);
+  PutVarint(&payload, msg.schedules);
+  PutVarint(&payload, msg.runs);
+  PutLengthPrefixed(&payload, msg.schedule_yaml);
+  PutLengthPrefixed(&payload, msg.fault_summary);
+  return payload;
+}
+
+bool DecodeResult(std::string_view payload, ResultMsg* out) {
+  if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
+    return false;
+  }
+  const uint8_t flags = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  out->reproduced = (flags & 1) != 0;
+  out->cached = (flags & 2) != 0;
+  out->coalesced = (flags & 4) != 0;
+  uint64_t rate = 0, level = 0, schedules = 0, runs = 0;
+  std::string_view yaml;
+  std::string_view summary;
+  if (!GetVarint(&payload, &rate) || !GetVarint(&payload, &level) ||
+      !GetVarint(&payload, &schedules) || !GetVarint(&payload, &runs) ||
+      !GetLengthPrefixed(&payload, &yaml) || !GetLengthPrefixed(&payload, &summary)) {
+    return false;
+  }
+  out->rate_permille = static_cast<uint32_t>(rate);
+  out->level = static_cast<uint32_t>(level);
+  out->schedules = static_cast<uint32_t>(schedules);
+  out->runs = static_cast<uint32_t>(runs);
+  out->schedule_yaml = std::string(yaml);
+  out->fault_summary = std::string(summary);
+  return true;
+}
+
+std::string EncodeError(const ErrorMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  payload.push_back(static_cast<char>(msg.code));
+  PutLengthPrefixed(&payload, msg.message);
+  return payload;
+}
+
+bool DecodeError(std::string_view payload, ErrorMsg* out) {
+  if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
+    return false;
+  }
+  const uint8_t code = static_cast<uint8_t>(payload[0]);
+  payload.remove_prefix(1);
+  if (code > static_cast<uint8_t>(ServeError::kMalformedRequest)) {
+    return false;
+  }
+  out->code = static_cast<ServeError>(code);
+  std::string_view message;
+  if (!GetLengthPrefixed(&payload, &message)) {
+    return false;
+  }
+  out->message = std::string(message);
+  return true;
+}
+
+// --- Profile baseline serialization ------------------------------------------
+
+std::string SerializeProfile(const Profile& profile) {
+  std::string out = "rose-profile v1\n";
+  out += StrFormat("duration %lld\n", static_cast<long long>(profile.duration));
+  for (int32_t fid : profile.monitored_functions) {
+    out += StrFormat("monitored %d\n", fid);
+  }
+  for (const auto& [fid, count] : profile.function_counts) {
+    out += StrFormat("function %d %llu\n", fid, static_cast<unsigned long long>(count));
+  }
+  for (const auto& [sys, count] : profile.syscall_counts) {
+    out += StrFormat("syscall %d %llu\n", sys, static_cast<unsigned long long>(count));
+  }
+  for (const std::string& sig : profile.benign_scf_signatures) {
+    out += "benign_scf " + sig + "\n";
+  }
+  for (const auto& [src, dst] : profile.benign_nd_pairs) {
+    out += "benign_nd " + src + " " + dst + "\n";
+  }
+  return out;
+}
+
+bool ParseProfile(std::string_view text, Profile* out) {
+  *out = Profile();
+  bool saw_header = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    const std::string_view line = StripWhitespace(raw);
+    if (line.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (line != "rose-profile v1") {
+        return false;
+      }
+      saw_header = true;
+      continue;
+    }
+    const size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      return false;
+    }
+    const std::string_view key = line.substr(0, space);
+    const std::string_view rest = line.substr(space + 1);
+    if (key == "duration") {
+      int64_t value = 0;
+      if (!ParseInt64(rest, &value)) {
+        return false;
+      }
+      out->duration = value;
+    } else if (key == "monitored") {
+      int64_t fid = 0;
+      if (!ParseInt64(rest, &fid)) {
+        return false;
+      }
+      out->monitored_functions.insert(static_cast<int32_t>(fid));
+    } else if (key == "function" || key == "syscall") {
+      const size_t sep = rest.find(' ');
+      int64_t id = 0;
+      uint64_t count = 0;
+      if (sep == std::string_view::npos || !ParseInt64(rest.substr(0, sep), &id) ||
+          !ParseUint64(StripWhitespace(rest.substr(sep + 1)), &count)) {
+        return false;
+      }
+      auto& map = key == "function" ? out->function_counts : out->syscall_counts;
+      map[static_cast<int32_t>(id)] = count;
+    } else if (key == "benign_scf") {
+      out->benign_scf_signatures.insert(std::string(rest));
+    } else if (key == "benign_nd") {
+      const size_t sep = rest.find(' ');
+      if (sep == std::string_view::npos) {
+        return false;
+      }
+      out->benign_nd_pairs.emplace(std::string(rest.substr(0, sep)),
+                                   std::string(StripWhitespace(rest.substr(sep + 1))));
+    } else {
+      // Unknown facts from a newer writer are skipped, mirroring the frame
+      // rule: same-version extensions must stay readable.
+      continue;
+    }
+  }
+  return saw_header;
+}
+
+}  // namespace rose

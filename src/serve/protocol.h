@@ -1,0 +1,208 @@
+// rose::serve wire protocol (DESIGN.md §10).
+//
+// Both directions of a serve connection carry the same byte grammar,
+// deliberately reusing the binary trace container's primitives (trace_io.h:
+// LEB128 varints, zigzag, CRC32, length-prefixed frames):
+//
+//   stream:  'R' 'S' 'R' 'V' | u16 version (LE) | u16 reserved | frame*
+//   frame:   u8 kind | u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//
+// Client -> server frames:
+//   kSubmit    — one diagnosis job: bug id, seed, profile baseline, RTRC
+//                trace blob. The server answers every kSubmit, in order,
+//                with exactly one kAccepted or kError frame (responses to
+//                *submissions* are FIFO; kProgress/kResult frames for
+//                accepted jobs interleave freely and carry the job id).
+//
+// Server -> client frames:
+//   kAccepted  — job admitted: server job id + disposition (queued /
+//                cache hit / coalesced onto an identical in-flight job).
+//   kProgress  — job state change: queued->running, diagnosis level
+//                transitions, candidate schedules tried, confirm runs.
+//   kResult    — terminal frame for a job: the confirmed FaultSchedule in
+//                canonical YAML plus the Table-1 counters.
+//   kError     — submission rejected (typed code) or connection-level fault.
+//
+// Versioning rules: the u16 stream version is bumped on any incompatible
+// change; a receiver rejects newer versions (kVersionMismatch) and never
+// guesses. Unknown *frame kinds* within a known version are skipped (their
+// length is self-describing), so compatible extensions stay possible.
+// Corrupt frames (CRC mismatch) are skipped the same way — framing makes
+// resynchronization exact, which is what lets a server drop one bad
+// submission and keep serving the connection.
+#ifndef SRC_SERVE_PROTOCOL_H_
+#define SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/profile/profiler.h"
+#include "src/trace/event.h"
+
+namespace rose {
+
+inline constexpr char kServeMagic[4] = {'R', 'S', 'R', 'V'};
+inline constexpr uint16_t kServeProtocolVersion = 1;
+// A submit frame embeds a whole trace dump; anything beyond this is a
+// malformed length field, not a plausible payload.
+inline constexpr uint32_t kMaxServeFramePayload = 256u * 1024u * 1024u;
+
+enum class ServeFrame : uint8_t {
+  kSubmit = 1,
+  // 2..15 reserved for future client->server frames.
+  kAccepted = 16,
+  kProgress = 17,
+  kResult = 18,
+  kError = 19,
+};
+
+// Typed rejection codes carried by kError frames.
+enum class ServeError : uint8_t {
+  kNone = 0,
+  kQueueFull = 1,       // Bounded job queue at capacity; retry with backoff.
+  kInvalidTrace = 2,    // Trace failed validation (or decoded to nothing).
+  kUnknownBug = 3,      // bug_id not in this server's registry.
+  kBadFrame = 4,        // Frame skipped: CRC mismatch or undecodable payload.
+  kVersionMismatch = 5, // Peer speaks a newer protocol version.
+  kMalformedRequest = 6,// Frame decoded but fields are out of range.
+};
+
+std::string_view ServeErrorName(ServeError error);
+
+// How an accepted submission will be served.
+enum class AcceptKind : uint8_t {
+  kQueued = 0,     // New job, waiting for a worker slot.
+  kCacheHit = 1,   // Result served from the canonical-hash cache; no runs.
+  kCoalesced = 2,  // Attached to an identical queued/running job.
+};
+
+// --- Message bodies ---------------------------------------------------------
+
+struct SubmitRequest {
+  std::string bug_id;
+  uint64_t seed = 42;
+  std::string tag;      // Client-chosen label, echoed in served progress.
+  Profile profile;      // Profiling baseline (benign-fault subtraction).
+  Trace trace;          // The production dump.
+};
+
+struct AcceptedMsg {
+  uint64_t job_id = 0;
+  AcceptKind kind = AcceptKind::kQueued;
+  uint64_t queue_depth = 0;  // Jobs ahead of this one (queued disposition).
+};
+
+// Job lifecycle milestones streamed while a diagnosis runs.
+enum class ProgressKind : uint8_t {
+  kRunning = 0,     // Dequeued: a worker picked the job up.
+  kLevelStart = 1,  // Diagnosis entered level `level`.
+  kCandidate = 2,   // One candidate schedule executed.
+  kConfirm = 3,     // One confirmBug rerun consumed.
+};
+
+struct ProgressMsg {
+  uint64_t job_id = 0;
+  ProgressKind kind = ProgressKind::kRunning;
+  uint32_t level = 0;
+  uint32_t schedules = 0;
+  uint32_t runs = 0;
+  uint32_t rate_permille = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct ResultMsg {
+  uint64_t job_id = 0;
+  bool reproduced = false;
+  bool cached = false;
+  bool coalesced = false;
+  uint32_t rate_permille = 0;   // Replay rate, per-mille (60% -> 600).
+  uint32_t level = 0;
+  uint32_t schedules = 0;
+  uint32_t runs = 0;
+  std::string schedule_yaml;    // FaultSchedule::ToYaml(), byte-exact.
+  std::string fault_summary;
+};
+
+struct ErrorMsg {
+  uint64_t job_id = 0;  // 0 = responds to the oldest unanswered submission.
+  ServeError code = ServeError::kNone;
+  std::string message;
+};
+
+// --- Encoding ---------------------------------------------------------------
+
+void AppendServeHeader(std::string* out);
+// Appends one `kind` frame wrapping `payload` (length + CRC32 computed here).
+void AppendServeFrame(std::string* out, ServeFrame kind, std::string_view payload);
+
+std::string EncodeSubmit(const SubmitRequest& request);
+std::string EncodeAccepted(const AcceptedMsg& msg);
+std::string EncodeProgress(const ProgressMsg& msg);
+std::string EncodeResult(const ResultMsg& msg);
+std::string EncodeError(const ErrorMsg& msg);
+
+// Payload decoders; false on malformed input (missing fields / overrun).
+// DecodeSubmit parses the embedded RTRC blob; container damage (truncation,
+// CRC) lands in `trace_diags` — the frame still decodes, the *service*
+// decides whether a damaged dump is admissible.
+bool DecodeSubmit(std::string_view payload, SubmitRequest* out,
+                  std::vector<Diagnostic>* trace_diags = nullptr);
+bool DecodeAccepted(std::string_view payload, AcceptedMsg* out);
+bool DecodeProgress(std::string_view payload, ProgressMsg* out);
+bool DecodeResult(std::string_view payload, ResultMsg* out);
+bool DecodeError(std::string_view payload, ErrorMsg* out);
+
+// --- Incremental frame decoding ---------------------------------------------
+
+struct DecodedFrame {
+  ServeFrame kind = ServeFrame::kSubmit;
+  std::string payload;
+};
+
+// Reassembles frames from an arbitrarily-chunked byte stream (transports
+// deliver short reads; a submit frame can arrive over hundreds of Feed()
+// calls). The decoder validates the stream header first, then yields one
+// frame at a time; corrupt frames are skipped with exact resynchronization.
+class FrameDecoder {
+ public:
+  enum class Status : uint8_t {
+    kNeedMore = 0,   // No complete frame buffered yet.
+    kFrame,          // `out` holds the next frame.
+    kCorruptFrame,   // A frame failed its CRC and was skipped; stream continues.
+    kBadStream,      // Header magic/version invalid; the connection is dead.
+  };
+
+  void Feed(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+
+  // Pulls the next event out of the buffer. Call until kNeedMore.
+  Status Next(DecodedFrame* out);
+
+  bool header_ok() const { return header_done_ && !dead_; }
+  bool dead() const { return dead_; }
+  // Bytes buffered but not yet consumed (reassembly backlog).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  void Compact();
+
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool header_done_ = false;
+  bool dead_ = false;
+};
+
+// --- Profile baseline serialization ------------------------------------------
+
+// Deterministic text form of a Profile ("rose-profile v1" header; one fact
+// per line, ordered). Carried inside kSubmit and written next to saved dumps.
+std::string SerializeProfile(const Profile& profile);
+bool ParseProfile(std::string_view text, Profile* out);
+
+}  // namespace rose
+
+#endif  // SRC_SERVE_PROTOCOL_H_

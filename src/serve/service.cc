@@ -1,0 +1,389 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analyze/trace_validator.h"
+#include "src/common/strings.h"
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+namespace rose {
+
+namespace {
+
+constexpr size_t kReadChunk = 16 * 1024;
+
+uint64_t FnvMix(uint64_t hash, std::string_view bytes) {
+  for (char ch : bytes) {
+    hash ^= static_cast<uint8_t>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; i++) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint32_t RatePermille(double rate_percent) {
+  return static_cast<uint32_t>(std::lround(rate_percent * 10.0));
+}
+
+}  // namespace
+
+uint64_t DiagnosisService::JobKey(uint64_t trace_hash, std::string_view bug_id,
+                                  uint64_t seed) {
+  uint64_t key = FnvMix(0xcbf29ce484222325ULL, trace_hash);
+  key = FnvMix(key, bug_id);
+  return FnvMix(key, seed);
+}
+
+DiagnosisService::DiagnosisService(ServeConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_dir),
+      queue_(config.queue_capacity),
+      pool_(std::make_unique<WorkerPool>(std::max(config.max_concurrent_jobs, 1))) {}
+
+DiagnosisService::~DiagnosisService() {
+  // WorkerPool's destructor drains queued closures and joins; every worker
+  // references only jobs_ entries, which outlive pool_ (member order).
+  pool_.reset();
+}
+
+void DiagnosisService::Attach(std::shared_ptr<Transport> transport) {
+  auto conn = std::make_unique<Connection>();
+  conn->id = next_connection_id_++;
+  conn->transport = std::move(transport);
+  AppendServeHeader(&conn->outbox);
+  connections_.emplace(conn->id, std::move(conn));
+}
+
+void DiagnosisService::Poll() {
+  for (auto& [id, conn] : connections_) {
+    if (!conn->dead) {
+      ReadConnection(*conn);
+    }
+  }
+  StartJobs();
+  HarvestJobs();
+  FlushConnections();
+}
+
+bool DiagnosisService::idle() const {
+  if (!queue_.empty() || running_ != 0) {
+    return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (!conn->dead && conn->outbox_sent < conn->outbox.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DiagnosisService::ReadConnection(Connection& conn) {
+  for (;;) {
+    const std::string chunk = conn.transport->Read(kReadChunk);
+    if (chunk.empty()) {
+      break;
+    }
+    conn.decoder.Feed(chunk);
+  }
+  DecodedFrame frame;
+  for (;;) {
+    switch (conn.decoder.Next(&frame)) {
+      case FrameDecoder::Status::kNeedMore:
+        return;
+      case FrameDecoder::Status::kFrame:
+        if (frame.kind == ServeFrame::kSubmit) {
+          HandleSubmit(conn, frame.payload);
+        }
+        // Unknown / server-only kinds from a confused peer are skipped;
+        // framing already advanced past them.
+        break;
+      case FrameDecoder::Status::kCorruptFrame:
+        stats_.corrupt_frames++;
+        SendError(conn, ServeError::kBadFrame,
+                  "frame failed its CRC32 and was skipped; resend the submission");
+        break;
+      case FrameDecoder::Status::kBadStream:
+        SendError(conn, ServeError::kVersionMismatch,
+                  "bad stream header or unsupported protocol version");
+        conn.dead = true;
+        FlushConnections();
+        conn.transport->Close();
+        return;
+    }
+  }
+}
+
+void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) {
+  SubmitRequest request;
+  std::vector<Diagnostic> container_diags;
+  if (!DecodeSubmit(payload, &request, &container_diags)) {
+    stats_.rejected_invalid++;
+    SendError(conn, ServeError::kMalformedRequest, "submit payload does not decode");
+    return;
+  }
+  const BugSpec* spec = FindBug(request.bug_id);
+  if (spec == nullptr) {
+    stats_.rejected_invalid++;
+    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + request.bug_id);
+    return;
+  }
+  // Up-front validation: a damaged container or a structurally-invalid trace
+  // would burn thousands of simulated runs on garbage. TB2xx diagnostics
+  // (truncation, CRC) arrive from the embedded-blob parse; TV1xx from the
+  // validator.
+  if (HasErrors(container_diags)) {
+    stats_.rejected_invalid++;
+    SendError(conn, ServeError::kInvalidTrace,
+              "trace container damaged: " + container_diags.front().ToString());
+    return;
+  }
+  if (request.trace.empty()) {
+    stats_.rejected_invalid++;
+    SendError(conn, ServeError::kInvalidTrace, "trace decoded to zero events");
+    return;
+  }
+  TraceValidateOptions validate_options;
+  validate_options.profile = &request.profile;
+  const std::vector<Diagnostic> validation =
+      TraceValidator(validate_options).Validate(request.trace);
+  if (HasErrors(validation)) {
+    stats_.rejected_invalid++;
+    SendError(conn, ServeError::kInvalidTrace,
+              "trace failed validation: " + validation.front().ToString());
+    return;
+  }
+
+  stats_.jobs_submitted++;
+  const uint64_t key =
+      JobKey(CanonicalTraceHash(request.trace), request.bug_id, request.seed);
+
+  // O(1) repeat: answered from the cache without touching the engine.
+  if (std::optional<CachedResult> cached = cache_.Get(key)) {
+    stats_.cache_hits++;
+    const uint64_t job_id = next_job_id_++;
+    AcceptedMsg accepted;
+    accepted.job_id = job_id;
+    accepted.kind = AcceptKind::kCacheHit;
+    SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    ResultMsg msg;
+    msg.job_id = job_id;
+    msg.reproduced = cached->reproduced;
+    msg.cached = true;
+    msg.rate_permille = cached->rate_permille;
+    msg.level = cached->level;
+    msg.schedules = cached->schedules;
+    msg.runs = cached->runs;
+    msg.schedule_yaml = cached->schedule_yaml;
+    msg.fault_summary = cached->fault_summary;
+    SendFrame(conn.id, ServeFrame::kResult, EncodeResult(msg));
+    return;
+  }
+
+  // Identical job already queued/running: subscribe, don't re-run.
+  if (auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
+    Job& job = *jobs_.at(it->second);
+    stats_.coalesced++;
+    job.subscribers.emplace_back(conn.id, /*coalesced=*/true);
+    AcceptedMsg accepted;
+    accepted.job_id = job.id;
+    accepted.kind = AcceptKind::kCoalesced;
+    SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    return;
+  }
+
+  auto job = std::make_unique<Job>();
+  job->id = next_job_id_++;
+  job->key = key;
+  job->seed = request.seed;
+  job->bug_id = std::move(request.bug_id);
+  job->tag = std::move(request.tag);
+  job->spec = spec;
+  job->profile = std::move(request.profile);
+  job->trace = std::move(request.trace);
+  job->subscribers.emplace_back(conn.id, /*coalesced=*/false);
+
+  if (queue_.Push(conn.id, job->id) == JobQueue::PushResult::kFull) {
+    stats_.rejected_queue_full++;
+    SendError(conn, ServeError::kQueueFull,
+              StrFormat("job queue at capacity (%zu); retry with backoff",
+                        queue_.capacity()));
+    return;  // `job` dies here; nothing was registered.
+  }
+
+  AcceptedMsg accepted;
+  accepted.job_id = job->id;
+  accepted.kind = AcceptKind::kQueued;
+  accepted.queue_depth = queue_.size() - 1;
+  SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+  inflight_by_key_.emplace(key, job->id);
+  jobs_.emplace(job->id, std::move(job));
+}
+
+void DiagnosisService::StartJobs() {
+  while (running_ < std::max(config_.max_concurrent_jobs, 1)) {
+    const std::optional<uint64_t> job_id = queue_.Pop();
+    if (!job_id.has_value()) {
+      return;
+    }
+    Job& job = *jobs_.at(*job_id);
+    job.state = Job::State::kRunning;
+    running_++;
+
+    ProgressMsg msg;
+    msg.job_id = job.id;
+    msg.kind = ProgressKind::kRunning;
+    msg.detail = job.tag.empty() ? job.bug_id : job.tag;
+    BroadcastProgress(job, msg);
+
+    RoseConfig run_config;
+    run_config.seed = job.seed;
+    run_config.diagnosis = config_.diagnosis;
+    Job* shared = &job;
+    run_config.diagnosis.on_progress = [shared](const DiagnosisProgress& progress) {
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      shared->pending_progress.push_back(progress);
+    };
+    const BugSpec* spec = job.spec;
+    pool_->Enqueue([shared, spec, run_config = std::move(run_config)] {
+      DiagnosisResult result =
+          DiagnoseTrace(*spec, shared->profile, shared->trace, run_config);
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      shared->result = std::move(result);
+      shared->finished = true;
+    });
+  }
+}
+
+void DiagnosisService::HarvestJobs() {
+  std::vector<uint64_t> done;
+  for (auto& [id, job] : jobs_) {
+    if (job->state != Job::State::kRunning) {
+      continue;
+    }
+    std::deque<DiagnosisProgress> progress;
+    bool finished = false;
+    {
+      std::lock_guard<std::mutex> lock(job->mutex);
+      progress.swap(job->pending_progress);
+      finished = job->finished;
+    }
+    for (const DiagnosisProgress& step : progress) {
+      ProgressMsg msg;
+      msg.job_id = job->id;
+      switch (step.kind) {
+        case DiagnosisProgress::Kind::kLevelStart:
+          msg.kind = ProgressKind::kLevelStart;
+          break;
+        case DiagnosisProgress::Kind::kCandidate:
+          msg.kind = ProgressKind::kCandidate;
+          break;
+        case DiagnosisProgress::Kind::kConfirmRun:
+          msg.kind = ProgressKind::kConfirm;
+          break;
+      }
+      msg.level = static_cast<uint32_t>(std::max(step.level, 0));
+      msg.schedules = static_cast<uint32_t>(std::max(step.schedules_generated, 0));
+      msg.runs = static_cast<uint32_t>(std::max(step.total_runs, 0));
+      msg.rate_permille = RatePermille(step.rate);
+      msg.detail = step.detail;
+      BroadcastProgress(*job, msg);
+    }
+    if (!finished) {
+      continue;
+    }
+    // Past this point no worker touches the job again: the closure set
+    // `finished` as its last locked action.
+    job->state = Job::State::kDone;
+    running_--;
+    stats_.jobs_completed++;
+    stats_.engine_runs += static_cast<uint64_t>(std::max(job->result.total_runs, 0));
+
+    CachedResult cached;
+    cached.reproduced = job->result.reproduced;
+    cached.schedule_yaml = job->result.schedule.ToYaml();
+    cached.rate_permille = RatePermille(job->result.replay_rate);
+    cached.level = static_cast<uint32_t>(std::max(job->result.level, 0));
+    cached.schedules = static_cast<uint32_t>(std::max(job->result.schedules_generated, 0));
+    cached.runs = static_cast<uint32_t>(std::max(job->result.total_runs, 0));
+    cached.fault_summary = job->result.fault_summary;
+    cache_.Put(job->key, cached);
+
+    BroadcastResult(*job, cached);
+    inflight_by_key_.erase(job->key);
+    done.push_back(id);
+  }
+  for (uint64_t id : done) {
+    jobs_.erase(id);  // Frees the dump; the cache keeps the answer.
+  }
+}
+
+void DiagnosisService::FlushConnections() {
+  for (auto& [id, conn] : connections_) {
+    if (conn->outbox_sent >= conn->outbox.size()) {
+      continue;
+    }
+    const std::string_view rest =
+        std::string_view(conn->outbox).substr(conn->outbox_sent);
+    conn->outbox_sent += conn->transport->Write(rest);
+    if (conn->outbox_sent >= conn->outbox.size()) {
+      conn->outbox.clear();
+      conn->outbox_sent = 0;
+    } else if (conn->outbox_sent > 64 * 1024 &&
+               conn->outbox_sent * 2 >= conn->outbox.size()) {
+      conn->outbox.erase(0, conn->outbox_sent);
+      conn->outbox_sent = 0;
+    }
+  }
+}
+
+void DiagnosisService::SendFrame(uint64_t conn_id, ServeFrame kind,
+                                 const std::string& payload) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end() || it->second->dead) {
+    return;
+  }
+  AppendServeFrame(&it->second->outbox, kind, payload);
+}
+
+void DiagnosisService::SendError(Connection& conn, ServeError code,
+                                 const std::string& message) {
+  ErrorMsg msg;
+  msg.code = code;
+  msg.message = message;
+  SendFrame(conn.id, ServeFrame::kError, EncodeError(msg));
+}
+
+void DiagnosisService::BroadcastProgress(const Job& job, const ProgressMsg& msg) {
+  const std::string payload = EncodeProgress(msg);
+  for (const auto& [conn_id, coalesced] : job.subscribers) {
+    SendFrame(conn_id, ServeFrame::kProgress, payload);
+  }
+}
+
+void DiagnosisService::BroadcastResult(Job& job, const CachedResult& cached) {
+  ResultMsg msg;
+  msg.job_id = job.id;
+  msg.reproduced = cached.reproduced;
+  msg.cached = false;
+  msg.rate_permille = cached.rate_permille;
+  msg.level = cached.level;
+  msg.schedules = cached.schedules;
+  msg.runs = cached.runs;
+  msg.schedule_yaml = cached.schedule_yaml;
+  msg.fault_summary = cached.fault_summary;
+  for (const auto& [conn_id, coalesced] : job.subscribers) {
+    msg.coalesced = coalesced;
+    SendFrame(conn_id, ServeFrame::kResult, EncodeResult(msg));
+  }
+}
+
+}  // namespace rose

@@ -1,0 +1,161 @@
+// rose::serve — the diagnosis service (DESIGN.md §10).
+//
+// The paper's workflow ends with a human carrying the dumped window to an
+// offline diagnosis machine. DiagnosisService is that machine as a daemon:
+// clients stream `kSubmit` frames (bug id, seed, profiling baseline, RTRC
+// dump) over a Transport; the service validates the dump up front
+// (TraceValidator + container diagnostics), admits it to a bounded
+// multi-tenant JobQueue, runs diagnoses on a WorkerPool, streams progress
+// frames (level transitions, candidates tried, confirm runs), and finishes
+// each job with the confirmed FaultSchedule in byte-exact YAML.
+//
+// Dedup: jobs are keyed by FNV-mix(canonical trace hash, bug id, seed).
+// A key seen before is answered from the ResultCache without a single
+// engine run; a key currently queued/running coalesces — the new client is
+// subscribed to the in-flight job and both receive the one result.
+//
+// Threading: Poll() — the only entry point after Attach() — runs on one
+// thread and owns every connection, the queue, the cache, and job
+// bookkeeping. Worker threads touch exactly one job's `pending_progress` /
+// `finished` / `result` fields, under that job's mutex. Determinism: the
+// diagnosis itself is deterministic per job (the engine's guarantee), so
+// concurrent jobs never affect each other's answers — only the interleaving
+// of progress frames across *different* jobs depends on scheduling.
+#ifndef SRC_SERVE_SERVICE_H_
+#define SRC_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/parallel.h"
+#include "src/diagnose/engine.h"
+#include "src/net/transport.h"
+#include "src/serve/job_queue.h"
+#include "src/serve/protocol.h"
+#include "src/serve/result_cache.h"
+
+namespace rose {
+
+struct BugSpec;
+
+struct ServeConfig {
+  // Diagnosis jobs running at once (each on one pool thread; a job may use
+  // further internal parallelism via `diagnosis.parallelism`).
+  int max_concurrent_jobs = 2;
+  // Jobs waiting beyond the running ones; submissions past this bound are
+  // rejected with kQueueFull (clients retry with backoff).
+  size_t queue_capacity = 8;
+  size_t cache_capacity = 64;
+  // Directory for persisted confirmed schedules; empty = memory-only cache.
+  std::string cache_dir;
+  // Per-job diagnosis template. seed/base_seed come from the submission;
+  // on_progress is owned by the service.
+  DiagnosisConfig diagnosis;
+};
+
+struct ServeStats {
+  uint64_t jobs_submitted = 0;    // Valid submissions (incl. hits/coalesces).
+  uint64_t jobs_completed = 0;    // Diagnoses actually executed to completion.
+  uint64_t cache_hits = 0;
+  uint64_t coalesced = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_invalid = 0;  // Malformed / unknown bug / invalid trace.
+  uint64_t corrupt_frames = 0;    // Frames skipped by CRC resynchronization.
+  uint64_t engine_runs = 0;       // Total simulated runs spent, all jobs.
+};
+
+class DiagnosisService {
+ public:
+  explicit DiagnosisService(ServeConfig config);
+  // Drains in-flight jobs (never abandons a worker mid-run), then shuts down.
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  // Adopts the server end of a connection. The service greets it with the
+  // protocol header on the next Poll().
+  void Attach(std::shared_ptr<Transport> transport);
+
+  // One pump cycle: read + decode client bytes, admit submissions, start
+  // queued jobs while worker slots are free, harvest progress/results from
+  // running jobs, flush outgoing bytes. Call until idle() (or forever).
+  void Poll();
+
+  // No queued or running work and every outgoing byte accepted by its
+  // transport. New submissions can of course arrive later.
+  bool idle() const;
+
+  const ServeStats& stats() const { return stats_; }
+  size_t queued_jobs() const { return queue_.size(); }
+  int running_jobs() const { return running_; }
+
+  // The cache/dedup key for one submission.
+  static uint64_t JobKey(uint64_t trace_hash, std::string_view bug_id, uint64_t seed);
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    std::shared_ptr<Transport> transport;
+    FrameDecoder decoder;
+    std::string outbox;
+    size_t outbox_sent = 0;
+    bool dead = false;
+  };
+
+  struct Job {
+    uint64_t id = 0;
+    uint64_t key = 0;
+    uint64_t seed = 0;
+    std::string bug_id;
+    std::string tag;
+    const BugSpec* spec = nullptr;
+    Profile profile;
+    Trace trace;
+    // Connections awaiting this job's result; bool = joined by coalescing.
+    std::vector<std::pair<uint64_t, bool>> subscribers;
+    enum class State : uint8_t { kQueued, kRunning, kDone } state = State::kQueued;
+
+    // Worker-shared fields, guarded by `mutex`.
+    std::mutex mutex;
+    std::deque<DiagnosisProgress> pending_progress;
+    bool finished = false;
+    DiagnosisResult result;
+  };
+
+  void ReadConnection(Connection& conn);
+  void HandleSubmit(Connection& conn, std::string_view payload);
+  void StartJobs();
+  void HarvestJobs();
+  void FlushConnections();
+
+  void SendFrame(uint64_t conn_id, ServeFrame kind, const std::string& payload);
+  void SendError(Connection& conn, ServeError code, const std::string& message);
+  // kProgress to every subscriber of `job`.
+  void BroadcastProgress(const Job& job, const ProgressMsg& msg);
+  void BroadcastResult(Job& job, const CachedResult& cached);
+
+  ServeConfig config_;
+  ServeStats stats_;
+  ResultCache cache_;
+  JobQueue queue_;
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  // In-flight dedup: key -> job id for every job not yet completed.
+  std::map<uint64_t, uint64_t> inflight_by_key_;
+  uint64_t next_connection_id_ = 1;
+  uint64_t next_job_id_ = 1;
+  int running_ = 0;
+  // Destroyed first (reverse member order): joins workers while jobs_ and
+  // the rest of the service are still alive.
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_SERVE_SERVICE_H_

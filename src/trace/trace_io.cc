@@ -1,6 +1,8 @@
 #include "src/trace/trace_io.h"
 
 #include <array>
+#include <fstream>
+#include <sstream>
 
 #include "src/common/strings.h"
 
@@ -490,6 +492,34 @@ Trace Trace::Load(std::string_view data, std::vector<Diagnostic>* diags) {
     return ParseBinary(data, diags);
   }
   return Parse(std::string(data));
+}
+
+Trace LoadTraceFile(const std::string& path, std::vector<Diagnostic>* diags) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (diags != nullptr) {
+      Diagnostic diag;
+      diag.code = DiagCode::kTraceFileUnreadable;
+      diag.severity = Severity::kError;
+      diag.message = StrFormat("cannot open trace file %s", path.c_str());
+      diag.hint = "check the path and permissions";
+      diags->push_back(diag);
+    }
+    return Trace();
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Trace::Load(buf.str(), diags);
+}
+
+bool SaveTraceFile(const std::string& path, const Trace& trace, bool text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  const std::string encoded = text ? trace.Serialize() : trace.SerializeBinary();
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  return out.good();
 }
 
 }  // namespace rose

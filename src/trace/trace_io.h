@@ -62,6 +62,20 @@ uint32_t Crc32(std::string_view data);
 // a parser).
 bool LooksLikeBinaryTrace(std::string_view data);
 
+// --- File helpers -----------------------------------------------------------
+
+// Reads `path` and parses it with Trace::Load (binary vs text auto-detected).
+// Never throws: an unreadable file yields an empty trace plus a TB206
+// diagnostic; container damage (TB201..TB205) is appended the same way. The
+// caller decides whether a damaged-but-partially-decoded trace is usable —
+// CLIs should treat HasErrors(diags) as a nonzero exit even when events
+// survived.
+Trace LoadTraceFile(const std::string& path, std::vector<Diagnostic>* diags = nullptr);
+
+// Writes `trace` to `path` (binary container, or one-event-per-line text
+// when `text` is set). False when the file cannot be written.
+bool SaveTraceFile(const std::string& path, const Trace& trace, bool text = false);
+
 // --- Streaming writer -------------------------------------------------------
 
 // Appends a binary trace stream to `*out`. Events must reference `*pool`

@@ -11,9 +11,56 @@
 #   std::random_device          nondeterministic hardware entropy
 #
 # Registered as the `determinism_lint` ctest; run directly from anywhere.
+#
+# Modes:
+#   tools/check_determinism.sh            static source lint (the default)
+#   tools/check_determinism.sh serve [build_dir]
+#       end-to-end serve determinism: dump one production window, submit it
+#       through rose_served twice (fresh daemon each time, so nothing is
+#       cached), and require byte-identical confirmed-schedule YAML — plus a
+#       third run through the offline reproduce_bug pipeline, which must
+#       produce the same bytes again. Registered as `serve_determinism`.
 set -u
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-lint}" = "serve" ]; then
+  build_dir="${2:-build}"
+  cli="${build_dir}/examples/rose_serve_cli"
+  offline="${build_dir}/examples/reproduce_bug"
+  if [ ! -x "$cli" ] || [ ! -x "$offline" ]; then
+    echo "serve determinism: build rose_serve_cli and reproduce_bug first ($build_dir)" >&2
+    exit 1
+  fi
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  bug="${SERVE_DETERMINISM_BUG:-RedisRaft-42}"
+  seed="${SERVE_DETERMINISM_SEED:-42}"
+
+  # One dump, served by two independent daemon instances.
+  "$cli" "$bug" "$seed" --save-dump "$work/dump" --yaml-out "$work/serve1.yaml" --quiet \
+    > /dev/null || { echo "serve determinism: first served run failed" >&2; exit 1; }
+  "$cli" "$bug" "$seed" --dump "$work/dump.trc" --profile "$work/dump.profile" \
+    --yaml-out "$work/serve2.yaml" --quiet > /dev/null \
+    || { echo "serve determinism: second served run failed" >&2; exit 1; }
+  if ! cmp -s "$work/serve1.yaml" "$work/serve2.yaml"; then
+    echo "serve determinism FAILED: two rose_served runs of the same dump disagree:" >&2
+    diff "$work/serve1.yaml" "$work/serve2.yaml" >&2 || true
+    exit 1
+  fi
+
+  # The offline pipeline must land on the same bytes.
+  "$offline" "$bug" "$seed" --schedule-out="$work/offline.yaml" > /dev/null \
+    || { echo "serve determinism: offline reproduce_bug failed" >&2; exit 1; }
+  if ! cmp -s "$work/serve1.yaml" "$work/offline.yaml"; then
+    echo "serve determinism FAILED: served and offline schedules disagree:" >&2
+    diff "$work/serve1.yaml" "$work/offline.yaml" >&2 || true
+    exit 1
+  fi
+
+  echo "serve determinism OK: served twice + offline -> byte-identical schedule YAML."
+  exit 0
+fi
 
 # A preceding [A-Za-z0-9_] means it's a different identifier (at_time(,
 # virtual_time( ...), so anchor on a non-identifier char or line start.

@@ -3,6 +3,7 @@
 # output directory:
 #   BENCH_diagnosis.json — parallel-diagnosis engine (bench_diagnosis_parallel)
 #   BENCH_trace_io.json  — trace text/binary serialization (bench_trace_io)
+#   BENCH_serve.json     — diagnosis service throughput/latency (bench_serve)
 #
 # Usage:
 #   tools/run_bench.sh [build_dir] [out_dir]
@@ -21,6 +22,11 @@
 #  - BENCH_trace_io: BM_ParseBinary must be >= 2x faster than BM_ParseText
 #    and the binary encoded_bytes counter <= 50% of the text one on the
 #    1M-event window (the binary container's acceptance bar).
+#  - BENCH_serve: per-arg rows are concurrent client counts (1/4/16).
+#    BM_ServeCold items_per_second at 4 clients must be >= 2x the 1-client
+#    row (needs >= 4 real cores); BM_ServeCacheHit must show zero engine
+#    runs and sit far above cold throughput. p50_ms/p99_ms counters are
+#    submit-to-schedule latency.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,7 +37,7 @@ out_dir="${2:-.}"
 if [ ! -d "$build_dir" ]; then
   cmake -S . -B "$build_dir"
 fi
-cmake --build "$build_dir" --target bench_diagnosis_parallel bench_trace_io -j "$(nproc)"
+cmake --build "$build_dir" --target bench_diagnosis_parallel bench_trace_io bench_serve -j "$(nproc)"
 
 "${build_dir}/bench/bench_diagnosis_parallel" \
   --benchmark_out="${out_dir}/BENCH_diagnosis.json" \
@@ -44,3 +50,9 @@ echo "wrote ${out_dir}/BENCH_diagnosis.json"
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
 echo "wrote ${out_dir}/BENCH_trace_io.json"
+
+"${build_dir}/bench/bench_serve" \
+  --benchmark_out="${out_dir}/BENCH_serve.json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_serve.json"
