@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) for rose::obs — the cost of the
+// instrumentation itself. tools/run_bench.sh runs this binary twice, once
+// from the default tree (ROSE_OBS=ON) and once from a -DROSE_OBS=OFF tree,
+// and merges both into BENCH_obs.json; the ON/OFF delta on the workload
+// benchmarks is the observability tax, budgeted at < 3%.
+//
+//  - BM_CounterInc / BM_HistogramRecord / BM_ScopedTimer: unit cost of the
+//    primitives (relaxed atomics; compiled to no-ops when OFF).
+//  - BM_TracedSyscallExit: the tracer's real hot path — one simulated write()
+//    through the syscall-exit probe, which bumps tracer.* metrics per event.
+//  - BM_RegistrySnapshot: cold-path cost of snapshotting a populated
+//    registry (what --stats-out and the serve STATS reply pay).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/harness/world.h"
+#include "src/obs/metrics.h"
+#include "src/trace/tracer.h"
+
+namespace rose {
+namespace {
+
+void BM_CounterInc(benchmark::State& state) {
+  Counter counter;
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["obs_enabled"] = ROSE_OBS_ENABLED;
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram hist;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // splitmix-style walk
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["obs_enabled"] = ROSE_OBS_ENABLED;
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_ScopedTimer(benchmark::State& state) {
+  Histogram hist;
+  for (auto _ : state) {
+    ScopedTimer timer(&hist);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["obs_enabled"] = ROSE_OBS_ENABLED;
+}
+BENCHMARK(BM_ScopedTimer);
+
+// Same traced-world shape as bench_micro_tracer's syscall-exit benchmark, so
+// the ON/OFF delta isolates what the tracer.* instrumentation costs on the
+// path the paper's Table 2 overhead numbers come from.
+struct TracedWorld {
+  TracedWorld() : world(1) {
+    world.kernel.RegisterNode(0, "10.0.0.1");
+    pid = world.kernel.Spawn(0, "bench");
+    TracerConfig config;
+    config.mode = TracerMode::kRose;
+    config.monitored_functions = {7};
+    tracer.emplace(&world.kernel, nullptr, config);
+    tracer->Attach();
+    SimKernel::OpenFlags flags;
+    flags.create = true;
+    fd = static_cast<int32_t>(world.kernel.Open(pid, "/bench", flags).value);
+  }
+  SimWorld world;
+  Pid pid = kNoPid;
+  int32_t fd = -1;
+  std::optional<Tracer> tracer;
+};
+
+void BM_TracedSyscallExit(benchmark::State& state) {
+  TracedWorld traced;
+  const std::string payload(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traced.world.kernel.Write(traced.pid, traced.fd, payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["obs_enabled"] = ROSE_OBS_ENABLED;
+}
+BENCHMARK(BM_TracedSyscallExit);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  MetricRegistry registry;
+  for (int i = 0; i < 64; i++) {
+    registry.GetCounter("bench.counter." + std::to_string(i))->Inc(i);
+    registry.GetHistogram("bench.hist." + std::to_string(i))->Record(i * 1000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Snapshot().ToYaml());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["obs_enabled"] = ROSE_OBS_ENABLED;
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+}  // namespace
+}  // namespace rose
+
+BENCHMARK_MAIN();

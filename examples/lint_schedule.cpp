@@ -27,9 +27,36 @@
 #include "src/analyze/schedule_linter.h"
 #include "src/analyze/trace_validator.h"
 #include "src/common/strings.h"
+#include "src/obs/trace_report.h"
 #include "src/trace/trace_io.h"
 
 namespace {
+
+// Canonical --help text, diffed verbatim against docs/cli.md by the
+// docs_drift ctest (tools/check_docs.sh); keep the two in sync.
+constexpr char kHelp[] =
+    R"(usage: lint_schedule [schedule.yaml|-]
+       lint_schedule --demo
+       lint_schedule --trace FILE
+
+Static analysis from the command line (rose::analyze). Reads a fault
+schedule in Rose's YAML form and runs the ScheduleLinter over it:
+unsatisfiable condition chains, order cycles, shadowed faults, degenerate
+field values. Prints each diagnostic with its stable code plus the
+schedule's canonical form and equivalence hash. Reads stdin when no file
+is given (or the file is -).
+
+flags:
+  --demo         lint a deliberately broken built-in schedule
+  --trace FILE   validate a saved trace dump instead (binary or text,
+                 auto-detected) with the TraceValidator; window statistics
+                 are rendered from the rose::obs registry, and load-time
+                 diagnostics (bad magic, corrupt frames) count as findings
+  --help         show this help and exit
+
+exit status: 0 clean (warnings allowed), 1 error-severity findings,
+2 unreadable/unparseable input.
+)";
 
 rose::FaultSchedule DemoSchedule() {
   using rose::Condition;
@@ -83,8 +110,12 @@ int LintTrace(const char* path) {
     std::fprintf(stderr, "lint_schedule: cannot open %s\n", path);
     return 2;
   }
-  std::printf("trace: %s  (%zu events, pool %zu strings)\n", path, trace.size(),
-              trace.pool().size());
+  std::printf("trace: %s\n", path);
+  // Same rendering path as trace_explorer --stats: the rose::obs registry is
+  // the one source for window statistics (no per-tool tallies).
+  std::printf("%s", rose::RenderTraceStats(trace, &rose::MetricRegistry::Global(),
+                                           /*with_encoded_sizes=*/false)
+                        .c_str());
 
   const std::vector<rose::Diagnostic> validation = rose::TraceValidator().Validate(trace);
   diags.insert(diags.end(), validation.begin(), validation.end());
@@ -102,6 +133,10 @@ int LintTrace(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
   if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
     return LintTrace(argv[2]);
   }

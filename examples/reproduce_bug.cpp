@@ -14,6 +14,8 @@
 //   --schedule-out=FILE write the confirmed schedule's canonical YAML to FILE
 //                       (single-bug mode; the same bytes `rose_served` caches
 //                       and `rose_serve_cli` prints).
+//   --stats-out=FILE    write the rose::obs metrics snapshot (YAML) after the
+//                       run; see docs/metrics.md for every metric.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,8 +25,36 @@
 #include "src/common/parallel.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/rose.h"
+#include "src/obs/metrics.h"
 
 namespace {
+
+// Canonical --help text, diffed verbatim against docs/cli.md by the
+// docs_drift ctest (tools/check_docs.sh); keep the two in sync.
+constexpr char kHelp[] =
+    R"(usage: reproduce_bug [<bug-id>|all] [seed] [flags]
+
+Run the full Rose pipeline: profile the healthy system, trigger the bug
+under a nemesis, dump the trace window, diagnose (Levels 1-3), and confirm
+the fault schedule. With no arguments, lists the bug catalogue.
+
+positional arguments:
+  <bug-id>|all        one catalogued bug (e.g. RedisRaft-43), or every bug
+  seed                base RNG seed (default 42); (seed, schedule) fully
+                      determines an execution
+
+flags:
+  --parallelism=N     worker threads for candidate execution (default: the
+                      machine's hardware concurrency); any value yields the
+                      identical report, only wall-clock time changes
+  --tries=N           retry with fresh seeds up to N times when a run ends
+                      without reproduction (default 3)
+  --schedule-out=FILE write the confirmed schedule's canonical YAML to FILE
+                      (single-bug mode)
+  --stats-out=FILE    write the rose::obs metrics snapshot (YAML) to FILE
+                      after the run (see docs/metrics.md)
+  --help              show this help and exit
+)";
 
 int RunOne(const rose::BugSpec& spec, uint64_t seed, int parallelism, int tries,
            bool verbose, const std::string& schedule_out) {
@@ -64,11 +94,19 @@ int main(int argc, char** argv) {
   int parallelism = rose::WorkerPool::DefaultParallelism();
   int tries = 3;
   std::string schedule_out;
+  std::string stats_out;
   // Peel off flags; what remains is <bug-id>|all [seed].
   const char* positional[2] = {nullptr, nullptr};
   int num_positional = 0;
   for (int i = 1; i < argc; i++) {
-    if (std::strncmp(argv[i], "--parallelism=", 14) == 0) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (std::strncmp(argv[i], "--stats-out=", 12) == 0) {
+      stats_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc) {
+      stats_out = argv[++i];  // Space form, as the other CLIs accept.
+    } else if (std::strncmp(argv[i], "--parallelism=", 14) == 0) {
       parallelism = std::atoi(argv[i] + 14);
       if (parallelism < 1) {
         std::fprintf(stderr, "--parallelism must be >= 1\n");
@@ -82,6 +120,9 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--schedule-out=", 15) == 0) {
       schedule_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag %s (see --help)\n", argv[i]);
+      return 2;
     } else if (num_positional < 2) {
       positional[num_positional++] = argv[i];
     }
@@ -97,11 +138,25 @@ int main(int argc, char** argv) {
   }
   const uint64_t seed =
       num_positional > 1 ? static_cast<uint64_t>(std::atoll(positional[1])) : 42;
+  const auto flush_stats = [&stats_out] {
+    if (stats_out.empty()) {
+      return true;
+    }
+    if (!rose::WriteStatsFile(stats_out)) {
+      std::fprintf(stderr, "reproduce_bug: cannot write %s\n", stats_out.c_str());
+      return false;
+    }
+    std::printf("metrics snapshot written to %s\n", stats_out.c_str());
+    return true;
+  };
   if (std::strcmp(positional[0], "all") == 0) {
     int failures = 0;
     for (const rose::BugSpec* spec : rose::AllBugs()) {
       failures += RunOne(*spec, seed, parallelism, tries, /*verbose=*/false,
                          /*schedule_out=*/"");
+    }
+    if (!flush_stats()) {
+      return 2;
     }
     return failures == 0 ? 0 : 1;
   }
@@ -110,5 +165,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown bug id: %s\n", positional[0]);
     return 2;
   }
-  return RunOne(*spec, seed, parallelism, tries, /*verbose=*/true, schedule_out);
+  const int rc = RunOne(*spec, seed, parallelism, tries, /*verbose=*/true, schedule_out);
+  if (!flush_stats()) {
+    return 2;
+  }
+  return rc;
 }

@@ -22,6 +22,7 @@
 //   --cache-dir DIR   persist confirmed schedules across daemon restarts
 //   --again           resubmit the identical dump; the second submission must
 //                     be served from the cache with zero extra engine runs
+//   --server-stats    send a STATS request and print the server's reply
 //   --quiet           suppress the progress tail
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +39,37 @@
 #include "src/trace/trace_io.h"
 
 namespace {
+
+// Canonical --help text, diffed verbatim against docs/cli.md by the
+// docs_drift ctest (tools/check_docs.sh); keep the two in sync.
+constexpr char kHelp[] =
+    R"(usage: rose_serve_cli <bug-id> [seed] [flags]
+
+Submit a production dump to the diagnosis service. Obtains a dump
+(simulating phases 1-2, or loading a saved .trc + .profile pair), submits
+it over the serve wire protocol, tails the progress stream, and prints the
+confirmed schedule -- byte-identical to what an offline `reproduce_bug`
+run would produce for the same (dump, profile, seed). The daemon runs
+in-process over a bounded in-memory pipe; every protocol layer (framing,
+CRCs, backpressure, resynchronization) behaves as it would over a socket.
+
+positional arguments:
+  <bug-id>          one catalogued bug (e.g. RedisRaft-43)
+  seed              submission seed (default 42)
+
+flags:
+  --dump FILE       load the production dump from FILE instead of simulating
+  --profile FILE    load the profiling baseline (required with --dump)
+  --save-dump BASE  after generating, write BASE.trc + BASE.profile
+  --yaml-out FILE   write the confirmed schedule YAML to FILE
+  --cache-dir DIR   persist confirmed schedules across daemon restarts
+  --again           resubmit the identical dump; the second submission must
+                    be served from the cache with zero extra engine runs
+  --server-stats    send a STATS request after the job and print the
+                    server's reply (counters, queue, metrics YAML)
+  --quiet           suppress the progress tail
+  --help            show this help and exit
+)";
 
 // Interleaves client and service pumps until `handle` resolves.
 void PumpUntilDone(rose::ServeClient& client, rose::DiagnosisService& service,
@@ -76,9 +108,13 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   bool again = false;
   bool quiet = false;
+  bool server_stats = false;
   int num_positional = 0;
   for (int i = 1; i < argc; i++) {
-    if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_path = argv[++i];
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_path = argv[++i];
@@ -90,6 +126,8 @@ int main(int argc, char** argv) {
       cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--again") == 0) {
       again = true;
+    } else if (std::strcmp(argv[i], "--server-stats") == 0) {
+      server_stats = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (num_positional == 0) {
@@ -102,7 +140,7 @@ int main(int argc, char** argv) {
   if (bug_id.empty()) {
     std::fprintf(stderr, "usage: %s <bug-id> [seed] [--dump FILE --profile FILE] "
                          "[--save-dump BASE] [--yaml-out FILE] [--cache-dir DIR] "
-                         "[--again] [--quiet]\n", argv[0]);
+                         "[--again] [--server-stats] [--quiet]  (see --help)\n", argv[0]);
     return 2;
   }
   const rose::BugSpec* spec = rose::FindBug(bug_id);
@@ -225,12 +263,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  const rose::ServeStats& stats = service.stats();
-  std::printf("\nserver stats: submitted=%llu completed=%llu cache_hits=%llu "
-              "engine_runs=%llu\n",
-              static_cast<unsigned long long>(stats.jobs_submitted),
-              static_cast<unsigned long long>(stats.jobs_completed),
-              static_cast<unsigned long long>(stats.cache_hits),
-              static_cast<unsigned long long>(stats.engine_runs));
+  if (server_stats) {
+    // Exercise the STATS wire round-trip rather than peeking at the
+    // in-process service object: request, pump, print the decoded reply.
+    std::printf("\n--- STATS request over the wire ---\n");
+    client.RequestStats();
+    while (!client.stats_available()) {
+      client.Poll();
+      service.Poll();
+    }
+    const rose::StatsMsg& remote = client.stats();
+    std::printf("server: %s\n", remote.ToString().c_str());
+    if (!quiet && !remote.metrics_yaml.empty()) {
+      std::printf("%s", remote.metrics_yaml.c_str());
+    }
+  }
+
+  // Same formatter as the daemon's periodic heartbeat and the STATS reply.
+  std::printf("\nserver stats: %s\n", service.BuildStats().ToString().c_str());
   return result.reproduced ? 0 : 1;
 }

@@ -18,7 +18,9 @@
 //                 timestamp-ordered, stable for ties, strings re-interned
 //                 into one pool; combine with --save to persist the result
 //   --stats       print window statistics (events by type and node, string
-//                 pool size, window time span, encoded sizes)
+//                 pool size, window time span, encoded sizes) — rendered
+//                 from the rose::obs registry (src/obs/trace_report.h)
+//   --stats-out FILE  write the rose::obs metrics snapshot (YAML) to FILE
 //
 // Exit status: 0 on success; 1 when a loaded file carries error-severity
 // container diagnostics (TB2xx — truncation, CRC damage, unreadable file),
@@ -34,40 +36,42 @@
 #include "src/diagnose/extract.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
+#include "src/obs/trace_report.h"
 #include "src/trace/trace_io.h"
 
 namespace {
 
-void PrintStats(const rose::Trace& trace) {
-  std::printf("\n--- window statistics ---\n");
-  std::printf("events: %zu\n", trace.size());
-  std::map<rose::EventType, int> by_type;
-  std::map<rose::NodeId, int> by_node;
-  for (const rose::TraceEvent& event : trace.events()) {
-    by_type[event.type]++;
-    by_node[event.node]++;
-  }
-  for (const auto& [type, count] : by_type) {
-    std::printf("  %-3s %d\n", std::string(rose::EventTypeName(type)).c_str(), count);
-  }
-  std::printf("events by node:\n");
-  for (const auto& [node, count] : by_node) {
-    std::printf("  node %d: %d\n", node, count);
-  }
-  std::printf("string pool: %zu strings, %zu payload bytes\n", trace.pool().size(),
-              trace.pool().payload_bytes());
-  if (!trace.empty()) {
-    std::printf("window span: %.3fs .. %.3fs (%.3fs)\n", rose::ToSeconds(trace[0].ts),
-                rose::ToSeconds(trace[trace.size() - 1].ts),
-                rose::ToSeconds(trace[trace.size() - 1].ts - trace[0].ts));
-  }
-  const size_t binary_bytes = trace.SerializeBinary().size();
-  const size_t text_bytes = trace.Serialize().size();
-  std::printf("encoded size: binary %zu bytes, text %zu bytes (%.0f%%)\n", binary_bytes,
-              text_bytes,
-              text_bytes == 0 ? 0.0 : 100.0 * static_cast<double>(binary_bytes) /
-                                          static_cast<double>(text_bytes));
-}
+// Canonical --help text, diffed verbatim against docs/cli.md by the
+// docs_drift ctest (tools/check_docs.sh); keep the two in sync.
+constexpr char kHelp[] =
+    R"(usage: trace_explorer [seed] [flags]
+       trace_explorer --load FILE [flags]
+       trace_explorer --merge A B [C...] [flags]
+
+Watch Rose's production tracer at work: run a RaftKV cluster under a
+nemesis with the tracer attached, dump the sliding window, print the raw
+events, and show the diagnosis front-end's fault extraction. Or explore a
+saved dump instead of running the simulation.
+
+positional arguments:
+  seed              simulation seed for the live run (default 1234)
+
+flags:
+  --save FILE       write the dumped window to FILE (binary container, or
+                    one-event-per-line text when FILE ends in .txt)
+  --load FILE       explore a saved trace instead of running; binary vs
+                    text is auto-detected from the file's magic
+  --merge A B ...   k-way merge saved per-node traces (timestamp-ordered,
+                    stable for ties); combine with --save to persist
+  --stats           print window statistics from the rose::obs registry
+                    (events by kind and node, occupancy, pool, sizes)
+  --stats-out FILE  write the rose::obs metrics snapshot (YAML) to FILE
+                    (see docs/metrics.md)
+  --help            show this help and exit
+
+exit status: 0 on success; 1 when a loaded file carries error-severity
+container diagnostics (TB2xx), even if intact frames produced events.
+)";
 
 }  // namespace
 
@@ -75,11 +79,15 @@ int main(int argc, char** argv) {
   uint64_t seed = 1234;
   std::string save_path;
   std::string load_path;
+  std::string stats_out;
   std::vector<std::string> merge_paths;
   bool merging = false;
   bool want_stats = false;
   for (int i = 1; i < argc; i++) {
-    if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
       save_path = argv[++i];
       merging = false;
     } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
@@ -89,6 +97,9 @@ int main(int argc, char** argv) {
       merging = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+      merging = false;
+    } else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc) {
+      stats_out = argv[++i];
       merging = false;
     } else if (merging) {
       merge_paths.push_back(argv[i]);
@@ -210,7 +221,17 @@ int main(int argc, char** argv) {
   }
 
   if (want_stats) {
-    PrintStats(trace);
+    // One code path for window statistics: the rose::obs registry renders the
+    // report; lint_schedule --trace prints the same format.
+    std::printf("%s", rose::RenderTraceStats(trace, &rose::MetricRegistry::Global()).c_str());
+  }
+
+  if (!stats_out.empty()) {
+    if (!rose::WriteStatsFile(stats_out)) {
+      std::fprintf(stderr, "trace_explorer: cannot write %s\n", stats_out.c_str());
+      return 2;
+    }
+    std::printf("metrics snapshot written to %s\n", stats_out.c_str());
   }
 
   if (!save_path.empty()) {

@@ -1,6 +1,36 @@
 #include "src/common/parallel.h"
 
+#include "src/obs/metrics.h"
+
 namespace rose {
+
+namespace {
+
+// rose::obs self-metrics (docs/metrics.md "parallel.*"): job throughput,
+// per-job latency, and queue depth — parallel.job_ns's sum over wall time ×
+// thread count gives worker-pool utilization. Write-only: scheduling never
+// reads these back.
+struct PoolMetrics {
+  Counter* jobs_enqueued;
+  Counter* jobs_executed;
+  Gauge* queue_depth;
+  Histogram* job_ns;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = [] {
+    MetricRegistry& reg = MetricRegistry::Global();
+    auto* metrics = new PoolMetrics();
+    metrics->jobs_enqueued = reg.GetCounter("parallel.jobs_enqueued");
+    metrics->jobs_executed = reg.GetCounter("parallel.jobs_executed");
+    metrics->queue_depth = reg.GetGauge("parallel.queue_depth");
+    metrics->job_ns = reg.GetHistogram("parallel.job_ns");
+    return metrics;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(int threads) {
   const int count = threads < 1 ? 1 : threads;
@@ -22,10 +52,13 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Enqueue(std::function<void()> job) {
+  PoolMetrics& metrics = Metrics();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
   }
+  metrics.jobs_enqueued->Inc();
   wake_.notify_one();
 }
 
@@ -45,8 +78,14 @@ void WorkerPool::WorkerLoop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      Metrics().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     }
-    job();
+    {
+      PoolMetrics& metrics = Metrics();
+      ScopedTimer timer(metrics.job_ns);
+      job();
+      metrics.jobs_executed->Inc();
+    }
   }
 }
 

@@ -42,6 +42,25 @@ DiagnosisEngine::DiagnosisEngine(TraceView production, const Profile* profile,
   if (config_.parallelism > 1) {
     pool_ = std::make_unique<WorkerPool>(config_.parallelism);
   }
+
+  MetricRegistry& reg = MetricRegistry::Global();
+  metrics_.candidates_generated = reg.GetCounter("engine.candidates_generated");
+  metrics_.pruned_invalid = reg.GetCounter("engine.candidates_pruned_invalid");
+  metrics_.pruned_duplicate = reg.GetCounter("engine.candidates_pruned_duplicate");
+  metrics_.confirmed = reg.GetCounter("engine.candidates_confirmed");
+  metrics_.runs = reg.GetCounter("engine.runs");
+  metrics_.speculation_misses = reg.GetCounter("engine.speculation_misses");
+  metrics_.speculative_abandoned = reg.GetCounter("engine.speculative_abandoned");
+  metrics_.confirm_early_abandons = reg.GetCounter("engine.confirm_early_abandons");
+  for (int level = 1; level <= 3; level++) {
+    const std::string prefix = "engine.level" + std::to_string(level);
+    metrics_.level_candidates[level] = reg.GetCounter(prefix + ".candidates");
+    metrics_.level_confirmed[level] = reg.GetCounter(prefix + ".confirmed");
+  }
+  metrics_.level_candidates[0] = nullptr;  // Levels are 1..3; guarded at use.
+  metrics_.level_confirmed[0] = nullptr;
+  metrics_.wave_ns = reg.GetHistogram("engine.wave_ns");
+  metrics_.confirm_ns = reg.GetHistogram("engine.confirm_ns");
 }
 
 ScheduledFault DiagnosisEngine::MakeScheduledFault(const CandidateFault& fault,
@@ -104,6 +123,7 @@ void DiagnosisEngine::Notify(DiagnosisProgress::Kind kind, const DiagnosisResult
 }
 
 double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResult* result) {
+  ScopedTimer confirm_timer(metrics_.confirm_ns);
   const uint64_t hash = CanonicalHash(schedule);
   const uint32_t base_index = run_counters_[hash];
   // All reruns are independent, so they form one batch; seeds are
@@ -128,6 +148,9 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
     if (clean_runs >= config_.confirm_abandon_after_clean) {
       // The target rate is already unreachable; stop early (paper line 26).
       batch.Abandon();
+      metrics_.confirm_early_abandons->Inc();
+      metrics_.speculative_abandoned->Inc(
+          static_cast<uint64_t>(config_.confirm_runs) - consumed);
       run_counters_[hash] = base_index + consumed;
       return 0;
     }
@@ -177,13 +200,19 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
                                    ScheduleRunOutcome* outcome_out) {
   if (probe.action == PlannedProbe::Action::kPruneInvalid) {
     result->schedules_pruned_invalid++;
+    metrics_.pruned_invalid->Inc();
     return false;
   }
   if (probe.action == PlannedProbe::Action::kPruneDuplicate) {
     result->schedules_pruned_duplicate++;
+    metrics_.pruned_duplicate->Inc();
     return false;
   }
   result->schedules_generated++;
+  metrics_.candidates_generated->Inc();
+  if (level >= 1 && level <= 3) {
+    metrics_.level_candidates[level]->Inc();
+  }
   notify_level_ = level;
   const uint32_t committed = run_counters_[probe.hash];
   ScheduleRunOutcome outcome;
@@ -196,10 +225,14 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
     // the same schedule advanced its run counter, so the pre-assigned seed
     // is stale. Re-run inline with the committed-index seed — this is what
     // keeps parallel results identical to serial ones.
+    if (batch != nullptr && probe.batch_slot >= 0) {
+      metrics_.speculation_misses->Inc();
+    }
     outcome = runner_(ScheduleRunRequest{&probe.schedule, SeedFor(probe.hash, committed)});
   }
   run_counters_[probe.hash] = committed + 1;
   result->total_runs++;
+  metrics_.runs->Inc();
   result->virtual_time += outcome.virtual_duration;
   const bool bug = outcome.bug;
   Notify(DiagnosisProgress::Kind::kCandidate, *result, bug ? 100.0 : 0.0,
@@ -216,6 +249,10 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
     result->schedule = probe.schedule;
     result->replay_rate = rate;
     result->level = level;
+    metrics_.confirmed->Inc();
+    if (level >= 1 && level <= 3) {
+      metrics_.level_confirmed[level]->Inc();
+    }
     return true;
   }
   saved_candidates_.push_back(Candidate{probe.schedule, rate, level});
@@ -231,6 +268,7 @@ bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int l
       pool_ != nullptr ? static_cast<size_t>(pool_->thread_count()) * 2 : 1;
   size_t next = 0;
   while (next < schedules.size()) {
+    ScopedTimer wave_timer(metrics_.wave_ns);
     const size_t count = std::min(chunk, schedules.size() - next);
     std::vector<PlannedProbe> probes;
     probes.reserve(count);
@@ -264,6 +302,7 @@ bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int l
         // are rolled back so later phases dedup exactly like the serial
         // engine, which never planned these candidates at all.
         batch.Abandon();
+        metrics_.speculative_abandoned->Inc(probes.size() - (i + 1));
         for (size_t j = i + 1; j < probes.size(); j++) {
           if (probes[j].inserted_hash) {
             executed_hashes_.erase(probes[j].hash);

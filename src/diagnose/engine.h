@@ -37,6 +37,7 @@
 #include "src/analyze/schedule_linter.h"
 #include "src/common/parallel.h"
 #include "src/diagnose/extract.h"
+#include "src/obs/metrics.h"
 #include "src/exec/executor.h"
 #include "src/profile/binary_info.h"
 #include "src/profile/profiler.h"
@@ -244,6 +245,26 @@ class DiagnosisEngine {
   int notify_level_ = 0;
   // Worker pool for speculative candidate execution; null when parallelism <= 1.
   std::unique_ptr<WorkerPool> pool_;
+
+  // rose::obs self-metrics (docs/metrics.md "engine.*"), resolved once at
+  // construction. Strictly write-only: the search never branches on them —
+  // that is what keeps parallel and serial diagnoses byte-identical.
+  struct EngineMetrics {
+    Counter* candidates_generated;
+    Counter* pruned_invalid;
+    Counter* pruned_duplicate;
+    Counter* confirmed;
+    Counter* runs;
+    Counter* speculation_misses;
+    Counter* speculative_abandoned;
+    Counter* confirm_early_abandons;
+    // Indexed by level 1..3 (slot 0 unused).
+    Counter* level_candidates[4];
+    Counter* level_confirmed[4];
+    Histogram* wave_ns;
+    Histogram* confirm_ns;
+  };
+  EngineMetrics metrics_;
 };
 
 }  // namespace rose

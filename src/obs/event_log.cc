@@ -1,0 +1,10 @@
+#include "src/obs/event_log.h"
+
+namespace rose {
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+}  // namespace rose

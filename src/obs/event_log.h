@@ -1,0 +1,80 @@
+#ifndef ROSE_OBS_EVENT_LOG_H_
+#define ROSE_OBS_EVENT_LOG_H_
+
+// Bounded structured self-event log (DESIGN.md §11): pipeline phases record
+// notable moments ("dump complete", "cache hit", "wave abandoned") as
+// (sequence, category, message) records. The log keeps the most recent
+// `capacity` entries and counts what it dropped; like the metrics registry it
+// is write-only from the simulation's point of view.
+
+#include "src/obs/metrics.h"
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rose {
+
+struct ObsEvent {
+  uint64_t seq = 0;          // monotonically increasing per log
+  std::string category;      // e.g. "tracer", "engine", "serve"
+  std::string message;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Log(std::string category, std::string message) {
+#if ROSE_OBS_ENABLED
+    std::lock_guard<std::mutex> lock(mu_);
+    ObsEvent ev;
+    ev.seq = next_seq_++;
+    ev.category = std::move(category);
+    ev.message = std::move(message);
+    entries_.push_back(std::move(ev));
+    if (entries_.size() > capacity_) {
+      entries_.pop_front();
+      ++dropped_;
+    }
+#else
+    (void)category;
+    (void)message;
+#endif
+  }
+
+  std::vector<ObsEvent> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return {entries_.begin(), entries_.end()};
+  }
+
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+    next_seq_ = 0;
+    dropped_ = 0;
+  }
+
+  // Process-wide log used by the built-in instrumentation.
+  static EventLog& Global();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<ObsEvent> entries_;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace rose
+
+#endif  // ROSE_OBS_EVENT_LOG_H_

@@ -24,6 +24,10 @@ uint64_t ServeClient::Submit(const SubmitRequest& request) {
   return handle;
 }
 
+void ServeClient::RequestStats() {
+  AppendServeFrame(&outbox_, ServeFrame::kStatsRequest, "");
+}
+
 void ServeClient::Poll() {
   if (broken_) {
     return;
@@ -167,8 +171,17 @@ void ServeClient::HandleFrame(const DecodedFrame& frame) {
       job->error_message = std::move(msg.message);
       return;
     }
+    case ServeFrame::kStatsReply: {
+      StatsMsg msg;
+      if (DecodeStats(frame.payload, &msg)) {
+        latest_stats_ = std::move(msg);
+        stats_received_++;
+      }
+      return;
+    }
     case ServeFrame::kSubmit:
-      return;  // Client never receives submissions; skip per protocol rules.
+    case ServeFrame::kStatsRequest:
+      return;  // Client never receives these; skip per protocol rules.
   }
 }
 

@@ -59,6 +59,14 @@ class ServeClient {
   // `request.profile` are encoded immediately (no lifetime obligations).
   uint64_t Submit(const SubmitRequest& request);
 
+  // Queues a kStatsRequest. The server answers with one kStatsReply;
+  // stats_available() turns true and stats() holds the latest snapshot.
+  void RequestStats();
+  bool stats_available() const { return stats_received_ > 0; }
+  // kStatsReply frames received over the connection's lifetime.
+  uint64_t stats_received() const { return stats_received_; }
+  const StatsMsg& stats() const { return latest_stats_; }
+
   // One pump cycle; call interleaved with the service's Poll().
   void Poll();
 
@@ -119,6 +127,8 @@ class ServeClient {
   uint64_t next_handle_ = 1;
   int retries_performed_ = 0;
   bool broken_ = false;
+  uint64_t stats_received_ = 0;
+  StatsMsg latest_stats_;
 };
 
 }  // namespace rose

@@ -40,6 +40,13 @@ class JobQueue {
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return capacity_; }
 
+  // Jobs a single tenant has waiting (0 for unknown tenants) — feeds the
+  // per-client serve.queue_depth.* gauges.
+  size_t DepthOf(uint64_t tenant) const {
+    auto it = per_tenant_.find(tenant);
+    return it == per_tenant_.end() ? 0 : it->second.size();
+  }
+
  private:
   size_t capacity_;
   size_t size_ = 0;

@@ -287,6 +287,60 @@ std::string EncodeError(const ErrorMsg& msg) {
   return payload;
 }
 
+std::string EncodeStats(const StatsMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.jobs_submitted);
+  PutVarint(&payload, msg.jobs_completed);
+  PutVarint(&payload, msg.cache_hits);
+  PutVarint(&payload, msg.coalesced);
+  PutVarint(&payload, msg.rejected_queue_full);
+  PutVarint(&payload, msg.rejected_invalid);
+  PutVarint(&payload, msg.corrupt_frames);
+  PutVarint(&payload, msg.engine_runs);
+  PutVarint(&payload, msg.queued_jobs);
+  PutVarint(&payload, msg.running_jobs);
+  PutLengthPrefixed(&payload, msg.metrics_yaml);
+  return payload;
+}
+
+bool DecodeStats(std::string_view payload, StatsMsg* out) {
+  if (!GetVarint(&payload, &out->jobs_submitted) ||
+      !GetVarint(&payload, &out->jobs_completed) ||
+      !GetVarint(&payload, &out->cache_hits) ||
+      !GetVarint(&payload, &out->coalesced) ||
+      !GetVarint(&payload, &out->rejected_queue_full) ||
+      !GetVarint(&payload, &out->rejected_invalid) ||
+      !GetVarint(&payload, &out->corrupt_frames) ||
+      !GetVarint(&payload, &out->engine_runs) ||
+      !GetVarint(&payload, &out->queued_jobs) ||
+      !GetVarint(&payload, &out->running_jobs)) {
+    return false;
+  }
+  std::string_view yaml;
+  if (!GetLengthPrefixed(&payload, &yaml)) {
+    return false;
+  }
+  out->metrics_yaml = std::string(yaml);
+  return true;
+}
+
+std::string StatsMsg::ToString() const {
+  return StrFormat(
+      "jobs: %llu submitted, %llu done, %llu queued, %llu running | cache: %llu hits, "
+      "%llu coalesced | rejects: %llu full, %llu invalid | %llu corrupt frames | "
+      "%llu engine runs",
+      static_cast<unsigned long long>(jobs_submitted),
+      static_cast<unsigned long long>(jobs_completed),
+      static_cast<unsigned long long>(queued_jobs),
+      static_cast<unsigned long long>(running_jobs),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(rejected_queue_full),
+      static_cast<unsigned long long>(rejected_invalid),
+      static_cast<unsigned long long>(corrupt_frames),
+      static_cast<unsigned long long>(engine_runs));
+}
+
 bool DecodeError(std::string_view payload, ErrorMsg* out) {
   if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
     return false;

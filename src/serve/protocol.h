@@ -52,11 +52,15 @@ inline constexpr uint32_t kMaxServeFramePayload = 256u * 1024u * 1024u;
 
 enum class ServeFrame : uint8_t {
   kSubmit = 1,
-  // 2..15 reserved for future client->server frames.
+  kStatsRequest = 2,  // Empty payload; answered with exactly one kStatsReply.
+  // 3..15 reserved for future client->server frames.
   kAccepted = 16,
   kProgress = 17,
   kResult = 18,
   kError = 19,
+  // An *additive* extension within version 1: servers predating it skip the
+  // unknown kind (framing is self-describing), so no version bump is needed.
+  kStatsReply = 20,
 };
 
 // Typed rejection codes carried by kError frames.
@@ -134,6 +138,25 @@ struct ErrorMsg {
   std::string message;
 };
 
+// Server self-metrics answered to a kStatsRequest: the daemon's lifetime
+// ServeStats counters, the instantaneous queue/worker state, and the full
+// rose::obs registry snapshot in its YAML form (docs/metrics.md).
+struct StatsMsg {
+  uint64_t jobs_submitted = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t coalesced = 0;
+  uint64_t rejected_queue_full = 0;
+  uint64_t rejected_invalid = 0;
+  uint64_t corrupt_frames = 0;
+  uint64_t engine_runs = 0;
+  uint64_t queued_jobs = 0;
+  uint64_t running_jobs = 0;
+  std::string metrics_yaml;  // MetricsSnapshot::ToYaml() ("# rose-obs v1").
+
+  std::string ToString() const;  // One summary line (daemon heartbeat form).
+};
+
 // --- Encoding ---------------------------------------------------------------
 
 void AppendServeHeader(std::string* out);
@@ -145,6 +168,7 @@ std::string EncodeAccepted(const AcceptedMsg& msg);
 std::string EncodeProgress(const ProgressMsg& msg);
 std::string EncodeResult(const ResultMsg& msg);
 std::string EncodeError(const ErrorMsg& msg);
+std::string EncodeStats(const StatsMsg& msg);
 
 // Payload decoders; false on malformed input (missing fields / overrun).
 // DecodeSubmit parses the embedded RTRC blob; container damage (truncation,
@@ -156,6 +180,7 @@ bool DecodeAccepted(std::string_view payload, AcceptedMsg* out);
 bool DecodeProgress(std::string_view payload, ProgressMsg* out);
 bool DecodeResult(std::string_view payload, ResultMsg* out);
 bool DecodeError(std::string_view payload, ErrorMsg* out);
+bool DecodeStats(std::string_view payload, StatsMsg* out);
 
 // --- Incremental frame decoding ---------------------------------------------
 

@@ -47,7 +47,19 @@ DiagnosisService::DiagnosisService(ServeConfig config)
     : config_(config),
       cache_(config.cache_capacity, config.cache_dir),
       queue_(config.queue_capacity),
-      pool_(std::make_unique<WorkerPool>(std::max(config.max_concurrent_jobs, 1))) {}
+      pool_(std::make_unique<WorkerPool>(std::max(config.max_concurrent_jobs, 1))) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  metrics_.submissions = reg.GetCounter("serve.submissions");
+  metrics_.cache_hits = reg.GetCounter("serve.cache_hits");
+  metrics_.cache_misses = reg.GetCounter("serve.cache_misses");
+  metrics_.coalesced = reg.GetCounter("serve.coalesced");
+  metrics_.rejects_queue_full = reg.GetCounter("serve.rejects_queue_full");
+  metrics_.rejects_invalid = reg.GetCounter("serve.rejects_invalid");
+  metrics_.corrupt_frames = reg.GetCounter("serve.corrupt_frames");
+  metrics_.stats_requests = reg.GetCounter("serve.stats_requests");
+  metrics_.queue_depth = reg.GetGauge("serve.queue_depth");
+  metrics_.job_ns = reg.GetHistogram("serve.job_ns");
+}
 
 DiagnosisService::~DiagnosisService() {
   // WorkerPool's destructor drains queued closures and joins; every worker
@@ -102,12 +114,16 @@ void DiagnosisService::ReadConnection(Connection& conn) {
       case FrameDecoder::Status::kFrame:
         if (frame.kind == ServeFrame::kSubmit) {
           HandleSubmit(conn, frame.payload);
+        } else if (frame.kind == ServeFrame::kStatsRequest) {
+          metrics_.stats_requests->Inc();
+          SendFrame(conn.id, ServeFrame::kStatsReply, EncodeStats(BuildStats()));
         }
         // Unknown / server-only kinds from a confused peer are skipped;
         // framing already advanced past them.
         break;
       case FrameDecoder::Status::kCorruptFrame:
         stats_.corrupt_frames++;
+        metrics_.corrupt_frames->Inc();
         SendError(conn, ServeError::kBadFrame,
                   "frame failed its CRC32 and was skipped; resend the submission");
         break;
@@ -127,12 +143,14 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
   std::vector<Diagnostic> container_diags;
   if (!DecodeSubmit(payload, &request, &container_diags)) {
     stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kMalformedRequest, "submit payload does not decode");
     return;
   }
   const BugSpec* spec = FindBug(request.bug_id);
   if (spec == nullptr) {
     stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + request.bug_id);
     return;
   }
@@ -142,12 +160,14 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
   // validator.
   if (HasErrors(container_diags)) {
     stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace,
               "trace container damaged: " + container_diags.front().ToString());
     return;
   }
   if (request.trace.empty()) {
     stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace, "trace decoded to zero events");
     return;
   }
@@ -157,18 +177,21 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
       TraceValidator(validate_options).Validate(request.trace);
   if (HasErrors(validation)) {
     stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace,
               "trace failed validation: " + validation.front().ToString());
     return;
   }
 
   stats_.jobs_submitted++;
+  metrics_.submissions->Inc();
   const uint64_t key =
       JobKey(CanonicalTraceHash(request.trace), request.bug_id, request.seed);
 
   // O(1) repeat: answered from the cache without touching the engine.
   if (std::optional<CachedResult> cached = cache_.Get(key)) {
     stats_.cache_hits++;
+    metrics_.cache_hits->Inc();
     const uint64_t job_id = next_job_id_++;
     AcceptedMsg accepted;
     accepted.job_id = job_id;
@@ -187,11 +210,13 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
     SendFrame(conn.id, ServeFrame::kResult, EncodeResult(msg));
     return;
   }
+  metrics_.cache_misses->Inc();
 
   // Identical job already queued/running: subscribe, don't re-run.
   if (auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
     Job& job = *jobs_.at(it->second);
     stats_.coalesced++;
+    metrics_.coalesced->Inc();
     job.subscribers.emplace_back(conn.id, /*coalesced=*/true);
     AcceptedMsg accepted;
     accepted.job_id = job.id;
@@ -213,11 +238,17 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
 
   if (queue_.Push(conn.id, job->id) == JobQueue::PushResult::kFull) {
     stats_.rejected_queue_full++;
+    metrics_.rejects_queue_full->Inc();
     SendError(conn, ServeError::kQueueFull,
               StrFormat("job queue at capacity (%zu); retry with backoff",
                         queue_.capacity()));
     return;  // `job` dies here; nothing was registered.
   }
+  job->admitted = std::chrono::steady_clock::now();
+  metrics_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+  MetricRegistry::Global()
+      .GetGauge("serve.queue_depth.client" + std::to_string(conn.id))
+      ->Set(static_cast<int64_t>(queue_.DepthOf(conn.id)));
 
   AcceptedMsg accepted;
   accepted.job_id = job->id;
@@ -237,6 +268,13 @@ void DiagnosisService::StartJobs() {
     Job& job = *jobs_.at(*job_id);
     job.state = Job::State::kRunning;
     running_++;
+    metrics_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    if (!job.subscribers.empty()) {
+      const uint64_t tenant = job.subscribers.front().first;
+      MetricRegistry::Global()
+          .GetGauge("serve.queue_depth.client" + std::to_string(tenant))
+          ->Set(static_cast<int64_t>(queue_.DepthOf(tenant)));
+    }
 
     ProgressMsg msg;
     msg.job_id = job.id;
@@ -306,6 +344,12 @@ void DiagnosisService::HarvestJobs() {
     running_--;
     stats_.jobs_completed++;
     stats_.engine_runs += static_cast<uint64_t>(std::max(job->result.total_runs, 0));
+#if ROSE_OBS_ENABLED
+    metrics_.job_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - job->admitted)
+            .count()));
+#endif
 
     CachedResult cached;
     cached.reproduced = job->result.reproduced;
@@ -324,6 +368,22 @@ void DiagnosisService::HarvestJobs() {
   for (uint64_t id : done) {
     jobs_.erase(id);  // Frees the dump; the cache keeps the answer.
   }
+}
+
+StatsMsg DiagnosisService::BuildStats() const {
+  StatsMsg msg;
+  msg.jobs_submitted = stats_.jobs_submitted;
+  msg.jobs_completed = stats_.jobs_completed;
+  msg.cache_hits = stats_.cache_hits;
+  msg.coalesced = stats_.coalesced;
+  msg.rejected_queue_full = stats_.rejected_queue_full;
+  msg.rejected_invalid = stats_.rejected_invalid;
+  msg.corrupt_frames = stats_.corrupt_frames;
+  msg.engine_runs = stats_.engine_runs;
+  msg.queued_jobs = queue_.size();
+  msg.running_jobs = static_cast<uint64_t>(std::max(running_, 0));
+  msg.metrics_yaml = MetricRegistry::Global().Snapshot().ToYaml();
+  return msg;
 }
 
 void DiagnosisService::FlushConnections() {

@@ -24,6 +24,7 @@
 #ifndef SRC_SERVE_SERVICE_H_
 #define SRC_SERVE_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -35,6 +36,7 @@
 #include "src/common/parallel.h"
 #include "src/diagnose/engine.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/serve/job_queue.h"
 #include "src/serve/protocol.h"
 #include "src/serve/result_cache.h"
@@ -95,6 +97,11 @@ class DiagnosisService {
   size_t queued_jobs() const { return queue_.size(); }
   int running_jobs() const { return running_; }
 
+  // The kStatsReply body: lifetime ServeStats + instantaneous queue/worker
+  // state + the process-wide rose::obs registry snapshot. Also what the
+  // daemon's periodic one-line summary and --stats-out print.
+  StatsMsg BuildStats() const;
+
   // The cache/dedup key for one submission.
   static uint64_t JobKey(uint64_t trace_hash, std::string_view bug_id, uint64_t seed);
 
@@ -120,6 +127,9 @@ class DiagnosisService {
     // Connections awaiting this job's result; bool = joined by coalescing.
     std::vector<std::pair<uint64_t, bool>> subscribers;
     enum class State : uint8_t { kQueued, kRunning, kDone } state = State::kQueued;
+    // Admission timestamp (host steady clock) — feeds the serve.job_ns
+    // latency histogram at completion; never read by job logic.
+    std::chrono::steady_clock::time_point admitted;
 
     // Worker-shared fields, guarded by `mutex`.
     std::mutex mutex;
@@ -142,6 +152,24 @@ class DiagnosisService {
 
   ServeConfig config_;
   ServeStats stats_;
+
+  // rose::obs self-metrics (docs/metrics.md "serve.*"), mirroring stats_
+  // into the process-wide registry plus latency/queue-depth detail the
+  // plain counters cannot express. Write-only for the service logic.
+  struct ServeMetrics {
+    Counter* submissions;
+    Counter* cache_hits;
+    Counter* cache_misses;
+    Counter* coalesced;
+    Counter* rejects_queue_full;
+    Counter* rejects_invalid;
+    Counter* corrupt_frames;
+    Counter* stats_requests;
+    Gauge* queue_depth;
+    Histogram* job_ns;
+  };
+  ServeMetrics metrics_;
+
   ResultCache cache_;
   JobQueue queue_;
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;

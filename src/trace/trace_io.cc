@@ -5,10 +5,43 @@
 #include <sstream>
 
 #include "src/common/strings.h"
+#include "src/obs/metrics.h"
 
 namespace rose {
 
 namespace {
+
+// rose::obs self-metrics for the container codec (docs/metrics.md
+// "trace_io.*"). Resolved once; recording is relaxed-atomic and write-only.
+struct IoMetrics {
+  Counter* serialize_calls;
+  Counter* serialize_events;
+  Counter* serialize_bytes;
+  Histogram* serialize_ns;
+  Counter* parse_calls;
+  Counter* parse_events;
+  Counter* parse_bytes;
+  Histogram* parse_ns;
+  Counter* crc_failures;
+};
+
+IoMetrics& Metrics() {
+  static IoMetrics* m = [] {
+    MetricRegistry& reg = MetricRegistry::Global();
+    auto* metrics = new IoMetrics();
+    metrics->serialize_calls = reg.GetCounter("trace_io.serialize_calls");
+    metrics->serialize_events = reg.GetCounter("trace_io.serialize_events");
+    metrics->serialize_bytes = reg.GetCounter("trace_io.serialize_bytes");
+    metrics->serialize_ns = reg.GetHistogram("trace_io.serialize_ns");
+    metrics->parse_calls = reg.GetCounter("trace_io.parse_calls");
+    metrics->parse_events = reg.GetCounter("trace_io.parse_events");
+    metrics->parse_bytes = reg.GetCounter("trace_io.parse_bytes");
+    metrics->parse_ns = reg.GetHistogram("trace_io.parse_ns");
+    metrics->crc_failures = reg.GetCounter("trace_io.crc_failures");
+    return metrics;
+  }();
+  return *m;
+}
 
 constexpr uint8_t kFramePool = 1;
 constexpr uint8_t kFrameEvents = 2;
@@ -411,6 +444,7 @@ bool TraceReader::LoadFrame() {
     const std::string_view payload = rest_.substr(kFrameHeaderSize, payload_len);
     rest_.remove_prefix(kFrameHeaderSize + payload_len);
     if (Crc32(payload) != crc) {
+      Metrics().crc_failures->Inc();
       Fail(DiagCode::kCorruptTraceFrame, Severity::kError,
            StrFormat("frame payload (%u bytes, kind %u) fails its CRC32", payload_len, kind),
            "the dump was corrupted at rest; events before this frame are intact");
@@ -463,22 +497,32 @@ bool TraceReader::Next(TraceEvent* out) {
 // --- Trace binary entry points ---------------------------------------------
 
 std::string Trace::SerializeBinary() const {
+  IoMetrics& metrics = Metrics();
+  ScopedTimer timer(metrics.serialize_ns);
   std::string out;
   TraceWriter writer(&out, &pool_);
   for (const TraceEvent& event : events_) {
     writer.Add(event);
   }
   writer.Finish();
+  metrics.serialize_calls->Inc();
+  metrics.serialize_events->Inc(events_.size());
+  metrics.serialize_bytes->Inc(out.size());
   return out;
 }
 
 Trace Trace::ParseBinary(std::string_view data, std::vector<Diagnostic>* diags) {
+  IoMetrics& metrics = Metrics();
+  ScopedTimer timer(metrics.parse_ns);
   TraceReader reader(data);
   std::vector<TraceEvent> events;
   TraceEvent event;
   while (reader.Next(&event)) {
     events.push_back(event);
   }
+  metrics.parse_calls->Inc();
+  metrics.parse_events->Inc(events.size());
+  metrics.parse_bytes->Inc(data.size());
   if (diags != nullptr) {
     diags->insert(diags->end(), reader.diagnostics().begin(), reader.diagnostics().end());
   }

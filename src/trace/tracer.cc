@@ -19,7 +19,18 @@ std::string_view TracerModeName(TracerMode mode) {
 
 Tracer::Tracer(SimKernel* kernel, Network* network, TracerConfig config)
     : kernel_(kernel), network_(network), config_(std::move(config)),
-      window_(config_.window_size) {}
+      window_(config_.window_size) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  m_captured_ = reg.GetCounter("tracer.events_captured");
+  m_dropped_ = reg.GetCounter("tracer.events_dropped");
+  m_syscalls_ = reg.GetCounter("tracer.syscalls_observed");
+  m_probe_hits_ = reg.GetCounter("tracer.function_probe_hits");
+  m_bytes_copied_ = reg.GetCounter("tracer.bytes_copied");
+  m_dumps_ = reg.GetCounter("tracer.dumps");
+  m_occupancy_ = reg.GetGauge("tracer.window.occupancy");
+  m_dump_ns_ = reg.GetHistogram("tracer.dump_ns");
+  m_dump_bytes_ = reg.GetHistogram("tracer.dump_bytes");
+}
 
 Tracer::~Tracer() { Detach(); }
 
@@ -48,6 +59,21 @@ void Tracer::Detach() {
   if (network_ != nullptr) {
     network_->RemoveIngressTap(this);
   }
+  FlushObsMetrics();  // Covers traced runs that end without a Dump().
+}
+
+void Tracer::FlushObsMetrics() {
+  m_captured_->Inc(events_seen_ - flushed_.captured);
+  m_dropped_->Inc(events_dropped_ - flushed_.dropped);
+  m_syscalls_->Inc(syscalls_observed_ - flushed_.syscalls);
+  m_probe_hits_->Inc(function_probe_hits_ - flushed_.probe_hits);
+  m_bytes_copied_->Inc(bytes_copied_ - flushed_.bytes_copied);
+  m_occupancy_->Set(static_cast<int64_t>(window_.size()));
+  flushed_.captured = events_seen_;
+  flushed_.dropped = events_dropped_;
+  flushed_.syscalls = syscalls_observed_;
+  flushed_.probe_hits = function_probe_hits_;
+  flushed_.bytes_copied = bytes_copied_;
 }
 
 void Tracer::Charge(SimTime cost) {
@@ -62,6 +88,9 @@ NodeId Tracer::NodeOfPid(Pid pid) const {
 
 void Tracer::RecordEvent(TraceEvent event) {
   events_seen_++;
+  if (window_.size() == window_.capacity()) {
+    events_dropped_++;  // Push below overwrites the oldest window entry.
+  }
   window_.Push(std::move(event));
   Charge(config_.record_cost);
 }
@@ -303,6 +332,11 @@ Trace Tracer::Dump() {
   }
   dump_processing_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  FlushObsMetrics();
+  m_dumps_->Inc();
+  m_dump_ns_->Record(static_cast<uint64_t>(dump_processing_seconds_ * 1e9));
+  m_dump_bytes_->Record(trace.size() * sizeof(TraceEvent) +
+                        trace.pool().payload_bytes());
   return trace;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/os/kernel.h"
 #include "src/trace/event.h"
 #include "src/trace/ring_buffer.h"
@@ -136,11 +137,40 @@ class Tracer : public KernelObserver, public IngressTap {
   std::map<Pid, size_t> pauses_reported_;
 
   uint64_t events_seen_ = 0;
+  uint64_t events_dropped_ = 0;
   uint64_t bytes_copied_ = 0;
   uint64_t syscalls_observed_ = 0;
   uint64_t function_probe_hits_ = 0;
   SimTime virtual_overhead_ = 0;
   double dump_processing_seconds_ = 0;
+
+  // Settles the plain tallies above into the process-wide registry as
+  // deltas. Hot paths never touch the atomic counters — BENCH_obs holds the
+  // tracer's ON-vs-OFF tax under its budget because the per-event cost is a
+  // plain member increment either way; this runs only at Dump()/Detach().
+  void FlushObsMetrics();
+
+  // rose::obs self-metrics (docs/metrics.md "tracer.*"). Pointers are
+  // resolved once at construction, written only by FlushObsMetrics(), and
+  // compiled to no-ops under ROSE_OBS=OFF. Write-only: nothing here feeds
+  // back into tracing decisions.
+  struct FlushedTallies {
+    uint64_t captured = 0;
+    uint64_t dropped = 0;
+    uint64_t syscalls = 0;
+    uint64_t probe_hits = 0;
+    uint64_t bytes_copied = 0;
+  };
+  FlushedTallies flushed_;
+  Counter* m_captured_;
+  Counter* m_dropped_;
+  Counter* m_syscalls_;
+  Counter* m_probe_hits_;
+  Counter* m_bytes_copied_;
+  Counter* m_dumps_;
+  Gauge* m_occupancy_;
+  Histogram* m_dump_ns_;
+  Histogram* m_dump_bytes_;
 };
 
 }  // namespace rose

@@ -14,6 +14,7 @@
 #include "src/harness/rose.h"
 #include "src/harness/runner.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/serve/client.h"
 #include "src/serve/job_queue.h"
 #include "src/serve/protocol.h"
@@ -615,6 +616,91 @@ TEST(DiagnosisServiceTest, ScheduleStoreSurvivesRestart) {
   EXPECT_EQ(client.result(handle).schedule_yaml, first_yaml);
   EXPECT_EQ(restarted.stats().engine_runs, 0u);  // Answered purely from disk.
   std::filesystem::remove_all(dir);
+}
+
+// --- STATS (rose::obs exposure over the wire) --------------------------------
+
+TEST(ServeProtocolTest, StatsMessageRoundTrips) {
+  StatsMsg msg;
+  msg.jobs_submitted = 7;
+  msg.jobs_completed = 5;
+  msg.cache_hits = 2;
+  msg.coalesced = 1;
+  msg.rejected_queue_full = 3;
+  msg.rejected_invalid = 4;
+  msg.corrupt_frames = 6;
+  msg.engine_runs = 128;
+  msg.queued_jobs = 9;
+  msg.running_jobs = 2;
+  msg.metrics_yaml = "# rose-obs v1\ncounters:\n  x: 1\n";
+  StatsMsg decoded;
+  ASSERT_TRUE(DecodeStats(EncodeStats(msg), &decoded));
+  EXPECT_EQ(decoded.jobs_submitted, 7u);
+  EXPECT_EQ(decoded.jobs_completed, 5u);
+  EXPECT_EQ(decoded.cache_hits, 2u);
+  EXPECT_EQ(decoded.coalesced, 1u);
+  EXPECT_EQ(decoded.rejected_queue_full, 3u);
+  EXPECT_EQ(decoded.rejected_invalid, 4u);
+  EXPECT_EQ(decoded.corrupt_frames, 6u);
+  EXPECT_EQ(decoded.engine_runs, 128u);
+  EXPECT_EQ(decoded.queued_jobs, 9u);
+  EXPECT_EQ(decoded.running_jobs, 2u);
+  EXPECT_EQ(decoded.metrics_yaml, msg.metrics_yaml);
+  EXPECT_FALSE(DecodeStats("\x01", &decoded));  // Truncated payload.
+}
+
+TEST(DiagnosisServiceTest, StatsRequestAnsweredOverTheWire) {
+  const Dump dump = MakeDump("RedisRaft-42", 42);
+  // serve.* metrics live in the process-wide registry; earlier tests in this
+  // binary already pumped jobs through it. Zero it for exact-value asserts.
+  MetricRegistry::Global().Reset();
+  DiagnosisService service(ServeConfig{});
+  auto [client_end, server_end] = MakePipePair();
+  service.Attach(server_end);
+  ServeClient client(client_end);
+
+  // STATS on an idle connection answers immediately with zero job counters.
+  client.RequestStats();
+  while (!client.stats_available()) {
+    client.Poll();
+    service.Poll();
+  }
+  EXPECT_EQ(client.stats().jobs_submitted, 0u);
+  EXPECT_EQ(client.stats().running_jobs, 0u);
+  // The reply always carries a registry snapshot in the stable YAML form.
+  EXPECT_EQ(client.stats().metrics_yaml.rfind("# rose-obs v1\n", 0), 0u);
+
+  // Run a job, resubmit for a cache hit, then STATS again: the reply's
+  // counters and the serve.* metrics must both reflect the hit.
+  const uint64_t first = client.Submit(MakeSubmit("RedisRaft-42", 42, dump));
+  PumpUntilDone(client, service, first);
+  ASSERT_FALSE(client.failed(first));
+  const uint64_t second = client.Submit(MakeSubmit("RedisRaft-42", 42, dump));
+  PumpUntilDone(client, service, second);
+  EXPECT_EQ(client.accept_kind(second), AcceptKind::kCacheHit);
+
+  const uint64_t replies_before = client.stats_received();
+  client.RequestStats();
+  while (client.stats_received() == replies_before) {
+    client.Poll();
+    service.Poll();
+  }
+  const StatsMsg& stats = client.stats();
+  EXPECT_EQ(stats.jobs_submitted, 2u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.queued_jobs, 0u);
+  EXPECT_EQ(stats.running_jobs, 0u);
+#if ROSE_OBS_ENABLED
+  EXPECT_NE(stats.metrics_yaml.find("serve.cache_hits: 1"), std::string::npos)
+      << stats.metrics_yaml;
+  EXPECT_NE(stats.metrics_yaml.find("serve.submissions: 2"), std::string::npos)
+      << stats.metrics_yaml;
+#endif
+
+  // The wire reply and a direct BuildStats() agree field for field.
+  EXPECT_EQ(stats.jobs_submitted, service.BuildStats().jobs_submitted);
+  EXPECT_EQ(stats.cache_hits, service.BuildStats().cache_hits);
 }
 
 }  // namespace

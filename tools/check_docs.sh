@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Docs-drift check: docs/cli.md embeds each CLI's --help output verbatim
+# (one fenced ```text block under the tool's "## <tool>" heading). This
+# script diffs every embedded block against the live binary's --help and
+# fails on any difference, so flag changes cannot land without the manual
+# following. Registered as the `docs_drift` ctest.
+#
+# Usage: tools/check_docs.sh [build_dir]   (default: ./build)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+doc="docs/cli.md"
+tools="reproduce_bug trace_explorer lint_schedule rose_served rose_serve_cli"
+
+if [ ! -f "$doc" ]; then
+  echo "check_docs: $doc not found"
+  exit 2
+fi
+
+fail=0
+for tool in $tools; do
+  bin="$build_dir/examples/$tool"
+  if [ ! -x "$bin" ]; then
+    echo "check_docs: $bin not built (cmake --build $build_dir --target $tool)"
+    exit 2
+  fi
+  # First ```text fence under the tool's "## <tool>" heading.
+  documented="$(awk -v tool="$tool" '
+    $0 == "## `" tool "`" || $0 == "## " tool { in_section = 1; next }
+    in_section && /^## /                      { exit }
+    in_section && $0 == "```text"             { in_block = 1; next }
+    in_block && $0 == "```"                   { exit }
+    in_block                                  { print }
+  ' "$doc")"
+  if [ -z "$documented" ]; then
+    echo "check_docs: no \`\`\`text block for $tool in $doc"
+    fail=1
+    continue
+  fi
+  live="$("$bin" --help)"
+  if [ "$documented" != "$live" ]; then
+    echo "check_docs: $doc is stale for $tool (docs vs live --help):"
+    diff <(printf '%s\n' "$documented") <(printf '%s\n' "$live") | sed 's/^/  /' || true
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED — update docs/cli.md to match the binaries' --help"
+  exit 1
+fi
+echo "check_docs: docs/cli.md matches all $(echo $tools | wc -w) CLIs' --help"

@@ -4,6 +4,11 @@
 #   BENCH_diagnosis.json — parallel-diagnosis engine (bench_diagnosis_parallel)
 #   BENCH_trace_io.json  — trace text/binary serialization (bench_trace_io)
 #   BENCH_serve.json     — diagnosis service throughput/latency (bench_serve)
+#   BENCH_obs.json       — rose::obs instrumentation cost: bench_obs run from
+#                          the default tree (ROSE_OBS=ON) and from a second
+#                          -DROSE_OBS=OFF tree, merged with the per-benchmark
+#                          overhead percentage (budget: < 3% on the traced
+#                          syscall-exit hot path)
 #
 # Usage:
 #   tools/run_bench.sh [build_dir] [out_dir]
@@ -56,3 +61,67 @@ echo "wrote ${out_dir}/BENCH_trace_io.json"
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
 echo "wrote ${out_dir}/BENCH_serve.json"
+
+# --- rose::obs overhead: same benchmark binary from an ON and an OFF tree ----
+off_dir="${build_dir}-obs-off"
+if [ ! -d "$off_dir" ]; then
+  cmake -S . -B "$off_dir" -DROSE_OBS=OFF
+fi
+cmake --build "$build_dir" --target bench_obs -j "$(nproc)"
+cmake --build "$off_dir" --target bench_obs -j "$(nproc)"
+
+on_json="$(mktemp)"
+off_json="$(mktemp)"
+trap 'rm -f "$on_json" "$off_json"' EXIT
+# Repetitions matter here: the overhead is a difference of two ~140 ns
+# measurements, well inside scheduler jitter for a single run. The merge
+# below compares the min across repetitions (the classic noise floor).
+obs_reps="--benchmark_repetitions=${BENCH_OBS_REPS:-7}"
+"${build_dir}/bench/bench_obs" \
+  --benchmark_out="$on_json" --benchmark_out_format=json $obs_reps ${BENCH_ARGS:-}
+"${off_dir}/bench/bench_obs" \
+  --benchmark_out="$off_json" --benchmark_out_format=json $obs_reps ${BENCH_ARGS:-}
+
+# Merge: {"on": <run>, "off": <run>, "overhead": {name: percent}, plus the
+# headline "overhead_percent" taken from the traced syscall-exit hot path.
+ON_JSON="$on_json" OFF_JSON="$off_json" OUT_JSON="${out_dir}/BENCH_obs.json" \
+python3 - <<'EOF'
+import json, os
+
+on = json.load(open(os.environ["ON_JSON"]))
+off = json.load(open(os.environ["OFF_JSON"]))
+
+def times(run):
+    # Min across repetitions: repeated rows share a name, and the minimum is
+    # the least-noisy estimate of the true cost on a busy host.
+    best = {}
+    for b in run["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        t = b["real_time"]
+        name = b["name"]
+        if name not in best or t < best[name]:
+            best[name] = t
+    return best
+
+on_t, off_t = times(on), times(off)
+overhead = {}
+for name in sorted(on_t.keys() & off_t.keys()):
+    if off_t[name] > 0:
+        overhead[name] = round(100.0 * (on_t[name] - off_t[name]) / off_t[name], 2)
+
+merged = {
+    "on": on,
+    "off": off,
+    "overhead": overhead,
+    # The acceptance number: instrumentation tax on the tracer hot path.
+    "overhead_percent": overhead.get("BM_TracedSyscallExit"),
+    "budget_percent": 3.0,
+}
+with open(os.environ["OUT_JSON"], "w") as f:
+    json.dump(merged, f, indent=1)
+print("obs overhead by benchmark (percent):")
+for name, pct in overhead.items():
+    print(f"  {name:28s} {pct:+6.2f}%")
+EOF
+echo "wrote ${out_dir}/BENCH_obs.json"
