@@ -9,14 +9,18 @@
 //   ./build/examples/lint_schedule schedule.yaml
 //   ./build/examples/lint_schedule --demo          # lint a deliberately broken schedule
 //   ./build/examples/lint_schedule --trace FILE    # validate a saved trace instead
+//   ./build/examples/lint_schedule schedule.yaml --against trace.bin
 //   cat schedule.yaml | ./build/examples/lint_schedule
 //
 // --trace runs rose::analyze's TraceValidator over a trace dump (binary or
-// text, auto-detected); load-time diagnostics (bad magic, corrupt frames)
-// count as findings too.
+// text, auto-detected). --against TRACE additionally checks the schedule's
+// enforced injection order against the trace's happens-before order
+// (rose::causal) and prints the feasibility verdict.
 //
-// Exit codes: 0 clean (warnings allowed), 1 error-severity findings,
-// 2 unreadable/unparseable input.
+// Exit codes: 0 clean (warnings allowed), 1 error-severity lint or
+// feasibility findings, 2 input failure — unreadable or unparseable files,
+// including TB2xx container damage. Scripts can rely on the distinction:
+// 1 means the input was read and judged bad, 2 means it could not be judged.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,8 @@
 
 #include "src/analyze/schedule_linter.h"
 #include "src/analyze/trace_validator.h"
+#include "src/causal/causal_graph.h"
+#include "src/causal/feasibility.h"
 #include "src/common/strings.h"
 #include "src/obs/trace_report.h"
 #include "src/trace/trace_io.h"
@@ -35,7 +41,7 @@ namespace {
 // Canonical --help text, diffed verbatim against docs/cli.md by the
 // docs_drift ctest (tools/check_docs.sh); keep the two in sync.
 constexpr char kHelp[] =
-    R"(usage: lint_schedule [schedule.yaml|-]
+    R"(usage: lint_schedule [schedule.yaml|-] [--against TRACE]
        lint_schedule --demo
        lint_schedule --trace FILE
 
@@ -47,15 +53,20 @@ schedule's canonical form and equivalence hash. Reads stdin when no file
 is given (or the file is -).
 
 flags:
-  --demo         lint a deliberately broken built-in schedule
-  --trace FILE   validate a saved trace dump instead (binary or text,
-                 auto-detected) with the TraceValidator; window statistics
-                 are rendered from the rose::obs registry, and load-time
-                 diagnostics (bad magic, corrupt frames) count as findings
-  --help         show this help and exit
+  --demo          lint a deliberately broken built-in schedule
+  --trace FILE    validate a saved trace dump instead (binary or text,
+                  auto-detected) with the TraceValidator; window statistics
+                  are rendered from the rose::obs registry
+  --against TRACE additionally check the schedule's enforced injection
+                  order against TRACE's happens-before order (rose::causal)
+                  and print the feasibility verdict: feasible, infeasible
+                  (TB301 — the trace contradicts the order), or unordered
+                  (TB302 — some fault matches no trace event)
+  --help          show this help and exit
 
-exit status: 0 clean (warnings allowed), 1 error-severity findings,
-2 unreadable/unparseable input.
+exit status: 0 clean (warnings allowed), 1 error-severity lint or
+feasibility findings, 2 input failure (unreadable or unparseable files,
+including TB2xx container damage).
 )";
 
 rose::FaultSchedule DemoSchedule() {
@@ -104,9 +115,9 @@ rose::FaultSchedule DemoSchedule() {
 }
 
 int LintTrace(const char* path) {
-  std::vector<rose::Diagnostic> diags;
-  const rose::Trace trace = rose::LoadTraceFile(path, &diags);
-  if (!rose::OfCode(diags, rose::DiagCode::kTraceFileUnreadable).empty()) {
+  std::vector<rose::Diagnostic> load_diags;
+  const rose::Trace trace = rose::LoadTraceFile(path, &load_diags);
+  if (!rose::OfCode(load_diags, rose::DiagCode::kTraceFileUnreadable).empty()) {
     std::fprintf(stderr, "lint_schedule: cannot open %s\n", path);
     return 2;
   }
@@ -117,6 +128,7 @@ int LintTrace(const char* path) {
                                            /*with_encoded_sizes=*/false)
                         .c_str());
 
+  std::vector<rose::Diagnostic> diags = load_diags;
   const std::vector<rose::Diagnostic> validation = rose::TraceValidator().Validate(trace);
   diags.insert(diags.end(), validation.begin(), validation.end());
   if (diags.empty()) {
@@ -127,28 +139,43 @@ int LintTrace(const char* path) {
   for (const rose::Diagnostic& diag : diags) {
     std::printf("  %s\n", diag.ToString().c_str());
   }
+  // Container damage (TB2xx) means the input itself could not be trusted —
+  // an I/O failure (2), not a lint verdict on well-read events (1).
+  if (rose::HasErrors(load_diags)) {
+    return 2;
+  }
   return rose::HasErrors(diags) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
-    std::fputs(kHelp, stdout);
-    return 0;
-  }
-  if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
-    return LintTrace(argv[2]);
+  const char* schedule_arg = nullptr;
+  const char* against_path = nullptr;
+  bool demo = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      return LintTrace(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--against") == 0 && i + 1 < argc) {
+      against_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      schedule_arg = argv[i];
+    }
   }
   rose::FaultSchedule schedule;
-  if (argc > 1 && std::strcmp(argv[1], "--demo") == 0) {
+  if (demo) {
     schedule = DemoSchedule();
   } else {
     std::string text;
-    if (argc > 1 && std::strcmp(argv[1], "-") != 0) {
-      std::ifstream in(argv[1]);
+    if (schedule_arg != nullptr && std::strcmp(schedule_arg, "-") != 0) {
+      std::ifstream in(schedule_arg);
       if (!in) {
-        std::fprintf(stderr, "lint_schedule: cannot open %s\n", argv[1]);
+        std::fprintf(stderr, "lint_schedule: cannot open %s\n", schedule_arg);
         return 2;
       }
       std::ostringstream buf;
@@ -177,14 +204,44 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<rose::Diagnostic> diags = rose::ScheduleLinter().Lint(schedule);
+  std::vector<rose::Diagnostic> diags = rose::ScheduleLinter().Lint(schedule);
   if (diags.empty()) {
     std::printf("\nno findings: schedule is statically satisfiable.\n");
-    return 0;
+  } else {
+    std::printf("\n%zu finding(s):\n", diags.size());
+    for (const rose::Diagnostic& diag : diags) {
+      std::printf("  %s\n", diag.ToString().c_str());
+    }
   }
-  std::printf("\n%zu finding(s):\n", diags.size());
-  for (const rose::Diagnostic& diag : diags) {
-    std::printf("  %s\n", diag.ToString().c_str());
+
+  if (against_path != nullptr) {
+    std::vector<rose::Diagnostic> load_diags;
+    const rose::Trace trace = rose::LoadTraceFile(against_path, &load_diags);
+    if (rose::HasErrors(load_diags)) {
+      std::fprintf(stderr, "lint_schedule: cannot read trace %s: %s\n", against_path,
+                   load_diags.front().ToString().c_str());
+      return 2;
+    }
+    const rose::CausalGraph causal(trace);
+    const rose::FeasibilityChecker checker(&causal, trace);
+    const rose::FeasibilityReport report = checker.Check(schedule);
+    std::printf("\nfeasibility against %s (%zu events, %zu fault events): %s%s\n",
+                against_path, trace.size(), causal.fault_events().size(),
+                std::string(rose::FeasibilityVerdictName(report.verdict)).c_str(),
+                report.canonical_order ? "" : ", non-canonical commuting order");
+    for (size_t i = 0; i < report.mapped_events.size(); i++) {
+      if (report.mapped_events[i] >= 0) {
+        const auto event = static_cast<size_t>(report.mapped_events[i]);
+        std::printf("  fault %zu -> trace event %zu: %s\n", i, event,
+                    trace.events()[event].ToLine(trace.pool()).c_str());
+      } else {
+        std::printf("  fault %zu -> no matching trace event\n", i);
+      }
+    }
+    for (const rose::Diagnostic& diag : report.diagnostics) {
+      std::printf("  %s\n", diag.ToString().c_str());
+    }
+    diags.insert(diags.end(), report.diagnostics.begin(), report.diagnostics.end());
   }
   return rose::HasErrors(diags) ? 1 : 0;
 }

@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "src/analyze/trace_validator.h"
+#include "src/causal/causal_graph.h"
+#include "src/causal/feasibility.h"
 #include "src/diagnose/extract.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
@@ -67,6 +69,11 @@ flags:
                     (events by kind and node, occupancy, pool, sizes)
   --stats-out FILE  write the rose::obs metrics snapshot (YAML) to FILE
                     (see docs/metrics.md)
+  --causal          print the happens-before analysis (rose::causal): chain
+                    and edge statistics, the fault-event order matrix
+                    ('<' row happens-before column, '>' the converse, '.'
+                    concurrent), commutative fault pairs, and any TB303
+                    causal-consistency findings
   --help            show this help and exit
 
 exit status: 0 on success; 1 when a loaded file carries error-severity
@@ -83,6 +90,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> merge_paths;
   bool merging = false;
   bool want_stats = false;
+  bool want_causal = false;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--help") == 0) {
       std::fputs(kHelp, stdout);
@@ -97,6 +105,9 @@ int main(int argc, char** argv) {
       merging = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       want_stats = true;
+      merging = false;
+    } else if (std::strcmp(argv[i], "--causal") == 0) {
+      want_causal = true;
       merging = false;
     } else if (std::strcmp(argv[i], "--stats-out") == 0 && i + 1 < argc) {
       stats_out = argv[++i];
@@ -218,6 +229,57 @@ int main(int argc, char** argv) {
               extraction.fr_percent, extraction.faults.size());
   for (const rose::CandidateFault& fault : extraction.faults) {
     std::printf("  t=%.3fs  %s\n", rose::ToSeconds(fault.ts), fault.Label().c_str());
+  }
+
+  if (want_causal) {
+    std::printf("\n--- happens-before analysis (rose::causal) ---\n");
+    const rose::CausalGraph causal(trace);
+    int edge_kinds[4] = {0, 0, 0, 0};
+    for (const rose::CausalEdge& edge : causal.edges()) {
+      edge_kinds[static_cast<int>(edge.kind)]++;
+    }
+    std::printf("%zu events across %zu causal chains; %zu cross-chain edges "
+                "(fd-order=%d crash-barrier=%d restart-barrier=%d send-receive=%d)\n",
+                causal.size(), causal.chain_count(), causal.edges().size(), edge_kinds[0],
+                edge_kinds[1], edge_kinds[2], edge_kinds[3]);
+    for (const rose::Diagnostic& diag : causal.diagnostics()) {
+      std::printf("  %s\n", diag.ToString().c_str());
+    }
+
+    const std::vector<uint32_t>& faults = causal.fault_events();
+    // The matrix is quadratic in rows; past 16 fault events it stops being
+    // readable anyway, so larger summaries are truncated with a note.
+    constexpr size_t kMatrixCap = 16;
+    const size_t shown = faults.size() < kMatrixCap ? faults.size() : kMatrixCap;
+    std::printf("fault-event order matrix (%zu of %zu fault events; "
+                "'<' row happens-before column, '>' converse, '.' concurrent):\n",
+                shown, faults.size());
+    for (size_t row = 0; row < shown; row++) {
+      std::string cells;
+      for (size_t col = 0; col < shown; col++) {
+        if (row == col) {
+          cells += ' ';
+        } else {
+          const int order = causal.FaultOrder(row, col);
+          cells += order < 0 ? '<' : order > 0 ? '>' : '.';
+        }
+      }
+      const rose::TraceEvent& event = trace.events()[faults[row]];
+      std::printf("  F%-2zu |%s|  %s\n", row, cells.c_str(),
+                  event.ToLine(trace.pool()).c_str());
+    }
+
+    const rose::FeasibilityChecker checker(&causal, trace);
+    const auto pairs = checker.CommutativePairs();
+    std::printf("%zu commutative pair(s) — concurrent and disjoint in scope, so "
+                "either injection order explores the same class:\n", pairs.size());
+    constexpr size_t kPairCap = 20;
+    for (size_t i = 0; i < pairs.size() && i < kPairCap; i++) {
+      std::printf("  F%u <-> F%u\n", pairs[i].first, pairs[i].second);
+    }
+    if (pairs.size() > kPairCap) {
+      std::printf("  ... and %zu more\n", pairs.size() - kPairCap);
+    }
   }
 
   if (want_stats) {

@@ -66,6 +66,14 @@ std::string_view DiagCodeName(DiagCode code) {
       return "TB205";
     case DiagCode::kTraceFileUnreadable:
       return "TB206";
+    case DiagCode::kCausalOrderViolation:
+      return "TB301";
+    case DiagCode::kCausalUnmatchedFault:
+      return "TB302";
+    case DiagCode::kCausalInconsistentTrace:
+      return "TB303";
+    case DiagCode::kCausalCommutedOrder:
+      return "TB304";
   }
   return "??";
 }

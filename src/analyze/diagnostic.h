@@ -56,6 +56,11 @@ enum class DiagCode : int16_t {
   kCorruptTraceFrame,       // TB204: frame payload fails its CRC32.
   kMalformedTraceFrame,     // TB205: frame payload does not decode.
   kTraceFileUnreadable,     // TB206: trace file missing or not readable.
+  // --- Causal feasibility (TB3xx, src/causal) ---
+  kCausalOrderViolation,    // TB301: schedule order contradicts the trace's happens-before order.
+  kCausalUnmatchedFault,    // TB302: schedule fault matches no fault event in the trace.
+  kCausalInconsistentTrace, // TB303: trace contradicts the causal model (pid on two nodes, ...).
+  kCausalCommutedOrder,     // TB304: commuting concurrent faults in non-canonical order.
 };
 
 // Stable short form, e.g. "SL001" / "TV103" — what tests assert against and

@@ -1,0 +1,289 @@
+#include "src/causal/causal_graph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
+
+namespace rose {
+namespace {
+
+// Chain key: pid for pid-carrying events, a node-tagged pseudo-chain for
+// pid-less ones (ND taps). Keys never collide: pids are >= 0, node keys < 0.
+int64_t ChainKeyOf(const TraceEvent& event) {
+  Pid pid = kNoPid;
+  switch (event.type) {
+    case EventType::kSCF:
+      pid = event.scf().pid;
+      break;
+    case EventType::kAF:
+      pid = event.af().pid;
+      break;
+    case EventType::kPS:
+      pid = event.ps().pid;
+      break;
+    case EventType::kND:
+      break;
+  }
+  if (pid >= 0) {
+    return pid;
+  }
+  return -static_cast<int64_t>(event.node) - 2;  // kNoNode (-1) maps to -1.
+}
+
+// Memory guard for the flattened clocks: past this many entries (0.5 GiB)
+// the graph degrades to consistency-checking only.
+constexpr size_t kMaxClockEntries = size_t{1} << 27;
+
+}  // namespace
+
+std::string_view CausalEdgeKindName(CausalEdge::Kind kind) {
+  switch (kind) {
+    case CausalEdge::Kind::kFdOrder:
+      return "fd-order";
+    case CausalEdge::Kind::kCrashBarrier:
+      return "crash-barrier";
+    case CausalEdge::Kind::kRestartBarrier:
+      return "restart-barrier";
+    case CausalEdge::Kind::kSendReceive:
+      return "send-receive";
+  }
+  return "?";
+}
+
+CausalGraph::CausalGraph(TraceView trace, CausalOptions options) {
+  size_ = trace.size();
+  clocks_ = options.vector_clocks;
+  Prescan(trace);
+  if (clocks_ && size_ * chain_count_ > kMaxClockEntries) {
+    clocks_ = false;
+  }
+  Build(trace);
+
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("causal.graph_builds")->Inc();
+  reg.GetCounter("causal.graph_events")->Inc(size_);
+  reg.GetCounter("causal.graph_edges")->Inc(edges_.size());
+  reg.GetCounter("causal.graph_inconsistencies")->Inc(diagnostics_.size());
+}
+
+void CausalGraph::AddInconsistency(size_t event, std::string message, std::string hint) {
+  Diagnostic diag;
+  diag.code = DiagCode::kCausalInconsistentTrace;
+  diag.severity = Severity::kError;
+  diag.event_index = static_cast<int32_t>(event);
+  diag.message = std::move(message);
+  diag.hint = std::move(hint);
+  diagnostics_.push_back(std::move(diag));
+}
+
+void CausalGraph::Prescan(TraceView trace) {
+  chain_of_.resize(size_);
+  position_.resize(size_);
+  std::map<int64_t, uint32_t> chain_len;
+  std::map<Pid, NodeId> pid_node;
+  std::map<Pid, std::pair<uint32_t, SimTime>> crashed;  // pid -> (crash event, ts).
+
+  for (size_t i = 0; i < size_; i++) {
+    const TraceEvent& event = trace[i];
+    const int64_t key = ChainKeyOf(event);
+    auto [it, inserted] = chain_ids_.try_emplace(key, static_cast<uint32_t>(chain_ids_.size()));
+    chain_of_[i] = it->second;
+    position_[i] = ++chain_len[key];
+
+    if (event.node != kNoNode) {
+      NodeEvents& bucket = per_node_[event.node];
+      bucket.ts.push_back(event.ts);
+      bucket.events.push_back(static_cast<uint32_t>(i));
+    }
+
+    if (key >= 0) {  // pid-carrying event: attribution + zombie checks.
+      const Pid pid = static_cast<Pid>(key);
+      auto [node_it, fresh] = pid_node.try_emplace(pid, event.node);
+      if (!fresh && node_it->second != event.node) {
+        AddInconsistency(i,
+                         StrFormat("pid %d attributed to node %d after node %d", pid, event.node,
+                                   node_it->second),
+                         "one process cannot run on two hosts; the merge mixed traces of "
+                         "different runs");
+      }
+      if (auto crash = crashed.find(pid); crash != crashed.end() &&
+                                          event.ts > crash->second.second) {
+        AddInconsistency(i,
+                         StrFormat("pid %d has events after its crash (event #%u)", pid,
+                                   crash->second.first),
+                         "a crashed process cannot execute; restarts spawn a new pid");
+      }
+      if (event.type == EventType::kPS && event.ps().state == ProcState::kCrashed) {
+        crashed.try_emplace(pid, std::pair{static_cast<uint32_t>(i), event.ts});
+      }
+    }
+
+    if (event.type == EventType::kND) {
+      // ND events are attributed to the node of dst_ip — that teaches the
+      // graph the ip->node map the tracer kernel used.
+      const std::string dst(trace.str(event.nd().dst_ip));
+      auto [ip_it, fresh] = ip_to_node_.try_emplace(dst, event.node);
+      if (!fresh && ip_it->second != event.node) {
+        AddInconsistency(
+            i, StrFormat("ip %s attributed to node %d after node %d", dst.c_str(), event.node,
+                         ip_it->second),
+            "one address cannot belong to two hosts; the merge mixed incompatible traces");
+      }
+    }
+
+    // Fault-shaped events: what extraction mines and schedules replay.
+    switch (event.type) {
+      case EventType::kSCF:
+        if (event.scf().err != Err::kOk) {
+          fault_events_.push_back(static_cast<uint32_t>(i));
+        }
+        break;
+      case EventType::kND:
+      case EventType::kPS:
+        fault_events_.push_back(static_cast<uint32_t>(i));
+        break;
+      case EventType::kAF:
+        break;
+    }
+  }
+  chain_count_ = chain_ids_.size();
+}
+
+void CausalGraph::Build(TraceView trace) {
+  if (clocks_) {
+    vcs_.assign(size_ * chain_count_, 0);
+  }
+  // Per-chain last event (program-order predecessor), globally and per node
+  // (crash-barrier sources).
+  std::vector<int64_t> chain_last(chain_count_, -1);
+  std::map<NodeId, std::map<uint32_t, uint32_t>> node_chain_last;
+  std::map<NodeId, uint32_t> node_last_crash;
+  std::map<std::pair<NodeId, int32_t>, uint32_t> fd_last;
+
+  // Scratch list of this event's direct causal predecessors.
+  std::vector<uint32_t> preds;
+
+  for (size_t i = 0; i < size_; i++) {
+    const TraceEvent& event = trace[i];
+    const uint32_t chain = chain_of_[i];
+    preds.clear();
+    if (chain_last[chain] >= 0) {
+      preds.push_back(static_cast<uint32_t>(chain_last[chain]));
+    }
+
+    // Restart barrier: the first event of a chain born on a node after a
+    // crash there happens after the crash (supervisor restart).
+    if (position_[i] == 1 && event.node != kNoNode) {
+      if (auto it = node_last_crash.find(event.node); it != node_last_crash.end()) {
+        edges_.push_back(CausalEdge{it->second, static_cast<uint32_t>(i),
+                                    CausalEdge::Kind::kRestartBarrier});
+        preds.push_back(it->second);
+      }
+    }
+
+    switch (event.type) {
+      case EventType::kSCF: {
+        const int32_t fd = event.scf().fd;
+        if (fd >= 0) {
+          const auto key = std::pair{event.node, fd};
+          if (auto it = fd_last.find(key);
+              it != fd_last.end() && chain_of_[it->second] != chain) {
+            edges_.push_back(
+                CausalEdge{it->second, static_cast<uint32_t>(i), CausalEdge::Kind::kFdOrder});
+            preds.push_back(it->second);
+          }
+          fd_last[key] = static_cast<uint32_t>(i);
+        }
+        break;
+      }
+      case EventType::kPS: {
+        if (event.ps().state == ProcState::kCrashed && event.node != kNoNode) {
+          // Crash barrier: everything the node's tracer recorded before the
+          // crash precedes it.
+          for (const auto& [other_chain, last] : node_chain_last[event.node]) {
+            if (other_chain == chain) {
+              continue;  // Program order already covers the crash's own chain.
+            }
+            edges_.push_back(
+                CausalEdge{last, static_cast<uint32_t>(i), CausalEdge::Kind::kCrashBarrier});
+            preds.push_back(last);
+          }
+          node_last_crash[event.node] = static_cast<uint32_t>(i);
+        }
+        break;
+      }
+      case EventType::kND: {
+        const NdInfo& nd = event.nd();
+        const auto src_it = ip_to_node_.find(trace.str(nd.src_ip));
+        if (src_it != ip_to_node_.end() && src_it->second != event.node && nd.duration > 0) {
+          // Packets flowed from the source until the silence began: the
+          // sender's last event at or before silence-start precedes this
+          // observation.
+          const SimTime silence_start = event.ts - nd.duration;
+          if (auto bucket = per_node_.find(src_it->second); bucket != per_node_.end()) {
+            const auto& ts = bucket->second.ts;
+            const auto upper = std::upper_bound(ts.begin(), ts.end(), silence_start);
+            if (upper != ts.begin()) {
+              const size_t pos = static_cast<size_t>((upper - ts.begin()) - 1);
+              const uint32_t src_event = bucket->second.events[pos];
+              edges_.push_back(CausalEdge{src_event, static_cast<uint32_t>(i),
+                                          CausalEdge::Kind::kSendReceive});
+              preds.push_back(src_event);
+            }
+          }
+        }
+        break;
+      }
+      case EventType::kAF:
+        break;
+    }
+
+    if (clocks_) {
+      uint32_t* vc = &vcs_[i * chain_count_];
+      for (const uint32_t pred : preds) {
+        const uint32_t* pvc = &vcs_[static_cast<size_t>(pred) * chain_count_];
+        for (size_t c = 0; c < chain_count_; c++) {
+          vc[c] = std::max(vc[c], pvc[c]);
+        }
+      }
+      vc[chain] = position_[i];
+    }
+
+    chain_last[chain] = static_cast<int64_t>(i);
+    if (event.node != kNoNode) {
+      node_chain_last[event.node][chain] = static_cast<uint32_t>(i);
+    }
+  }
+}
+
+bool CausalGraph::HappensBefore(size_t a, size_t b) const {
+  if (!clocks_ || a == b || a >= size_ || b >= size_) {
+    return false;
+  }
+  return vcs_[b * chain_count_ + chain_of_[a]] >= position_[a];
+}
+
+int CausalGraph::FaultOrder(size_t fa, size_t fb) const {
+  const size_t a = fault_events_[fa];
+  const size_t b = fault_events_[fb];
+  if (HappensBefore(a, b)) {
+    return -1;
+  }
+  if (HappensBefore(b, a)) {
+    return 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> CausalGraph::ClockOf(size_t event) const {
+  if (!clocks_ || event >= size_) {
+    return {};
+  }
+  return std::vector<uint32_t>(vcs_.begin() + static_cast<int64_t>(event * chain_count_),
+                               vcs_.begin() + static_cast<int64_t>((event + 1) * chain_count_));
+}
+
+}  // namespace rose

@@ -1,0 +1,135 @@
+// Happens-before analysis over merged production traces (DESIGN.md §12).
+//
+// A black-box RTRC trace fixes a partial order between its events even
+// though Rose never instruments guest internals: every event carries the
+// node-local timestamp of one tracer, and four event properties induce
+// causal edges that survive re-execution:
+//
+//   program order  — events of one pid, in trace order: one process, one
+//                    monotonic clock.
+//   fd order       — SCF events on the same (node, fd): operations on one
+//                    open file description are serialized by the kernel,
+//                    across fork/dup sharing.
+//   crash barrier  — a PS crash on node n is observed by n's tracer after
+//                    everything it already recorded on n (same host, same
+//                    clock), and before the first event of any process that
+//                    first appears on n afterwards (the supervisor restarts
+//                    the guest only once the old incarnation is gone).
+//   send/receive   — an ND event is the receiver-side tap noticing silence
+//                    from src_ip: packets flowed until the silence began, so
+//                    the sender's last event before the silence started
+//                    happens-before the observation at the receiver. These
+//                    are the only cross-node edges — exactly the
+//                    communication the taps actually saw.
+//
+// The graph is built in one pass over a timestamp-ordered TraceView (plus a
+// light prescan that learns the ip->node map from ND attributions and
+// buckets events per node). Each event belongs to a chain (its pid, or a
+// per-node pseudo-chain for pid-less ND events) and gets a vector clock over
+// chains; HappensBefore(a, b) is then one O(1) clock comparison. Fault
+// events (failed SCFs, ND, PS) are indexed separately so the diagnosis
+// engine's FeasibilityChecker and `trace_explorer --causal` can reason
+// about the fault-only suborder without touching the full event set.
+//
+// Construction also cross-checks the causal model itself and reports
+// contradictions as TB303 diagnostics (a pid attributed to two nodes, an ip
+// resolving to two nodes, events from a pid after its crash): a trace that
+// violates them cannot have come from one consistent production run, and
+// the serve daemon rejects it at admission.
+#ifndef SRC_CAUSAL_CAUSAL_GRAPH_H_
+#define SRC_CAUSAL_CAUSAL_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analyze/diagnostic.h"
+#include "src/trace/event.h"
+
+namespace rose {
+
+// One causal edge between event indices of the viewed trace. Program-order
+// edges within a chain are implicit (consecutive chain positions); the
+// edges stored here are the cross-chain ones.
+struct CausalEdge {
+  enum class Kind : int8_t { kFdOrder = 0, kCrashBarrier, kRestartBarrier, kSendReceive };
+  uint32_t from = 0;
+  uint32_t to = 0;
+  Kind kind = Kind::kFdOrder;
+};
+
+std::string_view CausalEdgeKindName(CausalEdge::Kind kind);
+
+struct CausalOptions {
+  // Per-event vector clocks cost O(events * chains) memory. Consumers that
+  // only need the build-time consistency checks (serve admission) switch
+  // them off; HappensBefore then answers false for everything.
+  bool vector_clocks = true;
+};
+
+class CausalGraph {
+ public:
+  CausalGraph() = default;
+  explicit CausalGraph(TraceView trace, CausalOptions options = CausalOptions{});
+
+  size_t size() const { return size_; }
+  size_t chain_count() const { return chain_count_; }
+  const std::vector<CausalEdge>& edges() const { return edges_; }
+
+  // Strict happens-before between event indices: a causal path of program
+  // order and stored edges leads from `a` to `b`. Irreflexive, transitive,
+  // antisymmetric. False whenever the graph was built without vector clocks.
+  bool HappensBefore(size_t a, size_t b) const;
+  // Neither HappensBefore(a, b) nor HappensBefore(b, a).
+  bool Concurrent(size_t a, size_t b) const { return !HappensBefore(a, b) && !HappensBefore(b, a); }
+
+  // Indices of fault-shaped events (failed SCFs, ND, PS), in trace order —
+  // the compressed summary the feasibility checker reasons over.
+  const std::vector<uint32_t>& fault_events() const { return fault_events_; }
+  // Pairwise order of fault_events()[fa] vs fault_events()[fb]:
+  // -1 happens-before, +1 happens-after, 0 concurrent.
+  int FaultOrder(size_t fa, size_t fb) const;
+
+  // TB303 records for model contradictions found during the build.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool consistent() const { return !HasErrors(diagnostics_); }
+
+  // The chain an event was assigned to and its 1-based position within it
+  // (test/CLI introspection).
+  uint32_t ChainOf(size_t event) const { return chain_of_[event]; }
+  uint32_t PositionInChain(size_t event) const { return position_[event]; }
+  // Vector clock of one event (empty when clocks are disabled).
+  std::vector<uint32_t> ClockOf(size_t event) const;
+
+ private:
+  void Prescan(TraceView trace);
+  void Build(TraceView trace);
+  void AddInconsistency(size_t event, std::string message, std::string hint);
+
+  size_t size_ = 0;
+  size_t chain_count_ = 0;
+  bool clocks_ = false;
+  std::vector<CausalEdge> edges_;
+  std::vector<uint32_t> fault_events_;
+  std::vector<Diagnostic> diagnostics_;
+
+  // Per-event chain id and 1-based chain position.
+  std::vector<uint32_t> chain_of_;
+  std::vector<uint32_t> position_;
+  // Flattened per-event clocks: vcs_[event * chain_count_ + chain].
+  std::vector<uint32_t> vcs_;
+
+  // Prescan products.
+  std::map<int64_t, uint32_t> chain_ids_;        // pid (>=0) / ~node (ND) -> chain.
+  std::map<std::string, NodeId, std::less<>> ip_to_node_;
+  struct NodeEvents {
+    std::vector<SimTime> ts;       // Non-decreasing (trace order).
+    std::vector<uint32_t> events;  // Parallel to `ts`.
+  };
+  std::map<NodeId, NodeEvents> per_node_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_CAUSAL_CAUSAL_GRAPH_H_

@@ -1,0 +1,88 @@
+// Static feasibility of fault schedules against a production trace's
+// happens-before order (DESIGN.md §12).
+//
+// A schedule's after_fault conditions enforce an injection order. The
+// production trace already fixes a partial order between the fault events a
+// schedule replays (CausalGraph): an enforced order that contradicts it —
+// demanding fault B fire before fault A when the trace proves A's event
+// happens-before B's — can never recreate the production failure path, so
+// replaying it is wasted work. The checker classifies schedules as:
+//
+//   feasible   — every fault maps to a trace fault event and the enforced
+//                order embeds into the happens-before order;
+//   infeasible — the enforced order contradicts happens-before (TB301);
+//   unordered  — some fault matches no trace event (TB302), so the trace
+//                neither supports nor refutes the order. Never pruned on.
+//
+// It also detects commutative fault pairs — concurrent in happens-before
+// AND disjoint in scope (different target nodes, not both partitions) — and
+// flags schedules that order such a pair against its trace order (TB304):
+// the order-swapped schedule explores the same equivalence class, so
+// Level-1 permutation enumeration keeps only the trace-ordered
+// representative of each class (a Mazurkiewicz-trace normal form under
+// adjacent commutation).
+#ifndef SRC_CAUSAL_FEASIBILITY_H_
+#define SRC_CAUSAL_FEASIBILITY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/causal/causal_graph.h"
+#include "src/schedule/fault_schedule.h"
+#include "src/trace/event.h"
+
+namespace rose {
+
+enum class FeasibilityVerdict : int8_t { kFeasible = 0, kInfeasible, kUnordered };
+
+std::string_view FeasibilityVerdictName(FeasibilityVerdict verdict);
+
+struct FeasibilityReport {
+  FeasibilityVerdict verdict = FeasibilityVerdict::kFeasible;
+  // False when an adjacent enforced pair of commuting faults appears in the
+  // inverse of its trace order — the schedule is a non-representative member
+  // of its commutation class.
+  bool canonical_order = true;
+  // TB301 (error) order violations, TB302 (warning) unmatched faults,
+  // TB304 (warning) non-canonical commuting order.
+  std::vector<Diagnostic> diagnostics;
+  // Per schedule fault: the trace event index it was matched to, or -1.
+  std::vector<int32_t> mapped_events;
+};
+
+class FeasibilityChecker {
+ public:
+  FeasibilityChecker() = default;
+  // Both the graph and the viewed trace must outlive the checker; the view
+  // must be the one the graph was built from.
+  FeasibilityChecker(const CausalGraph* graph, TraceView trace)
+      : graph_(graph), trace_(trace) {}
+
+  bool valid() const { return graph_ != nullptr; }
+
+  // Classifies `schedule` against the graph. Pure: same schedule, same
+  // report.
+  FeasibilityReport Check(const FaultSchedule& schedule) const;
+
+  // Commutative pair: concurrent in happens-before and disjoint in scope.
+  // Exchanging the injection order of such a pair explores the same class
+  // of executions. `a` and `b` are trace event indices.
+  bool Commute(uint32_t a, uint32_t b) const;
+
+  // All commutative pairs among the graph's fault events, as (position,
+  // position) into CausalGraph::fault_events(), ordered.
+  std::vector<std::pair<uint32_t, uint32_t>> CommutativePairs() const;
+
+ private:
+  // Matches one scheduled fault to an unused trace fault event; -1 if none.
+  int32_t MatchFault(const ScheduledFault& fault, std::vector<bool>* used) const;
+
+  const CausalGraph* graph_ = nullptr;
+  TraceView trace_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_CAUSAL_FEASIBILITY_H_

@@ -21,7 +21,9 @@ DiagnosisEngine::DiagnosisEngine(TraceView production, const Profile* profile,
                                  DiagnosisConfig config)
     : production_(production), profile_(profile), binary_(binary),
       runner_(std::move(runner)), config_(std::move(config)),
-      production_index_(production) {
+      production_index_(production), causal_(production),
+      level2_cap_(config_.level2_budget), level3_cap_(config_.max_schedules) {
+  feasibility_ = FeasibilityChecker(&causal_, production_);
   ExtractOptions options;
   options.use_benign_filter = config_.use_benign_filter;
   extraction_ = ExtractFaults(production_, *profile_, options);
@@ -47,6 +49,8 @@ DiagnosisEngine::DiagnosisEngine(TraceView production, const Profile* profile,
   metrics_.candidates_generated = reg.GetCounter("engine.candidates_generated");
   metrics_.pruned_invalid = reg.GetCounter("engine.candidates_pruned_invalid");
   metrics_.pruned_duplicate = reg.GetCounter("engine.candidates_pruned_duplicate");
+  metrics_.causal_infeasible = reg.GetCounter("engine.causal_pruned_infeasible");
+  metrics_.causal_commuted = reg.GetCounter("engine.causal_pruned_commuted");
   metrics_.confirmed = reg.GetCounter("engine.candidates_confirmed");
   metrics_.runs = reg.GetCounter("engine.runs");
   metrics_.speculation_misses = reg.GetCounter("engine.speculation_misses");
@@ -56,9 +60,11 @@ DiagnosisEngine::DiagnosisEngine(TraceView production, const Profile* profile,
     const std::string prefix = "engine.level" + std::to_string(level);
     metrics_.level_candidates[level] = reg.GetCounter(prefix + ".candidates");
     metrics_.level_confirmed[level] = reg.GetCounter(prefix + ".confirmed");
+    metrics_.level_causal_pruned[level] = reg.GetCounter(prefix + ".causal_pruned");
   }
   metrics_.level_candidates[0] = nullptr;  // Levels are 1..3; guarded at use.
   metrics_.level_confirmed[0] = nullptr;
+  metrics_.level_causal_pruned[0] = nullptr;
   metrics_.wave_ns = reg.GetHistogram("engine.wave_ns");
   metrics_.confirm_ns = reg.GetHistogram("engine.confirm_ns");
 }
@@ -171,7 +177,8 @@ double DiagnosisEngine::ConfirmBug(const FaultSchedule& schedule, DiagnosisResul
 }
 
 DiagnosisEngine::PlannedProbe DiagnosisEngine::PlanProbe(
-    FaultSchedule schedule, bool allow_duplicate, std::map<uint64_t, uint32_t>* local_counts) {
+    FaultSchedule schedule, bool allow_duplicate, bool causal_prune,
+    std::map<uint64_t, uint32_t>* local_counts) {
   // Static pruning: a candidate that cannot fire as intended, or that is
   // canonically identical to one already executed, never reaches the runner.
   PlannedProbe probe;
@@ -179,6 +186,16 @@ DiagnosisEngine::PlannedProbe DiagnosisEngine::PlanProbe(
   if (HasErrors(linter_.Lint(probe.schedule))) {
     probe.action = PlannedProbe::Action::kPruneInvalid;
     return probe;
+  }
+  if (causal_prune && feasibility_.valid()) {
+    // Happens-before pruning (DESIGN.md §12), before the hash/dedup step so
+    // rejected candidates leave no mark on the dedup or seed state — the
+    // pruned and unpruned engines stay byte-identical downstream.
+    const FeasibilityReport report = feasibility_.Check(probe.schedule);
+    if (report.verdict == FeasibilityVerdict::kInfeasible) {
+      probe.action = PlannedProbe::Action::kPruneInfeasible;
+      return probe;
+    }
   }
   probe.hash = CanonicalHash(probe.schedule);
   probe.inserted_hash = executed_hashes_.insert(probe.hash).second;
@@ -206,6 +223,14 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
   if (probe.action == PlannedProbe::Action::kPruneDuplicate) {
     result->schedules_pruned_duplicate++;
     metrics_.pruned_duplicate->Inc();
+    return false;
+  }
+  if (probe.action == PlannedProbe::Action::kPruneInfeasible) {
+    result->schedules_pruned_infeasible++;
+    metrics_.causal_infeasible->Inc();
+    if (level >= 1 && level <= 3) {
+      metrics_.level_causal_pruned[level]->Inc();
+    }
     return false;
   }
   result->schedules_generated++;
@@ -260,7 +285,8 @@ bool DiagnosisEngine::ConsumeProbe(PlannedProbe& probe, OrderedBatch<ScheduleRun
 }
 
 bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int level,
-                              bool allow_duplicate, int budget, DiagnosisResult* result) {
+                              bool allow_duplicate, int budget, DiagnosisResult* result,
+                              bool causal_prune) {
   // Chunked wave-fronts: speculation never runs more than one chunk ahead of
   // the in-order consumer, bounding wasted runs after a stop. Serially the
   // chunk size is 1, which is exactly the classic plan-run-decide loop.
@@ -275,7 +301,8 @@ bool DiagnosisEngine::RunWave(const std::vector<FaultSchedule>& schedules, int l
     std::map<uint64_t, uint32_t> local_counts;
     size_t runnable = 0;
     for (size_t i = 0; i < count; i++) {
-      PlannedProbe probe = PlanProbe(schedules[next + i], allow_duplicate, &local_counts);
+      PlannedProbe probe =
+          PlanProbe(schedules[next + i], allow_duplicate, causal_prune, &local_counts);
       if (probe.action == PlannedProbe::Action::kRun) {
         probe.batch_slot = static_cast<int>(runnable++);
       }
@@ -320,7 +347,7 @@ bool DiagnosisEngine::RunAndMaybeConfirm(const FaultSchedule& schedule, int leve
                                          DiagnosisResult* result,
                                          ScheduleRunOutcome* outcome_out,
                                          bool allow_duplicate) {
-  PlannedProbe probe = PlanProbe(schedule, allow_duplicate, nullptr);
+  PlannedProbe probe = PlanProbe(schedule, allow_duplicate, /*causal_prune=*/false, nullptr);
   return ConsumeProbe(probe, nullptr, level, result, outcome_out);
 }
 
@@ -409,7 +436,7 @@ bool DiagnosisEngine::FindContextForFault(FaultSchedule* schedule, size_t fault_
     if (RunAndMaybeConfirm(attempt, 2, result, &outcome)) {
       return true;
     }
-    if (result->schedules_generated >= config_.level2_budget) {
+    if (result->schedules_generated >= level2_cap_) {
       break;
     }
 
@@ -427,7 +454,7 @@ bool DiagnosisEngine::FindContextForFault(FaultSchedule* schedule, size_t fault_
       if (RunAndMaybeConfirm(amp, 2, result, &amp_outcome)) {
         return true;
       }
-      if (result->schedules_generated >= config_.level2_budget) {
+      if (result->schedules_generated >= level2_cap_) {
         break;
       }
       // Was the context function observed on any node?
@@ -454,7 +481,7 @@ bool DiagnosisEngine::FindContextForFault(FaultSchedule* schedule, size_t fault_
 bool DiagnosisEngine::Level2(FaultSchedule* schedule, const std::vector<size_t>& priority,
                              DiagnosisResult* result) {
   for (size_t candidate_index : priority) {
-    if (result->schedules_generated >= config_.level2_budget) {
+    if (result->schedules_generated >= level2_cap_) {
       return false;  // Leave budget for Level 3.
     }
     const CandidateFault& candidate = extraction_.faults[candidate_index];
@@ -479,7 +506,7 @@ bool DiagnosisEngine::Level2(FaultSchedule* schedule, const std::vector<size_t>&
         sweep.push_back(std::move(attempt));
       }
       schedule->faults[fault_index] = original;
-      if (RunWave(sweep, 2, /*allow_duplicate=*/false, config_.level2_budget, result)) {
+      if (RunWave(sweep, 2, /*allow_duplicate=*/false, level2_cap_, result)) {
         return true;
       }
     } else {
@@ -526,10 +553,10 @@ bool DiagnosisEngine::Level3(FaultSchedule* schedule, const std::vector<size_t>&
       attempts.push_back(std::move(attempt));
     }
     schedule->faults[fault_index] = original;
-    if (RunWave(attempts, 3, /*allow_duplicate=*/false, config_.max_schedules, result)) {
+    if (RunWave(attempts, 3, /*allow_duplicate=*/false, level3_cap_, result)) {
       return true;
     }
-    if (result->schedules_generated >= config_.max_schedules) {
+    if (result->schedules_generated >= level3_cap_) {
       return false;
     }
   }
@@ -555,6 +582,63 @@ DiagnosisResult DiagnosisEngine::Run() {
     result.fault_summary = result.schedule.Summary();
     return result;
   }
+
+  // Level 1, alternative orders: the production order failed, so try other
+  // injection orders of the same faults before refining contexts. Orders are
+  // enumerated lexicographically, keeping only one representative per
+  // commutation class: an order that swaps an adjacent pair of commuting
+  // concurrent faults against the trace (TB304) re-explores the class its
+  // trace-ordered sibling — lexicographically smaller, hence enumerated
+  // first — already covers. The class dedup runs in BOTH pruning modes (it
+  // defines the wave, so the modes stay byte-identical); use_causal_pruning
+  // additionally rejects orders the happens-before relation outright
+  // contradicts (TB301), without a run. Skipped when order is not being
+  // enforced: without after_fault conditions every ordering degenerates to
+  // the same schedule.
+  const size_t fault_count = extraction_.faults.size();
+  if (config_.enforce_fault_order && fault_count >= 2 && config_.level1_permutations > 0) {
+    std::vector<size_t> order(fault_count);
+    for (size_t i = 0; i < fault_count; i++) {
+      order[i] = i;
+    }
+    std::vector<FaultSchedule> alternates;
+    alternates.reserve(static_cast<size_t>(config_.level1_permutations));
+    // Bounded enumeration: large fault sets have factorially many orders,
+    // most of them commutation duplicates; give up on filling the wave
+    // after a fixed multiple of its size.
+    int enumerated = 0;
+    const int max_enumerated = config_.level1_permutations * 50;
+    while (static_cast<int>(alternates.size()) < config_.level1_permutations &&
+           enumerated < max_enumerated && std::next_permutation(order.begin(), order.end())) {
+      enumerated++;
+      FaultSchedule alternate;
+      alternate.name = StrFormat("level1-order%zu", alternates.size() + 1);
+      for (size_t i = 0; i < fault_count; i++) {
+        alternate.faults.push_back(
+            MakeScheduledFault(extraction_.faults[order[i]], static_cast<int>(i)));
+      }
+      if (config_.level1_dedup_commuted && feasibility_.valid() &&
+          !feasibility_.Check(alternate).canonical_order) {
+        result.schedules_pruned_commuted++;
+        metrics_.causal_commuted->Inc();
+        metrics_.level_causal_pruned[1]->Inc();
+        continue;
+      }
+      alternates.push_back(std::move(alternate));
+    }
+    Notify(DiagnosisProgress::Kind::kLevelStart, result, 0, "level 1: alternative fault orders");
+    if (RunWave(alternates, 1, /*allow_duplicate=*/false, /*budget=*/0, &result,
+                /*causal_prune=*/config_.use_causal_pruning)) {
+      result.fault_summary = result.schedule.Summary();
+      return result;
+    }
+  }
+
+  // Refinement budgets are relative to what Level 1 spent: pruning shrinks
+  // the permutation wave, and anchoring the caps here keeps the pruned and
+  // unpruned engines' Level-2/3 behavior identical.
+  level2_cap_ = result.schedules_generated + config_.level2_budget;
+  level3_cap_ = result.schedules_generated + config_.max_schedules;
 
   const std::vector<size_t> priority = PrioritizeFaults(extraction_.faults);
 

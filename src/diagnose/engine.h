@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/analyze/schedule_linter.h"
+#include "src/causal/feasibility.h"
 #include "src/common/parallel.h"
 #include "src/diagnose/extract.h"
 #include "src/obs/metrics.h"
@@ -117,10 +118,31 @@ struct DiagnosisConfig {
   std::vector<NodeId> server_nodes;
   // Progress observer (see DiagnosisProgress); null = silent.
   std::function<void(const DiagnosisProgress&)> on_progress;
+  // Level-1 order exploration: when the production order fails and more than
+  // one fault was extracted, up to this many alternative injection orders
+  // are enumerated (lexicographically) before Level 2. 0 disables.
+  int level1_permutations = 24;
   // Ablations.
   bool enforce_fault_order = true;
   bool use_amplification = true;
   bool use_benign_filter = true;
+  // Causal pruning (DESIGN.md §12): statically reject order permutations the
+  // production trace's happens-before order contradicts (TB301), before any
+  // run is spent on them. The rejection happens before the dedup/seed step,
+  // and refinement budgets are anchored after the permutation wave, so the
+  // diagnosis output is byte-identical with it on or off — only the number
+  // of wasted replays changes. (Commutation-class dedup is part of the
+  // enumeration itself, not of this toggle: reordering a commuting pair
+  // still shifts injection times through the after_fault chain, so the
+  // swapped order is a distinct execution that must be skipped identically
+  // in both modes or not at all.)
+  bool use_causal_pruning = true;
+  // Naive-enumeration baseline for bench_causal: when false, Level-1 order
+  // enumeration keeps commutation-class duplicates (TB304) instead of
+  // collapsing each class to its trace-ordered representative. Measurement
+  // ablation only — it changes which candidates enter the wave, so the
+  // ON-vs-OFF byte-identity guarantee above does not extend to it.
+  bool level1_dedup_commuted = true;
 };
 
 struct DiagnosisResult {
@@ -133,6 +155,14 @@ struct DiagnosisResult {
   // Candidates canonically equal to an already-executed schedule (e.g. the
   // Level-2 SCF sweep's nth=1 entry, which is the Level-1 schedule again).
   int schedules_pruned_duplicate = 0;
+  // Candidates whose enforced order contradicts the production trace's
+  // happens-before order (TB301) — statically rejected, never run.
+  int schedules_pruned_infeasible = 0;
+  // Non-representative members of a commutation class (TB304), skipped
+  // during Level-1 order enumeration: the trace-ordered permutation of the
+  // same concurrent faults is already in the wave. Counted identically with
+  // pruning on or off — class dedup is part of the enumeration.
+  int schedules_pruned_commuted = 0;
   int total_runs = 0;
   SimTime virtual_time = 0;
   double fr_percent = 0;
@@ -161,7 +191,12 @@ class DiagnosisEngine {
   // A candidate probe with pruning verdict and pre-assigned seed, formed in
   // generation order before any execution.
   struct PlannedProbe {
-    enum class Action : int8_t { kRun, kPruneInvalid, kPruneDuplicate };
+    enum class Action : int8_t {
+      kRun,
+      kPruneInvalid,
+      kPruneDuplicate,
+      kPruneInfeasible,
+    };
     FaultSchedule schedule;
     uint64_t hash = 0;
     Action action = Action::kRun;
@@ -186,7 +221,10 @@ class DiagnosisEngine {
 
   // Lints, dedups, and assigns the speculative run index for one candidate.
   // `local_counts` tracks in-wave index bumps for not-yet-committed probes.
-  PlannedProbe PlanProbe(FaultSchedule schedule, bool allow_duplicate,
+  // With `causal_prune`, candidates the happens-before analysis proves
+  // infeasible (or redundant under commutation) are rejected before the
+  // hash/dedup step, leaving no mark on the engine's state.
+  PlannedProbe PlanProbe(FaultSchedule schedule, bool allow_duplicate, bool causal_prune,
                          std::map<uint64_t, uint32_t>* local_counts);
 
   // Consumes one planned probe in generation order: applies pruning
@@ -202,7 +240,7 @@ class DiagnosisEngine {
   // `budget > 0`, once result->schedules_generated reaches it; abandoned
   // probes leave no mark on the engine's state. Returns true on reproduction.
   bool RunWave(const std::vector<FaultSchedule>& schedules, int level, bool allow_duplicate,
-               int budget, DiagnosisResult* result);
+               int budget, DiagnosisResult* result, bool causal_prune = false);
 
   // Executes one schedule (counts it) and, if the bug shows, confirms it.
   // Returns true when the confirmed rate reaches the target. Statically
@@ -236,6 +274,16 @@ class DiagnosisEngine {
   ScheduleLinter linter_;
   // Memoized FunctionsBefore over the immutable production trace.
   TraceIndex production_index_;
+  // Happens-before order of the production trace and the feasibility
+  // checker over it (DESIGN.md §12); the checker borrows the graph.
+  CausalGraph causal_;
+  FeasibilityChecker feasibility_;
+  // Absolute schedule-count cutoffs for Levels 2 and 3, fixed at Level-2
+  // entry as entry count + configured budget. Relative budgets keep the
+  // refinement levels' behavior independent of how many Level-1 orderings
+  // causal pruning removed.
+  int level2_cap_ = 0;
+  int level3_cap_ = 0;
   // Canonical hashes of every schedule handed to the runner so far.
   std::set<uint64_t> executed_hashes_;
   // Per-schedule committed run counts (canonical hash -> next run index).
@@ -253,6 +301,8 @@ class DiagnosisEngine {
     Counter* candidates_generated;
     Counter* pruned_invalid;
     Counter* pruned_duplicate;
+    Counter* causal_infeasible;
+    Counter* causal_commuted;
     Counter* confirmed;
     Counter* runs;
     Counter* speculation_misses;
@@ -261,6 +311,7 @@ class DiagnosisEngine {
     // Indexed by level 1..3 (slot 0 unused).
     Counter* level_candidates[4];
     Counter* level_confirmed[4];
+    Counter* level_causal_pruned[4];
     Histogram* wave_ns;
     Histogram* confirm_ns;
   };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/analyze/trace_validator.h"
+#include "src/causal/causal_graph.h"
 #include "src/common/strings.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/rose.h"
@@ -55,6 +56,7 @@ DiagnosisService::DiagnosisService(ServeConfig config)
   metrics_.coalesced = reg.GetCounter("serve.coalesced");
   metrics_.rejects_queue_full = reg.GetCounter("serve.rejects_queue_full");
   metrics_.rejects_invalid = reg.GetCounter("serve.rejects_invalid");
+  metrics_.rejects_causal = reg.GetCounter("serve.rejects_causal");
   metrics_.corrupt_frames = reg.GetCounter("serve.corrupt_frames");
   metrics_.stats_requests = reg.GetCounter("serve.stats_requests");
   metrics_.queue_depth = reg.GetGauge("serve.queue_depth");
@@ -180,6 +182,20 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
     metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace,
               "trace failed validation: " + validation.front().ToString());
+    return;
+  }
+  // Causal consistency (TB303, DESIGN.md §12): a trace the happens-before
+  // model itself refutes — a pid alive on two nodes, events from a process
+  // after its crash — would feed the engine a graph whose prunes are
+  // meaningless. Vector clocks are skipped: admission only needs the prescan.
+  const CausalGraph causal(TraceView(request.trace),
+                           CausalOptions{/*vector_clocks=*/false});
+  if (HasErrors(causal.diagnostics())) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    metrics_.rejects_causal->Inc();
+    SendError(conn, ServeError::kInvalidTrace,
+              "trace causally inconsistent: " + causal.diagnostics().front().ToString());
     return;
   }
 

@@ -163,6 +163,7 @@ class DiagnosisService {
     Counter* coalesced;
     Counter* rejects_queue_full;
     Counter* rejects_invalid;
+    Counter* rejects_causal;  // Subset of rejects_invalid: TB303 traces.
     Counter* corrupt_frames;
     Counter* stats_requests;
     Gauge* queue_depth;

@@ -547,7 +547,7 @@ Trace LoadTraceFile(const std::string& path, std::vector<Diagnostic>* diags) {
       diag.severity = Severity::kError;
       diag.message = StrFormat("cannot open trace file %s", path.c_str());
       diag.hint = "check the path and permissions";
-      diags->push_back(diag);
+      diags->push_back(std::move(diag));
     }
     return Trace();
   }

@@ -115,9 +115,9 @@ void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
             FdBinding{now, "sock:" + inv.remote_ip});
         break;
       case Sys::kDup: {
-        const std::string source = ResolveFd(inv.pid, inv.fd, now);
+        std::string source = ResolveFd(inv.pid, inv.fd, now);
         fd_bindings_[FdKey(inv.pid, static_cast<int32_t>(result.value))].push_back(
-            FdBinding{now, source});
+            FdBinding{now, std::move(source)});
         break;
       }
       default:
@@ -252,13 +252,13 @@ std::string Tracer::ResolveFd(Pid pid, int32_t fd, SimTime at) const {
   if (it == fd_bindings_.end()) {
     return "";
   }
-  std::string best;
+  const std::string* best = nullptr;
   for (const FdBinding& binding : it->second) {
     if (binding.ts <= at) {
-      best = binding.path;
+      best = &binding.path;
     }
   }
-  return best;
+  return best == nullptr ? "" : *best;
 }
 
 Trace Tracer::Dump() {

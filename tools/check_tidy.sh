@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library sources. Two tiers:
+#
+#   - src/causal/ is BLOCKING: any warning there fails the script. The causal
+#     subsystem is new and has no legacy debt, so it stays warning-clean.
+#   - the rest of src/ is ADVISORY: warnings are printed (they are real
+#     signal — see .clang-tidy for the check set) but do not fail the gate,
+#     so pre-existing debt cannot block unrelated PRs.
+#
+# Needs a compile_commands.json; the script configures one if missing. When
+# no clang-tidy binary exists on the host (the dev container ships without
+# one), the script SKIPS with exit 0 — CI installs clang-tidy via apt, so the
+# gate is enforced there.
+#
+# Usage: tools/check_tidy.sh [build_dir]   (default: ./build)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+
+tidy=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy="$candidate"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "check_tidy: no clang-tidy binary on PATH — skipping (enforced in CI)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "check_tidy: $build_dir/compile_commands.json missing after configure"
+  exit 2
+fi
+
+run_tidy() {
+  # shellcheck disable=SC2086
+  "$tidy" -p "$build_dir" --quiet "$@" 2>/dev/null
+}
+
+blocking_srcs="$(find src/causal -name '*.cc' | sort)"
+advisory_srcs="$(find src -name '*.cc' -not -path 'src/causal/*' | sort)"
+
+echo "check_tidy: $tidy, blocking on src/causal ($(echo "$blocking_srcs" | wc -l) files)"
+fail=0
+# shellcheck disable=SC2086
+if ! out="$(run_tidy $blocking_srcs)"; then
+  fail=1
+fi
+if [ -n "$out" ]; then
+  echo "$out"
+  fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_tidy: FAILED — src/causal must be clang-tidy clean"
+  exit 1
+fi
+echo "check_tidy: src/causal clean"
+
+echo "check_tidy: advisory sweep over the rest of src/ ($(echo "$advisory_srcs" | wc -l) files)"
+# shellcheck disable=SC2086
+advisory_out="$(run_tidy $advisory_srcs || true)"
+if [ -n "$advisory_out" ]; then
+  echo "$advisory_out"
+  echo "check_tidy: advisory warnings above (non-blocking)"
+else
+  echo "check_tidy: no advisory warnings"
+fi
+exit 0

@@ -9,6 +9,11 @@
 #                          -DROSE_OBS=OFF tree, merged with the per-benchmark
 #                          overhead percentage (budget: < 3% on the traced
 #                          syscall-exit hot path)
+#   BENCH_causal.json    — happens-before graph build throughput plus
+#                          diagnosis candidates-replayed/wall-clock with
+#                          causal analysis ON (arg 1) vs the naive
+#                          order-enumeration baseline (arg 0), per
+#                          multi-fault catalogue bug (bench_causal)
 #
 # Usage:
 #   tools/run_bench.sh [build_dir] [out_dir]
@@ -32,6 +37,12 @@
 #    row (needs >= 4 real cores); BM_ServeCacheHit must show zero engine
 #    runs and sit far above cold throughput. p50_ms/p99_ms counters are
 #    submit-to-schedule latency.
+#  - BENCH_causal: BM_CausalGraphBuild reports graph construction in
+#    events/sec. BM_DiagnoseCausal* rows come in pairs — arg 0 is the naive
+#    order-enumeration baseline (no causal analysis), arg 1 is the default
+#    engine. The acceptance bar is the `schedules` counter (candidates
+#    replayed) dropping >= 15% from arg 0 to arg 1 on the multi-fault bugs;
+#    the `reproduced` counter must match within each pair.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,7 +53,7 @@ out_dir="${2:-.}"
 if [ ! -d "$build_dir" ]; then
   cmake -S . -B "$build_dir"
 fi
-cmake --build "$build_dir" --target bench_diagnosis_parallel bench_trace_io bench_serve -j "$(nproc)"
+cmake --build "$build_dir" --target bench_diagnosis_parallel bench_trace_io bench_serve bench_causal -j "$(nproc)"
 
 "${build_dir}/bench/bench_diagnosis_parallel" \
   --benchmark_out="${out_dir}/BENCH_diagnosis.json" \
@@ -61,6 +72,12 @@ echo "wrote ${out_dir}/BENCH_trace_io.json"
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
 echo "wrote ${out_dir}/BENCH_serve.json"
+
+"${build_dir}/bench/bench_causal" \
+  --benchmark_out="${out_dir}/BENCH_causal.json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_causal.json"
 
 # --- rose::obs overhead: same benchmark binary from an ON and an OFF tree ----
 off_dir="${build_dir}-obs-off"
