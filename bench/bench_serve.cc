@@ -28,6 +28,7 @@
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
 #include "src/net/transport.h"
+#include "src/obs/metrics.h"
 #include "src/serve/client.h"
 #include "src/serve/service.h"
 
@@ -170,6 +171,11 @@ void BM_ServeCacheHit(benchmark::State& state) {
   std::vector<double> warmup_ms;
   ServeRound(service, clients, num_clients, &warmup_ms);
   const uint64_t runs_after_warmup = service.stats().engine_runs;
+  // Zero-copy admission bar: a cache hit must construct no owning Trace —
+  // the canonical hash streams over the raw blob, so trace_io.parse_calls
+  // (ticked only by Trace::ParseBinary) must not move during timed rounds.
+  Counter* parse_calls = MetricRegistry::Global().GetCounter("trace_io.parse_calls");
+  const uint64_t parses_after_warmup = parse_calls->value();
 
   std::vector<double> latencies_ms;
   int64_t jobs = 0;
@@ -179,6 +185,10 @@ void BM_ServeCacheHit(benchmark::State& state) {
   }
   if (service.stats().engine_runs != runs_after_warmup) {
     state.SkipWithError("cache-hit round touched the engine");
+    return;
+  }
+  if (parse_calls->value() != parses_after_warmup) {
+    state.SkipWithError("cache-hit round constructed an owning Trace");
     return;
   }
   state.SetItemsProcessed(jobs);

@@ -4,9 +4,15 @@
 // faster than text and encoded size <= 50% of text.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "src/analyze/trace_validator.h"
 #include "src/common/rng.h"
+#include "src/trace/mapped_trace.h"
+#include "src/trace/mmap_file.h"
 #include "src/trace/trace_io.h"
 
 namespace rose {
@@ -120,6 +126,86 @@ void BM_StreamBinary(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kWindowEvents);
 }
 BENCHMARK(BM_StreamBinary)->Unit(benchmark::kMillisecond);
+
+// The binary window written to disk once — the on-disk dump both load-path
+// benchmarks read. Lives for the process; size printed by the first user.
+const std::string& WindowFile() {
+  static const std::string path = [] {
+    const std::string p =
+        (std::filesystem::temp_directory_path() / "rose_bench_window.trc").string();
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    const std::string encoded = Window().SerializeBinary();
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    return p;
+  }();
+  return path;
+}
+
+void BM_LoadFileHeap(benchmark::State& state) {
+  // The pre-mmap pipeline: read the whole file into a heap buffer, then
+  // ParseBinary copies every pool string again into a private arena.
+  const std::string& path = WindowFile();
+  for (auto _ : state) {
+    std::vector<Diagnostic> diags;
+    const Trace loaded = LoadTraceFile(path, &diags);
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kWindowEvents);
+}
+BENCHMARK(BM_LoadFileHeap)->Unit(benchmark::kMillisecond);
+
+void BM_LoadFileMmap(benchmark::State& state) {
+  // Zero-copy pipeline: mmap + external-arena decode. Same event vector,
+  // pool strings stay in the mapping. Compare against BM_LoadFileHeap.
+  const std::string& path = WindowFile();
+  for (auto _ : state) {
+    const MappedTrace mapped = MappedTrace::OpenFile(path);
+    benchmark::DoNotOptimize(mapped.event_count());
+  }
+  state.SetItemsProcessed(state.iterations() * kWindowEvents);
+}
+BENCHMARK(BM_LoadFileMmap)->Unit(benchmark::kMillisecond);
+
+void BM_OpenToFirstEventHeap(benchmark::State& state) {
+  // Latency to the FIRST usable event via the owning loader — pays the full
+  // read + parse of all 1M events before event 0 is visible.
+  const std::string& path = WindowFile();
+  for (auto _ : state) {
+    std::vector<Diagnostic> diags;
+    const Trace loaded = LoadTraceFile(path, &diags);
+    benchmark::DoNotOptimize(loaded[0].ts);
+  }
+}
+BENCHMARK(BM_OpenToFirstEventHeap)->Unit(benchmark::kMillisecond);
+
+void BM_OpenToFirstEventMmap(benchmark::State& state) {
+  // Latency to the first event via mmap + streaming reader: map the file,
+  // decode only the leading frames. The acceptance bar is >= 3x faster than
+  // BM_OpenToFirstEventHeap (pages fault in lazily; no up-front copy).
+  const std::string& path = WindowFile();
+  for (auto _ : state) {
+    MmapTraceFile file = MmapTraceFile::Open(path);
+    TraceReader reader(file.bytes(), file.bytes().data());
+    TraceEvent event;
+    const bool ok = reader.Next(&event);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(event.ts);
+  }
+}
+BENCHMARK(BM_OpenToFirstEventMmap)->Unit(benchmark::kMillisecond);
+
+void BM_CanonicalBlobHash(benchmark::State& state) {
+  // Serve admission's cache-key path: hash the raw container without
+  // constructing a Trace (streams through the reusable-line fast path).
+  const std::string encoded = Window().SerializeBinary();
+  for (auto _ : state) {
+    uint64_t hash = 0;
+    CanonicalBlobHash(encoded, &hash);
+    benchmark::DoNotOptimize(hash);
+  }
+  state.SetItemsProcessed(state.iterations() * kWindowEvents);
+}
+BENCHMARK(BM_CanonicalBlobHash)->Unit(benchmark::kMillisecond);
 
 void BM_MergeRemap(benchmark::State& state) {
   // K-way merge with per-input pool remapping, 4 nodes x 64k events.

@@ -34,6 +34,7 @@
 #include "src/causal/feasibility.h"
 #include "src/common/strings.h"
 #include "src/obs/trace_report.h"
+#include "src/trace/mapped_trace.h"
 #include "src/trace/trace_io.h"
 
 namespace {
@@ -115,12 +116,15 @@ rose::FaultSchedule DemoSchedule() {
 }
 
 int LintTrace(const char* path) {
-  std::vector<rose::Diagnostic> load_diags;
-  const rose::Trace trace = rose::LoadTraceFile(path, &load_diags);
+  // Zero-copy load: the validator and the stats renderer only read, so the
+  // dump is mapped and viewed in place — no owning Trace is built.
+  const rose::MappedTrace mapped = rose::MappedTrace::OpenFile(path);
+  const std::vector<rose::Diagnostic>& load_diags = mapped.diagnostics();
   if (!rose::OfCode(load_diags, rose::DiagCode::kTraceFileUnreadable).empty()) {
     std::fprintf(stderr, "lint_schedule: cannot open %s\n", path);
     return 2;
   }
+  const rose::TraceView trace = mapped.view();
   std::printf("trace: %s\n", path);
   // Same rendering path as trace_explorer --stats: the rose::obs registry is
   // the one source for window statistics (no per-tool tallies).
@@ -215,13 +219,15 @@ int main(int argc, char** argv) {
   }
 
   if (against_path != nullptr) {
-    std::vector<rose::Diagnostic> load_diags;
-    const rose::Trace trace = rose::LoadTraceFile(against_path, &load_diags);
+    // Read-only feasibility check: map and view, never parse into a Trace.
+    const rose::MappedTrace mapped = rose::MappedTrace::OpenFile(against_path);
+    const std::vector<rose::Diagnostic>& load_diags = mapped.diagnostics();
     if (rose::HasErrors(load_diags)) {
       std::fprintf(stderr, "lint_schedule: cannot read trace %s: %s\n", against_path,
                    load_diags.front().ToString().c_str());
       return 2;
     }
+    const rose::TraceView trace = mapped.view();
     const rose::CausalGraph causal(trace);
     const rose::FeasibilityChecker checker(&causal, trace);
     const rose::FeasibilityReport report = checker.Check(schedule);
@@ -233,7 +239,7 @@ int main(int argc, char** argv) {
       if (report.mapped_events[i] >= 0) {
         const auto event = static_cast<size_t>(report.mapped_events[i]);
         std::printf("  fault %zu -> trace event %zu: %s\n", i, event,
-                    trace.events()[event].ToLine(trace.pool()).c_str());
+                    trace[event].ToLine(trace.pool()).c_str());
       } else {
         std::printf("  fault %zu -> no matching trace event\n", i);
       }

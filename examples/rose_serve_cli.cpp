@@ -16,6 +16,7 @@
 //
 // Flags:
 //   --dump FILE       load the production dump from FILE instead of simulating
+//   --load-mode MODE  mmap (default, zero-copy raw-blob submit) or heap
 //   --profile FILE    load the profiling baseline (required with --dump)
 //   --save-dump BASE  after generating, write BASE.trc + BASE.profile
 //   --yaml-out FILE   write the confirmed schedule YAML to FILE
@@ -28,7 +29,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <string>
 
 #include "src/harness/bug_registry.h"
@@ -36,6 +36,7 @@
 #include "src/net/transport.h"
 #include "src/serve/client.h"
 #include "src/serve/service.h"
+#include "src/trace/mapped_trace.h"
 #include "src/trace/trace_io.h"
 
 namespace {
@@ -59,6 +60,9 @@ positional arguments:
 
 flags:
   --dump FILE       load the production dump from FILE instead of simulating
+  --load-mode MODE  how --dump comes in: 'mmap' (default) maps the file and
+                    submits its raw container bytes zero-copy; 'heap' reads
+                    and parses it into an owning trace first
   --profile FILE    load the profiling baseline (required with --dump)
   --save-dump BASE  after generating, write BASE.trc + BASE.profile
   --yaml-out FILE   write the confirmed schedule YAML to FILE
@@ -86,14 +90,8 @@ void PumpUntilDone(rose::ServeClient& client, rose::DiagnosisService& service,
 }
 
 bool ReadWholeFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  *out = buf.str();
-  return true;
+  // One fstat-sized read, no stream-buffer double copy.
+  return rose::ReadFileBytes(path, out);
 }
 
 }  // namespace
@@ -102,6 +100,7 @@ int main(int argc, char** argv) {
   std::string bug_id;
   uint64_t seed = 42;
   std::string dump_path;
+  std::string load_mode = "mmap";
   std::string profile_path;
   std::string save_dump;
   std::string yaml_out;
@@ -116,6 +115,12 @@ int main(int argc, char** argv) {
       return 0;
     } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--load-mode") == 0 && i + 1 < argc) {
+      load_mode = argv[++i];
+      if (load_mode != "mmap" && load_mode != "heap") {
+        std::fprintf(stderr, "rose_serve_cli: --load-mode must be mmap or heap\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save-dump") == 0 && i + 1 < argc) {
@@ -152,28 +157,53 @@ int main(int argc, char** argv) {
   // --- Obtain the dump + baseline: load a saved pair or simulate phases 1-2.
   rose::Profile profile;
   rose::Trace trace;
+  // mmap mode: the dump stays a mapped, zero-copy handle; its raw container
+  // bytes are shipped to the server as-is (SubmitBlob), so no owning Trace
+  // exists anywhere on the submission path.
+  rose::MappedTrace mapped;
+  std::string profile_text;
   if (!dump_path.empty()) {
     if (profile_path.empty()) {
       std::fprintf(stderr, "rose_serve_cli: --dump requires --profile\n");
       return 2;
     }
-    std::vector<rose::Diagnostic> diags;
-    trace = rose::LoadTraceFile(dump_path, &diags);
-    for (const rose::Diagnostic& diag : diags) {
-      std::fprintf(stderr, "  %s\n", diag.ToString().c_str());
+    size_t dump_events = 0;
+    if (load_mode == "mmap") {
+      mapped = rose::MappedTrace::OpenFile(dump_path);
+      for (const rose::Diagnostic& diag : mapped.diagnostics()) {
+        std::fprintf(stderr, "  %s\n", diag.ToString().c_str());
+      }
+      if (rose::HasErrors(mapped.diagnostics())) {
+        std::fprintf(stderr, "rose_serve_cli: dump %s is damaged\n", dump_path.c_str());
+        return 1;
+      }
+      if (!mapped.zero_copy()) {
+        // Text dump: there is no container blob to ship raw; fall back to
+        // the owning path (still loaded through the mapping).
+        trace = mapped.Promote();
+        mapped = rose::MappedTrace();
+      }
+      dump_events = mapped.valid() ? mapped.event_count() : trace.size();
+    } else {
+      std::vector<rose::Diagnostic> diags;
+      trace = rose::LoadTraceFile(dump_path, &diags);
+      for (const rose::Diagnostic& diag : diags) {
+        std::fprintf(stderr, "  %s\n", diag.ToString().c_str());
+      }
+      if (rose::HasErrors(diags)) {
+        std::fprintf(stderr, "rose_serve_cli: dump %s is damaged\n", dump_path.c_str());
+        return 1;
+      }
+      dump_events = trace.size();
     }
-    if (rose::HasErrors(diags)) {
-      std::fprintf(stderr, "rose_serve_cli: dump %s is damaged\n", dump_path.c_str());
-      return 1;
-    }
-    std::string profile_text;
     if (!ReadWholeFile(profile_path, &profile_text) ||
         !rose::ParseProfile(profile_text, &profile)) {
       std::fprintf(stderr, "rose_serve_cli: cannot read profile %s\n", profile_path.c_str());
       return 2;
     }
-    std::printf("loaded dump %s (%zu events) + profile %s\n", dump_path.c_str(),
-                trace.size(), profile_path.c_str());
+    std::printf("loaded dump %s (%zu events, %s) + profile %s\n", dump_path.c_str(),
+                dump_events, mapped.valid() ? mapped.load_mode() : "heap",
+                profile_path.c_str());
   } else {
     rose::BugRunner runner(spec);
     std::printf("--- phases 1-2: profiling + production tracing (%s, seed %llu) ---\n",
@@ -196,7 +226,10 @@ int main(int argc, char** argv) {
     const std::string trc = save_dump + ".trc";
     const std::string prof = save_dump + ".profile";
     std::ofstream prof_out(prof, std::ios::binary);
-    if (!rose::SaveTraceFile(trc, trace) || !prof_out) {
+    // Copy-on-write: saving re-encodes, the one step needing an owning Trace.
+    const bool saved = mapped.valid() ? rose::SaveTraceFile(trc, mapped.Promote())
+                                      : rose::SaveTraceFile(trc, trace);
+    if (!saved || !prof_out) {
       std::fprintf(stderr, "rose_serve_cli: cannot write %s\n", save_dump.c_str());
       return 2;
     }
@@ -212,15 +245,24 @@ int main(int argc, char** argv) {
   service.Attach(server_end);
   rose::ServeClient client(client_end);
 
-  rose::SubmitRequest request;
-  request.bug_id = bug_id;
-  request.seed = seed;
-  request.tag = "cli";
-  request.profile = profile;
-  request.trace = trace;
+  // mmap-loaded binary dumps ship their raw container bytes (SubmitBlob);
+  // everything else encodes the owning Trace the classic way. Both forms
+  // hash to the same cache key on the server.
+  auto submit_job = [&]() {
+    if (mapped.valid()) {
+      return client.SubmitBlob(bug_id, seed, "cli", profile_text, mapped.bytes());
+    }
+    rose::SubmitRequest request;
+    request.bug_id = bug_id;
+    request.seed = seed;
+    request.tag = "cli";
+    request.profile = profile;
+    request.trace = trace;
+    return client.Submit(request);
+  };
 
   std::printf("\n--- submitting to rose_served ---\n");
-  const uint64_t first = client.Submit(request);
+  const uint64_t first = submit_job();
   PumpUntilDone(client, service, first, quiet);
   if (client.failed(first)) {
     std::fprintf(stderr, "rose_serve_cli: rejected: %s (%s)\n",
@@ -249,7 +291,7 @@ int main(int argc, char** argv) {
   if (again) {
     const uint64_t runs_before = service.stats().engine_runs;
     std::printf("\n--- resubmitting the identical dump ---\n");
-    const uint64_t second = client.Submit(request);
+    const uint64_t second = submit_job();
     PumpUntilDone(client, service, second, quiet);
     const rose::ServeJobResult& cached = client.result(second);
     const bool hit = client.accept_kind(second) == rose::AcceptKind::kCacheHit;

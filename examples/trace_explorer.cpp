@@ -39,6 +39,7 @@
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
 #include "src/obs/trace_report.h"
+#include "src/trace/mapped_trace.h"
 #include "src/trace/trace_io.h"
 
 namespace {
@@ -63,10 +64,14 @@ flags:
                     one-event-per-line text when FILE ends in .txt)
   --load FILE       explore a saved trace instead of running; binary vs
                     text is auto-detected from the file's magic
+  --load-mode MODE  how --load brings the file in: 'mmap' (default) maps it
+                    and decodes zero-copy — pool strings resolve into the
+                    mapped bytes; 'heap' reads and parses the owning way
   --merge A B ...   k-way merge saved per-node traces (timestamp-ordered,
                     stable for ties); combine with --save to persist
   --stats           print window statistics from the rose::obs registry
-                    (events by kind and node, occupancy, pool, sizes)
+                    (events by kind and node, occupancy, pool, sizes);
+                    loaded traces add load_mode and mapped-bytes rows
   --stats-out FILE  write the rose::obs metrics snapshot (YAML) to FILE
                     (see docs/metrics.md)
   --causal          print the happens-before analysis (rose::causal): chain
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1234;
   std::string save_path;
   std::string load_path;
+  std::string load_mode = "mmap";
   std::string stats_out;
   std::vector<std::string> merge_paths;
   bool merging = false;
@@ -101,6 +107,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
       load_path = argv[++i];
       merging = false;
+    } else if (std::strcmp(argv[i], "--load-mode") == 0 && i + 1 < argc) {
+      load_mode = argv[++i];
+      merging = false;
+      if (load_mode != "mmap" && load_mode != "heap") {
+        std::fprintf(stderr, "trace_explorer: --load-mode must be mmap or heap\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       merging = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
@@ -120,6 +133,10 @@ int main(int argc, char** argv) {
   }
 
   rose::Trace trace;
+  // Zero-copy handle for --load in mmap mode; `view` below reads through it
+  // without ever building an owning Trace (promotion happens only if --save
+  // needs to re-encode).
+  rose::MappedTrace mapped;
   rose::Profile profile;
   const rose::Profile* profile_for_extract = nullptr;
   // Set when a loaded file carried error diagnostics; the tool keeps going
@@ -148,8 +165,17 @@ int main(int argc, char** argv) {
     std::printf("--- merged %zu traces: %zu events ---\n", inputs.size(), trace.size());
   } else if (!load_path.empty()) {
     std::vector<rose::Diagnostic> diags;
-    trace = rose::LoadTraceFile(load_path, &diags);
-    std::printf("--- loaded %s: %zu events ---\n", load_path.c_str(), trace.size());
+    size_t loaded_events = 0;
+    if (load_mode == "mmap") {
+      mapped = rose::MappedTrace::OpenFile(load_path);
+      diags = mapped.diagnostics();
+      loaded_events = mapped.event_count();
+    } else {
+      trace = rose::LoadTraceFile(load_path, &diags);
+      loaded_events = trace.size();
+    }
+    std::printf("--- loaded %s: %zu events (%s) ---\n", load_path.c_str(),
+                loaded_events, load_mode.c_str());
     for (const rose::Diagnostic& diag : diags) {
       std::printf("  %s\n", diag.ToString().c_str());
     }
@@ -157,7 +183,7 @@ int main(int argc, char** argv) {
       // Keep exploring whatever survived, but fail the invocation: scripts
       // must not mistake a truncated dump for a good one.
       load_damaged = true;
-      if (trace.empty()) {
+      if (loaded_events == 0) {
         return 1;
       }
     }
@@ -192,24 +218,27 @@ int main(int argc, char** argv) {
     trace = std::move(outcome.trace);
   }
 
+  // Every read path below goes through a view: backed by the mapped file in
+  // mmap mode, by the owning Trace otherwise.
+  const rose::TraceView view = mapped.valid() ? mapped.view() : rose::TraceView(trace);
+
   std::map<rose::EventType, int> counts;
-  for (const rose::TraceEvent& event : trace.events()) {
+  for (const rose::TraceEvent& event : view) {
     counts[event.type]++;
   }
   std::printf("event mix: SCF=%d AF=%d ND=%d PS=%d\n", counts[rose::EventType::kSCF],
               counts[rose::EventType::kAF], counts[rose::EventType::kND],
               counts[rose::EventType::kPS]);
   std::printf("last 12 events of the window:\n");
-  const auto& events = trace.events();
-  for (size_t i = events.size() > 12 ? events.size() - 12 : 0; i < events.size(); i++) {
-    std::printf("  %s\n", events[i].ToLine(trace.pool()).c_str());
+  for (size_t i = view.size() > 12 ? view.size() - 12 : 0; i < view.size(); i++) {
+    std::printf("  %s\n", view[i].ToLine(view.pool()).c_str());
   }
 
   std::printf("\n--- static trace validation (rose::analyze) ---\n");
   rose::TraceValidateOptions validate_options;
   validate_options.profile = profile_for_extract;
   const std::vector<rose::Diagnostic> trace_diags =
-      rose::TraceValidator(validate_options).Validate(trace);
+      rose::TraceValidator(validate_options).Validate(view);
   if (trace_diags.empty()) {
     std::printf("trace passes validation: timestamps monotonic, pids attributed, "
                 "SCF errnos real, AF ids profiled.\n");
@@ -222,8 +251,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n--- fault extraction (diagnosis front-end) ---\n");
   const rose::ExtractionResult extraction =
-      rose::ExtractFaults(trace, profile_for_extract != nullptr ? *profile_for_extract
-                                                                : rose::Profile{});
+      rose::ExtractFaults(view, profile_for_extract != nullptr ? *profile_for_extract
+                                                               : rose::Profile{});
   std::printf("%d raw fault events; %d removed as benign (FR=%.0f%%); %zu candidates:\n",
               extraction.total_fault_events, extraction.removed_benign,
               extraction.fr_percent, extraction.faults.size());
@@ -233,7 +262,7 @@ int main(int argc, char** argv) {
 
   if (want_causal) {
     std::printf("\n--- happens-before analysis (rose::causal) ---\n");
-    const rose::CausalGraph causal(trace);
+    const rose::CausalGraph causal(view);
     int edge_kinds[4] = {0, 0, 0, 0};
     for (const rose::CausalEdge& edge : causal.edges()) {
       edge_kinds[static_cast<int>(edge.kind)]++;
@@ -264,12 +293,12 @@ int main(int argc, char** argv) {
           cells += order < 0 ? '<' : order > 0 ? '>' : '.';
         }
       }
-      const rose::TraceEvent& event = trace.events()[faults[row]];
+      const rose::TraceEvent& event = view[faults[row]];
       std::printf("  F%-2zu |%s|  %s\n", row, cells.c_str(),
-                  event.ToLine(trace.pool()).c_str());
+                  event.ToLine(view.pool()).c_str());
     }
 
-    const rose::FeasibilityChecker checker(&causal, trace);
+    const rose::FeasibilityChecker checker(&causal, view);
     const auto pairs = checker.CommutativePairs();
     std::printf("%zu commutative pair(s) — concurrent and disjoint in scope, so "
                 "either injection order explores the same class:\n", pairs.size());
@@ -285,7 +314,19 @@ int main(int argc, char** argv) {
   if (want_stats) {
     // One code path for window statistics: the rose::obs registry renders the
     // report; lint_schedule --trace prints the same format.
-    std::printf("%s", rose::RenderTraceStats(trace, &rose::MetricRegistry::Global()).c_str());
+    std::printf("%s", rose::RenderTraceStats(view, &rose::MetricRegistry::Global()).c_str());
+    if (!load_path.empty()) {
+      // How the bytes came in. resident estimate: a mapped trace keeps only
+      // the event vector plus pool index on the heap — the string payload
+      // stays in the (page-cached) mapping; a heap load owns everything.
+      const size_t event_bytes = view.size() * sizeof(rose::TraceEvent);
+      const size_t resident = event_bytes + (mapped.zero_copy()
+                                                 ? view.pool().size() * 8
+                                                 : view.pool().payload_bytes());
+      std::printf("load_mode: %s\n", mapped.valid() ? mapped.load_mode() : "heap");
+      std::printf("mapped bytes: %zu\n", mapped.mapped_bytes());
+      std::printf("resident estimate: %zu bytes\n", resident);
+    }
   }
 
   if (!stats_out.empty()) {
@@ -299,6 +340,11 @@ int main(int argc, char** argv) {
   if (!save_path.empty()) {
     const bool text = save_path.size() > 4 &&
                       save_path.compare(save_path.size() - 4, 4, ".txt") == 0;
+    if (mapped.valid()) {
+      // Copy-on-write: re-encoding is the one step that needs an owning
+      // Trace, so the mapped handle is promoted here and nowhere else.
+      trace = mapped.Promote();
+    }
     if (!rose::SaveTraceFile(save_path, trace, text)) {
       std::fprintf(stderr, "trace_explorer: cannot write %s\n", save_path.c_str());
       return 2;

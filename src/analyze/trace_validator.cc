@@ -1,6 +1,9 @@
 #include "src/analyze/trace_validator.h"
 
+#include <string>
+
 #include "src/common/strings.h"
+#include "src/trace/trace_io.h"
 
 namespace rose {
 
@@ -90,19 +93,53 @@ std::vector<Diagnostic> TraceValidator::Validate(TraceView trace) const {
   return diags;
 }
 
+namespace {
+
+inline void FnvMixBytes(uint64_t* hash, std::string_view bytes) {
+  for (char ch : bytes) {
+    *hash ^= static_cast<uint8_t>(ch);
+    *hash *= 0x100000001b3ULL;  // FNV prime.
+  }
+}
+
+}  // namespace
+
 uint64_t CanonicalTraceHash(TraceView trace) {
   uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis.
-  auto mix = [&hash](std::string_view bytes) {
-    for (char ch : bytes) {
-      hash ^= static_cast<uint8_t>(ch);
-      hash *= 0x100000001b3ULL;  // FNV prime.
-    }
-  };
+  std::string line;
   for (const TraceEvent& event : trace) {
-    mix(event.ToLine(trace.pool()));
-    mix("\n");
+    line.clear();
+    event.AppendLine(&line, trace.pool());
+    line.push_back('\n');
+    FnvMixBytes(&hash, line);
   }
   return hash;
+}
+
+bool CanonicalBlobHash(std::string_view blob, uint64_t* hash_out,
+                       std::vector<Diagnostic>* diags, size_t* event_count) {
+  TraceReader reader(blob);
+  uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis.
+  size_t count = 0;
+  std::string line;
+  TraceEvent event;
+  while (reader.Next(&event)) {
+    line.clear();
+    event.AppendLine(&line, reader.pool());
+    line.push_back('\n');
+    FnvMixBytes(&hash, line);
+    count++;
+  }
+  if (diags != nullptr) {
+    diags->insert(diags->end(), reader.diagnostics().begin(), reader.diagnostics().end());
+  }
+  if (event_count != nullptr) {
+    *event_count = count;
+  }
+  if (hash_out != nullptr) {
+    *hash_out = hash;
+  }
+  return reader.ok();
 }
 
 }  // namespace rose

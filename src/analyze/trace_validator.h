@@ -50,6 +50,19 @@ class TraceValidator {
 // dump, or the same dump after save/load/merge, maps to the same diagnosis).
 uint64_t CanonicalTraceHash(TraceView trace);
 
+// Streaming form of CanonicalTraceHash over a raw binary RTRC blob: decodes
+// frame by frame and hashes each event's line without ever materializing an
+// owning Trace (no pool-string copies, no event vector). Produces the exact
+// hash CanonicalTraceHash yields for the parsed blob, so a serve cache key
+// computed here matches one computed from a Trace. Binary-only by design —
+// text blobs fail with kBadTraceMagic, mirroring the admission path's
+// Trace::ParseBinary behavior. Returns reader.ok(); decode diagnostics are
+// appended to `diags` and the event count stored in `*event_count` when
+// non-null (both best-effort on failure: the intact prefix).
+bool CanonicalBlobHash(std::string_view blob, uint64_t* hash_out,
+                       std::vector<Diagnostic>* diags = nullptr,
+                       size_t* event_count = nullptr);
+
 }  // namespace rose
 
 #endif  // SRC_ANALYZE_TRACE_VALIDATOR_H_

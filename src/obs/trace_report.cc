@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/sim/time.h"
+#include "src/trace/trace_io.h"
 
 namespace rose {
 
@@ -29,11 +30,11 @@ void Append(std::string* out, const char* fmt, ...) {
 
 }  // namespace
 
-std::string RenderTraceStats(const Trace& trace, MetricRegistry* registry,
+std::string RenderTraceStats(TraceView trace, MetricRegistry* registry,
                              bool with_encoded_sizes) {
   std::map<EventType, uint64_t> by_type;
   std::map<NodeId, uint64_t> by_node;
-  for (const TraceEvent& event : trace.events()) {
+  for (const TraceEvent& event : trace) {
     by_type[event.type]++;
     by_node[event.node]++;
   }
@@ -72,8 +73,22 @@ std::string RenderTraceStats(const Trace& trace, MetricRegistry* registry,
            ToSeconds(trace[trace.size() - 1].ts - trace[0].ts));
   }
   if (with_encoded_sizes) {
-    const size_t binary_bytes = trace.SerializeBinary().size();
-    const size_t text_bytes = trace.Serialize().size();
+    // Encode straight from the view — works for owning and mapped traces
+    // alike (TraceWriter resolves pool ids through View, which an
+    // external-arena pool serves from the mapped bytes).
+    std::string binary;
+    TraceWriter writer(&binary, &trace.pool());
+    for (const TraceEvent& event : trace) {
+      writer.Add(event);
+    }
+    writer.Finish();
+    std::string text;
+    for (const TraceEvent& event : trace) {
+      event.AppendLine(&text, trace.pool());
+      text.push_back('\n');
+    }
+    const size_t binary_bytes = binary.size();
+    const size_t text_bytes = text.size();
     Append(&out, "encoded size: binary %zu bytes, text %zu bytes (%.0f%%)\n",
            binary_bytes, text_bytes,
            text_bytes == 0 ? 0.0 : 100.0 * static_cast<double>(binary_bytes) /

@@ -14,10 +14,19 @@ ServeClient::ServeClient(std::shared_ptr<Transport> transport, ServeClientConfig
 }
 
 uint64_t ServeClient::Submit(const SubmitRequest& request) {
+  return SubmitEncoded(EncodeSubmit(request));
+}
+
+uint64_t ServeClient::SubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                                 std::string_view profile_text, std::string_view trace_blob) {
+  return SubmitEncoded(EncodeSubmitBlob(bug_id, seed, tag, profile_text, trace_blob));
+}
+
+uint64_t ServeClient::SubmitEncoded(std::string encoded) {
   const uint64_t handle = next_handle_++;
   PendingJob& job = jobs_[handle];
   job.handle = handle;
-  job.encoded = EncodeSubmit(request);
+  job.encoded = std::move(encoded);
   job.state = JobState::kAwaitingAccept;
   AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
   accept_fifo_.push_back(handle);

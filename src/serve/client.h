@@ -59,6 +59,13 @@ class ServeClient {
   // `request.profile` are encoded immediately (no lifetime obligations).
   uint64_t Submit(const SubmitRequest& request);
 
+  // Zero-copy submission: ships an already-serialized RTRC blob (e.g. a
+  // mapped dump file's bytes) without building or re-encoding a Trace. Same
+  // cache key as Submit of the equivalent trace — the canonical hash is
+  // encoding-independent. All views are copied into the frame immediately.
+  uint64_t SubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                      std::string_view profile_text, std::string_view trace_blob);
+
   // Queues a kStatsRequest. The server answers with one kStatsReply;
   // stats_available() turns true and stats() holds the latest snapshot.
   void RequestStats();
@@ -112,6 +119,7 @@ class ServeClient {
   };
 
   void HandleFrame(const DecodedFrame& frame);
+  uint64_t SubmitEncoded(std::string encoded);
   PendingJob* OldestAwaitingAccept();
   PendingJob* ByServerJobId(uint64_t job_id);
   const PendingJob& Get(uint64_t handle) const;

@@ -151,12 +151,20 @@ void FrameDecoder::Compact() {
 // --- Message codecs ----------------------------------------------------------
 
 std::string EncodeSubmit(const SubmitRequest& request) {
+  return EncodeSubmitBlob(request.bug_id, request.seed, request.tag,
+                          SerializeProfile(request.profile),
+                          request.trace.SerializeBinary());
+}
+
+std::string EncodeSubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                             std::string_view profile_text, std::string_view trace_blob) {
   std::string payload;
-  PutLengthPrefixed(&payload, request.bug_id);
-  PutVarint(&payload, request.seed);
-  PutLengthPrefixed(&payload, request.tag);
-  PutLengthPrefixed(&payload, SerializeProfile(request.profile));
-  PutLengthPrefixed(&payload, request.trace.SerializeBinary());
+  payload.reserve(bug_id.size() + tag.size() + profile_text.size() + trace_blob.size() + 32);
+  PutLengthPrefixed(&payload, bug_id);
+  PutVarint(&payload, seed);
+  PutLengthPrefixed(&payload, tag);
+  PutLengthPrefixed(&payload, profile_text);
+  PutLengthPrefixed(&payload, trace_blob);
   return payload;
 }
 
@@ -177,6 +185,38 @@ bool DecodeSubmit(std::string_view payload, SubmitRequest* out,
     return false;
   }
   out->trace = Trace::ParseBinary(trace_blob, trace_diags);
+  return true;
+}
+
+bool DecodeSubmitEnvelope(std::string payload, SubmitEnvelope* out) {
+  std::string_view rest = payload;
+  const char* base = rest.data();
+  std::string_view bug_id;
+  std::string_view tag;
+  std::string_view profile_text;
+  std::string_view trace_blob;
+  uint64_t seed = 0;
+  if (!GetLengthPrefixed(&rest, &bug_id) || !GetVarint(&rest, &seed) ||
+      !GetLengthPrefixed(&rest, &tag) || !GetLengthPrefixed(&rest, &profile_text) ||
+      !GetLengthPrefixed(&rest, &trace_blob)) {
+    return false;
+  }
+  if (!ParseProfile(profile_text, &out->profile_)) {
+    return false;
+  }
+  out->seed_ = seed;
+  out->bug_id_off_ = static_cast<size_t>(bug_id.data() - base);
+  out->bug_id_len_ = bug_id.size();
+  out->tag_off_ = static_cast<size_t>(tag.data() - base);
+  out->tag_len_ = tag.size();
+  out->profile_off_ = static_cast<size_t>(profile_text.data() - base);
+  out->profile_len_ = profile_text.size();
+  out->trace_off_ = static_cast<size_t>(trace_blob.data() - base);
+  out->trace_len_ = trace_blob.size();
+  // Adopt last: the offsets above were measured against the same buffer the
+  // move transfers (or, for SSO-short payloads, against bytes the offsets
+  // re-find in the new buffer).
+  out->payload_ = std::move(payload);
   return true;
 }
 

@@ -93,6 +93,44 @@ struct SubmitRequest {
   Trace trace;          // The production dump.
 };
 
+// Zero-copy view of a submit frame: owns the raw frame payload (moved in,
+// not copied) and exposes the fields as views into it. The admission path
+// uses this instead of SubmitRequest so the embedded RTRC blob is never
+// parsed into an owning Trace just to compute a cache key — the blob can be
+// hashed in place (CanonicalBlobHash) and, on a cache miss, handed to
+// MappedTrace::FromBuffer. Fields are stored as offsets, not string_views,
+// so moving the envelope (SSO buffers relocate) stays safe.
+class SubmitEnvelope {
+ public:
+  std::string_view bug_id() const { return Field(bug_id_off_, bug_id_len_); }
+  std::string_view tag() const { return Field(tag_off_, tag_len_); }
+  std::string_view profile_text() const { return Field(profile_off_, profile_len_); }
+  std::string_view trace_blob() const { return Field(trace_off_, trace_len_); }
+  uint64_t seed() const { return seed_; }
+  const Profile& profile() const { return profile_; }
+
+  // Transfers the trace blob's bytes out as an owned string (one copy — the
+  // only one the admission path ever makes, and only on a cache miss).
+  std::string TakeTraceBlob() const {
+    return std::string(trace_blob());
+  }
+
+ private:
+  friend bool DecodeSubmitEnvelope(std::string payload, SubmitEnvelope* out);
+
+  std::string_view Field(size_t off, size_t len) const {
+    return std::string_view(payload_).substr(off, len);
+  }
+
+  std::string payload_;
+  size_t bug_id_off_ = 0, bug_id_len_ = 0;
+  size_t tag_off_ = 0, tag_len_ = 0;
+  size_t profile_off_ = 0, profile_len_ = 0;
+  size_t trace_off_ = 0, trace_len_ = 0;
+  uint64_t seed_ = 42;
+  Profile profile_;
+};
+
 struct AcceptedMsg {
   uint64_t job_id = 0;
   AcceptKind kind = AcceptKind::kQueued;
@@ -164,6 +202,12 @@ void AppendServeHeader(std::string* out);
 void AppendServeFrame(std::string* out, ServeFrame kind, std::string_view payload);
 
 std::string EncodeSubmit(const SubmitRequest& request);
+// Zero-copy encode: wraps an already-serialized RTRC blob (e.g. the bytes
+// of a mapped dump file) without re-encoding a Trace. EncodeSubmit is this
+// plus SerializeBinary; the canonical hash is encoding-independent, so a
+// raw-blob submission and a re-encoded one dedup to the same cache key.
+std::string EncodeSubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                             std::string_view profile_text, std::string_view trace_blob);
 std::string EncodeAccepted(const AcceptedMsg& msg);
 std::string EncodeProgress(const ProgressMsg& msg);
 std::string EncodeResult(const ResultMsg& msg);
@@ -176,6 +220,12 @@ std::string EncodeStats(const StatsMsg& msg);
 // decides whether a damaged dump is admissible.
 bool DecodeSubmit(std::string_view payload, SubmitRequest* out,
                   std::vector<Diagnostic>* trace_diags = nullptr);
+// Zero-copy decode: adopts `payload` (move the DecodedFrame's payload in)
+// and records field offsets without parsing the trace blob at all. Same
+// false-on-malformed semantics as DecodeSubmit, including the ParseProfile
+// check; trace-container damage surfaces later, from whoever consumes
+// trace_blob().
+bool DecodeSubmitEnvelope(std::string payload, SubmitEnvelope* out);
 bool DecodeAccepted(std::string_view payload, AcceptedMsg* out);
 bool DecodeProgress(std::string_view payload, ProgressMsg* out);
 bool DecodeResult(std::string_view payload, ResultMsg* out);

@@ -59,6 +59,7 @@ DiagnosisService::DiagnosisService(ServeConfig config)
   metrics_.rejects_causal = reg.GetCounter("serve.rejects_causal");
   metrics_.corrupt_frames = reg.GetCounter("serve.corrupt_frames");
   metrics_.stats_requests = reg.GetCounter("serve.stats_requests");
+  metrics_.admit_zero_copy = reg.GetCounter("serve.admit_zero_copy");
   metrics_.queue_depth = reg.GetGauge("serve.queue_depth");
   metrics_.job_ns = reg.GetHistogram("serve.job_ns");
 }
@@ -115,7 +116,7 @@ void DiagnosisService::ReadConnection(Connection& conn) {
         return;
       case FrameDecoder::Status::kFrame:
         if (frame.kind == ServeFrame::kSubmit) {
-          HandleSubmit(conn, frame.payload);
+          HandleSubmit(conn, std::move(frame.payload));
         } else if (frame.kind == ServeFrame::kStatsRequest) {
           metrics_.stats_requests->Inc();
           SendFrame(conn.id, ServeFrame::kStatsReply, EncodeStats(BuildStats()));
@@ -140,26 +141,30 @@ void DiagnosisService::ReadConnection(Connection& conn) {
   }
 }
 
-void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) {
-  SubmitRequest request;
-  std::vector<Diagnostic> container_diags;
-  if (!DecodeSubmit(payload, &request, &container_diags)) {
+void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
+  SubmitEnvelope env;
+  if (!DecodeSubmitEnvelope(std::move(payload), &env)) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kMalformedRequest, "submit payload does not decode");
     return;
   }
-  const BugSpec* spec = FindBug(request.bug_id);
+  const std::string bug_id(env.bug_id());
+  const BugSpec* spec = FindBug(bug_id);
   if (spec == nullptr) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
-    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + request.bug_id);
+    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + bug_id);
     return;
   }
-  // Up-front validation: a damaged container or a structurally-invalid trace
-  // would burn thousands of simulated runs on garbage. TB2xx diagnostics
-  // (truncation, CRC) arrive from the embedded-blob parse; TV1xx from the
-  // validator.
+  // Streaming canonical hash straight over the RTRC blob: the cache/dedup
+  // key is known before any owning Trace exists — a repeat submission is
+  // answered below without materializing the trace at all. Container damage
+  // (TB2xx: truncation, CRC) falls out of the same single pass.
+  uint64_t trace_hash = 0;
+  size_t event_count = 0;
+  std::vector<Diagnostic> container_diags;
+  CanonicalBlobHash(env.trace_blob(), &trace_hash, &container_diags, &event_count);
   if (HasErrors(container_diags)) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
@@ -167,47 +172,24 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
               "trace container damaged: " + container_diags.front().ToString());
     return;
   }
-  if (request.trace.empty()) {
+  if (event_count == 0) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace, "trace decoded to zero events");
     return;
   }
-  TraceValidateOptions validate_options;
-  validate_options.profile = &request.profile;
-  const std::vector<Diagnostic> validation =
-      TraceValidator(validate_options).Validate(request.trace);
-  if (HasErrors(validation)) {
-    stats_.rejected_invalid++;
-    metrics_.rejects_invalid->Inc();
-    SendError(conn, ServeError::kInvalidTrace,
-              "trace failed validation: " + validation.front().ToString());
-    return;
-  }
-  // Causal consistency (TB303, DESIGN.md §12): a trace the happens-before
-  // model itself refutes — a pid alive on two nodes, events from a process
-  // after its crash — would feed the engine a graph whose prunes are
-  // meaningless. Vector clocks are skipped: admission only needs the prescan.
-  const CausalGraph causal(TraceView(request.trace),
-                           CausalOptions{/*vector_clocks=*/false});
-  if (HasErrors(causal.diagnostics())) {
-    stats_.rejected_invalid++;
-    metrics_.rejects_invalid->Inc();
-    metrics_.rejects_causal->Inc();
-    SendError(conn, ServeError::kInvalidTrace,
-              "trace causally inconsistent: " + causal.diagnostics().front().ToString());
-    return;
-  }
+  const uint64_t key = JobKey(trace_hash, bug_id, env.seed());
 
-  stats_.jobs_submitted++;
-  metrics_.submissions->Inc();
-  const uint64_t key =
-      JobKey(CanonicalTraceHash(request.trace), request.bug_id, request.seed);
-
-  // O(1) repeat: answered from the cache without touching the engine.
+  // O(1) repeat: answered from the cache without touching the engine — and,
+  // with the key streamed above, without a single trace copy. Validation is
+  // safely skipped here: a cached key means a byte-canonical-identical trace
+  // already passed the full admission checks before its diagnosis ran.
   if (std::optional<CachedResult> cached = cache_.Get(key)) {
+    stats_.jobs_submitted++;
+    metrics_.submissions->Inc();
     stats_.cache_hits++;
     metrics_.cache_hits->Inc();
+    metrics_.admit_zero_copy->Inc();
     const uint64_t job_id = next_job_id_++;
     AcceptedMsg accepted;
     accepted.job_id = job_id;
@@ -228,11 +210,15 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
   }
   metrics_.cache_misses->Inc();
 
-  // Identical job already queued/running: subscribe, don't re-run.
+  // Identical job already queued/running: subscribe, don't re-run. Like the
+  // cache hit, the in-flight job's trace already passed admission checks.
   if (auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
     Job& job = *jobs_.at(it->second);
+    stats_.jobs_submitted++;
+    metrics_.submissions->Inc();
     stats_.coalesced++;
     metrics_.coalesced->Inc();
+    metrics_.admit_zero_copy->Inc();
     job.subscribers.emplace_back(conn.id, /*coalesced=*/true);
     AcceptedMsg accepted;
     accepted.job_id = job.id;
@@ -241,15 +227,52 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string_view payload) 
     return;
   }
 
+  // First sighting of this key: now — and only now — the trace materializes,
+  // as a zero-copy decode over the blob moved out of the envelope (pool
+  // strings resolve into the adopted bytes; no owning Trace is built).
+  MappedTrace mapped = MappedTrace::FromBuffer(env.TakeTraceBlob());
+  Profile profile = env.profile();
+
+  // Up-front validation: a structurally-invalid trace would burn thousands
+  // of simulated runs on garbage. TV1xx from the validator.
+  TraceValidateOptions validate_options;
+  validate_options.profile = &profile;
+  const std::vector<Diagnostic> validation =
+      TraceValidator(validate_options).Validate(mapped.view());
+  if (HasErrors(validation)) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    SendError(conn, ServeError::kInvalidTrace,
+              "trace failed validation: " + validation.front().ToString());
+    return;
+  }
+  // Causal consistency (TB303, DESIGN.md §12): a trace the happens-before
+  // model itself refutes — a pid alive on two nodes, events from a process
+  // after its crash — would feed the engine a graph whose prunes are
+  // meaningless. Vector clocks are skipped: admission only needs the prescan.
+  const CausalGraph causal(mapped.view(), CausalOptions{/*vector_clocks=*/false});
+  if (HasErrors(causal.diagnostics())) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    metrics_.rejects_causal->Inc();
+    SendError(conn, ServeError::kInvalidTrace,
+              "trace causally inconsistent: " + causal.diagnostics().front().ToString());
+    return;
+  }
+
+  stats_.jobs_submitted++;
+  metrics_.submissions->Inc();
+  metrics_.admit_zero_copy->Inc();
+
   auto job = std::make_unique<Job>();
   job->id = next_job_id_++;
   job->key = key;
-  job->seed = request.seed;
-  job->bug_id = std::move(request.bug_id);
-  job->tag = std::move(request.tag);
+  job->seed = env.seed();
+  job->bug_id = bug_id;
+  job->tag = std::string(env.tag());
   job->spec = spec;
-  job->profile = std::move(request.profile);
-  job->trace = std::move(request.trace);
+  job->profile = std::move(profile);
+  job->trace = std::move(mapped);
   job->subscribers.emplace_back(conn.id, /*coalesced=*/false);
 
   if (queue_.Push(conn.id, job->id) == JobQueue::PushResult::kFull) {
@@ -309,7 +332,7 @@ void DiagnosisService::StartJobs() {
     const BugSpec* spec = job.spec;
     pool_->Enqueue([shared, spec, run_config = std::move(run_config)] {
       DiagnosisResult result =
-          DiagnoseTrace(*spec, shared->profile, shared->trace, run_config);
+          DiagnoseTrace(*spec, shared->profile, shared->trace.view(), run_config);
       std::lock_guard<std::mutex> lock(shared->mutex);
       shared->result = std::move(result);
       shared->finished = true;

@@ -40,6 +40,7 @@
 #include "src/serve/job_queue.h"
 #include "src/serve/protocol.h"
 #include "src/serve/result_cache.h"
+#include "src/trace/mapped_trace.h"
 
 namespace rose {
 
@@ -123,7 +124,10 @@ class DiagnosisService {
     std::string tag;
     const BugSpec* spec = nullptr;
     Profile profile;
-    Trace trace;
+    // Zero-copy handle over the submission's RTRC blob (the bytes moved out
+    // of the submit envelope — never re-parsed into an owning Trace). The
+    // worker diagnoses through trace.view().
+    MappedTrace trace;
     // Connections awaiting this job's result; bool = joined by coalescing.
     std::vector<std::pair<uint64_t, bool>> subscribers;
     enum class State : uint8_t { kQueued, kRunning, kDone } state = State::kQueued;
@@ -139,7 +143,9 @@ class DiagnosisService {
   };
 
   void ReadConnection(Connection& conn);
-  void HandleSubmit(Connection& conn, std::string_view payload);
+  // Takes the frame payload by value: the envelope adopts it, so the trace
+  // blob is never copied on its way to the hash or the job.
+  void HandleSubmit(Connection& conn, std::string payload);
   void StartJobs();
   void HarvestJobs();
   void FlushConnections();
@@ -166,6 +172,9 @@ class DiagnosisService {
     Counter* rejects_causal;  // Subset of rejects_invalid: TB303 traces.
     Counter* corrupt_frames;
     Counter* stats_requests;
+    // Admissions (hit, coalesce, or queue) that completed without ever
+    // constructing an owning Trace from the submitted blob.
+    Counter* admit_zero_copy;
     Gauge* queue_depth;
     Histogram* job_ns;
   };

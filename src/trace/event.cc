@@ -1,6 +1,8 @@
 #include "src/trace/event.h"
 
 #include <algorithm>
+#include <cstdarg>
+#include <cstdio>
 
 #include "src/common/strings.h"
 
@@ -21,39 +23,78 @@ std::string_view EventTypeName(EventType type) {
 }
 
 std::string TraceEvent::ToLine(const StringPool& pool) const {
+  std::string out;
+  AppendLine(&out, pool);
+  return out;
+}
+
+namespace {
+
+// printf-append into an existing buffer; the one allocation-free formatter
+// the streaming canonical hash leans on. Falls back to a heap buffer for the
+// rare line (a long interned pathname) that outgrows the stack one.
+void AppendFormat(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  char stack_buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap);
+  va_end(ap);
+  if (needed < 0) {
+    return;
+  }
+  if (static_cast<size_t>(needed) < sizeof(stack_buf)) {
+    out->append(stack_buf, static_cast<size_t>(needed));
+    return;
+  }
+  std::vector<char> heap_buf(static_cast<size_t>(needed) + 1);
+  va_start(ap, fmt);
+  std::vsnprintf(heap_buf.data(), heap_buf.size(), fmt, ap);
+  va_end(ap);
+  out->append(heap_buf.data(), static_cast<size_t>(needed));
+}
+
+}  // namespace
+
+void TraceEvent::AppendLine(std::string* out, const StringPool& pool) const {
   switch (type) {
     case EventType::kSCF: {
       const auto& scf_info = scf();
       const std::string filename(pool.View(scf_info.filename));
-      return StrFormat("%lld SCF node=%d pid=%d sys=%s fd=%d file=%s errno=%s",
-                       static_cast<long long>(ts), node, scf_info.pid,
-                       std::string(SysName(scf_info.sys)).c_str(), scf_info.fd,
-                       filename.empty() ? "-" : filename.c_str(),
-                       std::string(ErrName(scf_info.err)).c_str());
+      AppendFormat(out, "%lld SCF node=%d pid=%d sys=%s fd=%d file=%s errno=%s",
+                   static_cast<long long>(ts), node, scf_info.pid,
+                   std::string(SysName(scf_info.sys)).c_str(), scf_info.fd,
+                   filename.empty() ? "-" : filename.c_str(),
+                   std::string(ErrName(scf_info.err)).c_str());
+      return;
     }
     case EventType::kAF: {
       const auto& af_info = af();
-      return StrFormat("%lld AF node=%d pid=%d fid=%d", static_cast<long long>(ts), node,
-                       af_info.pid, af_info.function_id);
+      AppendFormat(out, "%lld AF node=%d pid=%d fid=%d", static_cast<long long>(ts),
+                   node, af_info.pid, af_info.function_id);
+      return;
     }
     case EventType::kND: {
       const auto& nd_info = nd();
-      return StrFormat("%lld ND node=%d src=%s dst=%s dur=%lld pkts=%llu",
-                       static_cast<long long>(ts), node,
-                       std::string(pool.View(nd_info.src_ip)).c_str(),
-                       std::string(pool.View(nd_info.dst_ip)).c_str(),
-                       static_cast<long long>(nd_info.duration),
-                       static_cast<unsigned long long>(nd_info.packet_count));
+      AppendFormat(out, "%lld ND node=%d src=%s dst=%s dur=%lld pkts=%llu",
+                   static_cast<long long>(ts), node,
+                   std::string(pool.View(nd_info.src_ip)).c_str(),
+                   std::string(pool.View(nd_info.dst_ip)).c_str(),
+                   static_cast<long long>(nd_info.duration),
+                   static_cast<unsigned long long>(nd_info.packet_count));
+      return;
     }
     case EventType::kPS: {
       const auto& ps_info = ps();
-      return StrFormat("%lld PS node=%d pid=%d state=%s dur=%lld",
-                       static_cast<long long>(ts), node, ps_info.pid,
-                       std::string(ProcStateName(ps_info.state)).c_str(),
-                       static_cast<long long>(ps_info.duration));
+      AppendFormat(out, "%lld PS node=%d pid=%d state=%s dur=%lld",
+                   static_cast<long long>(ts), node, ps_info.pid,
+                   std::string(ProcStateName(ps_info.state)).c_str(),
+                   static_cast<long long>(ps_info.duration));
+      return;
     }
   }
-  return "";
 }
 
 namespace {

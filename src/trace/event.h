@@ -79,6 +79,10 @@ struct TraceEvent {
   // One-line textual form (the human-readable dump format); `pool` resolves
   // the event's interned strings.
   std::string ToLine(const StringPool& pool) const;
+  // Appends exactly ToLine's bytes to `*out` without allocating a fresh
+  // string — the streaming canonical hash formats a million events through
+  // one reused buffer.
+  void AppendLine(std::string* out, const StringPool& pool) const;
   // Parses a line produced by ToLine(), interning strings into `pool`;
   // returns false on malformed input.
   static bool FromLine(const std::string& line, StringPool* pool, TraceEvent* out);

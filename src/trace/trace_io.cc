@@ -1,11 +1,12 @@
 #include "src/trace/trace_io.h"
 
 #include <array>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "src/common/strings.h"
 #include "src/obs/metrics.h"
+#include "src/trace/mmap_file.h"
 
 namespace rose {
 
@@ -74,19 +75,37 @@ uint32_t GetU32LE(std::string_view data) {
   return value;
 }
 
-const std::array<uint32_t, 256>& Crc32Table() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k further zero bytes, letting the hot loop fold
+// eight input bytes per iteration with eight independent lookups. The
+// resulting CRC is bit-identical to the byte-at-a-time form.
+const std::array<std::array<uint32_t, 256>, 8>& Crc32Tables() {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<uint32_t, 256>, 8> t{};
     for (uint32_t i = 0; i < 256; i++) {
       uint32_t crc = i;
       for (int bit = 0; bit < 8; bit++) {
         crc = (crc & 1) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
       }
-      t[i] = crc;
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; k++) {
+      for (uint32_t i = 0; i < 256; i++) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
+}
+
+// Endian-neutral little-endian 32-bit load (the compilers of interest fold
+// this to one mov on little-endian hosts).
+inline uint32_t LoadLE32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
 }
 
 }  // namespace
@@ -100,6 +119,16 @@ void PutVarint(std::string* out, uint64_t value) {
 }
 
 bool GetVarint(std::string_view* data, uint64_t* value) {
+  // One-byte fast path: the dominant case in event frames (deltas, small
+  // ids, fds) — skips the shift/accumulate loop entirely.
+  if (!data->empty()) {
+    const auto byte0 = static_cast<uint8_t>((*data)[0]);
+    if ((byte0 & 0x80) == 0) {
+      data->remove_prefix(1);
+      *value = byte0;
+      return true;
+    }
+  }
   uint64_t result = 0;
   int shift = 0;
   size_t i = 0;
@@ -117,10 +146,21 @@ bool GetVarint(std::string_view* data, uint64_t* value) {
 }
 
 uint32_t Crc32(std::string_view data) {
-  const auto& table = Crc32Table();
+  const auto& t = Crc32Tables();
   uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : data) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<uint8_t>(c)) & 0xff];
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    const uint32_t one = crc ^ LoadLE32(p);
+    const uint32_t two = LoadLE32(p + 4);
+    crc = t[7][one & 0xff] ^ t[6][(one >> 8) & 0xff] ^ t[5][(one >> 16) & 0xff] ^
+          t[4][one >> 24] ^ t[3][two & 0xff] ^ t[2][(two >> 8) & 0xff] ^
+          t[1][(two >> 16) & 0xff] ^ t[0][two >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ static_cast<uint8_t>(*p++)) & 0xff];
   }
   return crc ^ 0xFFFFFFFFu;
 }
@@ -258,6 +298,14 @@ TraceReader::TraceReader(std::string_view data) : rest_(data) {
   rest_.remove_prefix(kStreamHeaderSize);
 }
 
+TraceReader::TraceReader(std::string_view data, const char* external_arena_base)
+    : TraceReader(data) {
+  if (external_arena_base != nullptr) {
+    external_base_ = external_arena_base;
+    pool_.BindExternalArena(external_arena_base);
+  }
+}
+
 void TraceReader::Fail(DiagCode code, Severity severity, std::string message,
                        std::string hint) {
   Diagnostic diag;
@@ -290,13 +338,26 @@ bool TraceReader::DecodePoolFrame(std::string_view payload) {
     // Ids must be dense and in stream order, or event ids resolve wrongly.
     return false;
   }
+  pool_.ReserveEntries(pool_.size() + count);
   for (uint64_t i = 0; i < count; i++) {
     uint64_t length = 0;
     if (!GetVarint(&payload, &length) || length > payload.size()) {
       return false;
     }
     const std::string_view s = payload.substr(0, length);
-    if (pool_.Intern(s) != first_id + i) {
+    if (external_base_ != nullptr) {
+      // Zero-copy mode: record the string as an offset into the caller's
+      // stable buffer. Empty and duplicate strings must fail exactly as
+      // copying mode's Intern check does, or the two paths diverge.
+      if (s.empty() || !external_seen_.insert(s).second) {
+        return false;
+      }
+      const size_t offset = static_cast<size_t>(s.data() - external_base_);
+      if (offset > UINT32_MAX || length > UINT32_MAX) {
+        return false;
+      }
+      pool_.AppendExternal(offset, length);
+    } else if (pool_.Intern(s) != first_id + i) {
       return false;  // Duplicate or empty string would desynchronize ids.
     }
     payload.remove_prefix(length);
@@ -528,7 +589,7 @@ Trace Trace::ParseBinary(std::string_view data, std::vector<Diagnostic>* diags) 
   }
   // The reader interned ids in stream order, so its pool resolves the
   // decoded events directly.
-  return Trace(std::move(events), reader.pool());
+  return Trace(std::move(events), reader.ReleasePool());
 }
 
 Trace Trace::Load(std::string_view data, std::vector<Diagnostic>* diags) {
@@ -539,21 +600,21 @@ Trace Trace::Load(std::string_view data, std::vector<Diagnostic>* diags) {
 }
 
 Trace LoadTraceFile(const std::string& path, std::vector<Diagnostic>* diags) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::string bytes;
+  int read_errno = 0;
+  if (!ReadFileBytes(path, &bytes, &read_errno)) {
     if (diags != nullptr) {
       Diagnostic diag;
       diag.code = DiagCode::kTraceFileUnreadable;
       diag.severity = Severity::kError;
-      diag.message = StrFormat("cannot open trace file %s", path.c_str());
+      diag.message = StrFormat("cannot open trace file %s: %s", path.c_str(),
+                               read_errno != 0 ? std::strerror(read_errno) : "unknown error");
       diag.hint = "check the path and permissions";
       diags->push_back(std::move(diag));
     }
     return Trace();
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return Trace::Load(buf.str(), diags);
+  return Trace::Load(bytes, diags);
 }
 
 bool SaveTraceFile(const std::string& path, const Trace& trace, bool text) {

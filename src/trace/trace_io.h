@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/analyze/diagnostic.h"
@@ -117,11 +118,20 @@ class TraceReader {
  public:
   explicit TraceReader(std::string_view data);
 
+  // Zero-copy variant: pool strings are recorded as offsets into
+  // `external_arena_base` (the start of the stable buffer containing `data`
+  // — normally a mapped file) instead of being copied into a private arena.
+  // The buffer must outlive the pool and every view resolved through it.
+  TraceReader(std::string_view data, const char* external_arena_base);
+
   // Produces the next event. Returns false at end-of-stream — clean or not;
   // consult ok()/diagnostics() to tell. Never throws.
   bool Next(TraceEvent* out);
 
   const StringPool& pool() const { return pool_; }
+  // Transfers the decoded pool out of the reader (after the stream drains;
+  // the reader must not decode further frames afterwards).
+  StringPool ReleasePool() { return std::move(pool_); }
   const std::vector<Diagnostic>& diagnostics() const { return diags_; }
   // False once an error-severity diagnostic has been recorded.
   bool ok() const;
@@ -136,6 +146,11 @@ class TraceReader {
 
   std::string_view rest_;
   StringPool pool_;
+  // Zero-copy pool mode (see the two-arg constructor); null = copying mode.
+  const char* external_base_ = nullptr;
+  // Duplicate detection for external pools — copying mode gets it for free
+  // from Intern's index. Views point into the caller's stable buffer.
+  std::unordered_set<std::string_view> external_seen_;
   std::vector<Diagnostic> diags_;
   bool done_ = false;
   bool saw_end_ = false;

@@ -2,9 +2,17 @@
 // reproduction, on the fast Table-1 bugs, plus workflow invariants.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+
 #include "src/analyze/schedule_linter.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/rose.h"
+#include "src/harness/runner.h"
+#include "src/trace/mapped_trace.h"
+#include "src/trace/trace_io.h"
 
 namespace rose {
 namespace {
@@ -118,6 +126,52 @@ TEST(PipelineTest, ParallelDiagnosisMatchesSerialOnRealBugs) {
     EXPECT_EQ(parallel.runs(), serial.runs()) << c.id;
     EXPECT_EQ(parallel.diagnosis.virtual_time, serial.diagnosis.virtual_time) << c.id;
     EXPECT_EQ(parallel.fr_percent(), serial.fr_percent()) << c.id;
+  }
+}
+
+TEST(ZeroCopyPipelineTest, MmapAndHeapLoadsDiagnoseByteIdentically) {
+  // The zero-copy acceptance bar (DESIGN.md §13): diagnosing a dump through
+  // the mmap-backed external-arena view must be byte-for-byte identical —
+  // confirmed-schedule YAML included — to diagnosing the same file through
+  // the owning heap loader.
+  struct Case {
+    const char* id;
+    uint64_t seed;
+  };
+  for (const Case& c : {Case{"Zookeeper-3006", 5}, Case{"RedisRaft-42", 42}}) {
+    const BugSpec* spec = FindBug(c.id);
+    ASSERT_NE(spec, nullptr) << c.id;
+    BugRunner runner(spec);
+    const Profile profile = runner.RunProfiling(c.seed);
+    std::optional<Trace> production = runner.ObtainProductionTrace(profile, c.seed + 17);
+    ASSERT_TRUE(production.has_value()) << c.id;
+
+    const std::string path =
+        (std::filesystem::path(testing::TempDir()) / (std::string(c.id) + ".trc")).string();
+    ASSERT_TRUE(SaveTraceFile(path, *production)) << c.id;
+
+    const MappedTrace mapped = MappedTrace::OpenFile(path);
+    ASSERT_TRUE(mapped.valid()) << c.id;
+    ASSERT_TRUE(mapped.zero_copy()) << c.id;
+    std::vector<Diagnostic> diags;
+    const Trace heap = LoadTraceFile(path, &diags);
+    ASSERT_FALSE(HasErrors(diags)) << c.id;
+    ASSERT_EQ(mapped.event_count(), heap.size()) << c.id;
+
+    RoseConfig config;
+    config.seed = c.seed;
+    const DiagnosisResult via_mmap = DiagnoseTrace(*spec, profile, mapped.view(), config);
+    const DiagnosisResult via_heap = DiagnoseTrace(*spec, profile, TraceView(heap), config);
+    ASSERT_TRUE(via_heap.reproduced) << c.id;
+    EXPECT_EQ(via_mmap.reproduced, via_heap.reproduced) << c.id;
+    EXPECT_EQ(via_mmap.schedule.ToYaml(), via_heap.schedule.ToYaml()) << c.id;
+    EXPECT_EQ(via_mmap.fault_summary, via_heap.fault_summary) << c.id;
+    EXPECT_DOUBLE_EQ(via_mmap.replay_rate, via_heap.replay_rate) << c.id;
+    EXPECT_EQ(via_mmap.level, via_heap.level) << c.id;
+    EXPECT_EQ(via_mmap.schedules_generated, via_heap.schedules_generated) << c.id;
+    EXPECT_EQ(via_mmap.total_runs, via_heap.total_runs) << c.id;
+    EXPECT_EQ(via_mmap.virtual_time, via_heap.virtual_time) << c.id;
+    std::remove(path.c_str());
   }
 }
 

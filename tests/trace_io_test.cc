@@ -2,12 +2,19 @@
 // pool remapping under Merge, and graceful rejection of damaged input.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analyze/schedule_linter.h"
+#include "src/analyze/trace_validator.h"
 #include "src/common/rng.h"
 #include "src/diagnose/engine.h"
+#include "src/trace/mapped_trace.h"
+#include "src/trace/mmap_file.h"
 #include "src/trace/trace_io.h"
 
 namespace rose {
@@ -339,6 +346,219 @@ TEST(TraceIoTest, DiagnosisIdenticalAfterBinaryRoundTrip) {
   EXPECT_EQ(in_memory.schedules_pruned_duplicate, from_binary.schedules_pruned_duplicate);
   EXPECT_EQ(in_memory.total_runs, from_binary.total_runs);
   EXPECT_EQ(in_memory.virtual_time, from_binary.virtual_time);
+}
+
+// --- MappedTrace: the zero-copy load path (DESIGN.md §13) -------------------
+
+std::string TempTracePath(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+void WriteBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<DiagCode> Codes(const std::vector<Diagnostic>& diags) {
+  std::vector<DiagCode> codes;
+  for (const Diagnostic& diag : diags) {
+    codes.push_back(diag.code);
+  }
+  return codes;
+}
+
+// The two decode paths — owning ParseBinary and zero-copy external-arena —
+// must agree event for event, string for string, and diagnostic for
+// diagnostic on ANY input. The damage matrices below lean on this helper.
+void ExpectMatchesHeapParse(const MappedTrace& mapped, std::string_view encoded,
+                            const char* what) {
+  std::vector<Diagnostic> heap_diags;
+  const Trace heap = Trace::ParseBinary(encoded, &heap_diags);
+  ASSERT_TRUE(mapped.valid()) << what;
+  EXPECT_EQ(Codes(mapped.diagnostics()), Codes(heap_diags)) << what;
+  const TraceView view = mapped.view();
+  ASSERT_EQ(view.size(), heap.size()) << what;
+  for (size_t i = 0; i < view.size(); i++) {
+    EXPECT_EQ(view[i].ToLine(view.pool()), heap[i].ToLine(heap.pool()))
+        << what << " event " << i;
+  }
+}
+
+TEST(MappedTraceTest, MmapLargeTraceRoundTripMatchesHeap) {
+  // Large enough to span many frames (writer flushes every 4096 events) and
+  // several pages of mapping — the ASan job dereferences every mapped pool
+  // string through ToLine below.
+  const Trace original = RandomTrace(31, 65536);
+  const std::string encoded = original.SerializeBinary();
+  const std::string path = TempTracePath("mapped_roundtrip.trc");
+  WriteBytes(path, encoded);
+  const MappedTrace mapped = MappedTrace::OpenFile(path);
+  ASSERT_TRUE(mapped.valid());
+  EXPECT_TRUE(mapped.zero_copy());
+  EXPECT_TRUE(mapped.diagnostics().empty());
+  EXPECT_EQ(mapped.event_count(), original.size());
+  EXPECT_EQ(mapped.bytes(), std::string_view(encoded));
+  ExpectMatchesHeapParse(mapped, encoded, "round trip");
+  // Pool strings really alias the backing bytes (no copies): every interned
+  // view must point inside the container.
+  const TraceView view = mapped.view();
+  for (StrId id = 1; id < view.pool().size(); id++) {
+    const std::string_view s = view.pool().View(id);
+    EXPECT_GE(s.data(), mapped.bytes().data());
+    EXPECT_LE(s.data() + s.size(), mapped.bytes().data() + mapped.bytes().size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedTraceTest, TruncationAtEveryByteMatchesHeap) {
+  const Trace original = RandomTrace(5, 120);
+  const std::string encoded = original.SerializeBinary();
+  const std::string path = TempTracePath("mapped_truncation.trc");
+  for (size_t cut = 0; cut < encoded.size(); cut++) {
+    WriteBytes(path, std::string_view(encoded).substr(0, cut));
+    const MappedTrace mapped = MappedTrace::OpenFile(path);
+    ASSERT_TRUE(mapped.valid()) << "cut at " << cut;
+    if (mapped.zero_copy()) {
+      ExpectMatchesHeapParse(mapped, std::string_view(encoded).substr(0, cut),
+                             ("cut at " + std::to_string(cut)).c_str());
+    } else {
+      // Too short to carry the 4-byte magic: falls back to the (failing)
+      // text parse, same as LoadTraceFile's auto-detection on the same bytes.
+      EXPECT_LT(cut, 4u) << "cut at " << cut;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedTraceTest, CorruptCrcAtEveryFrameMatchesHeap) {
+  const Trace original = RandomTrace(21, 300);
+  std::string encoded;
+  {
+    TraceWriter writer(&encoded, &original.pool(), /*events_per_frame=*/64);
+    for (const TraceEvent& event : original.events()) {
+      writer.Add(event);
+    }
+    writer.Finish();
+  }
+  const std::string path = TempTracePath("mapped_corrupt.trc");
+  // Flip one byte at a spread of positions past the magic — version bytes,
+  // frame headers, CRCs, pool payloads, event payloads all get hit. (The
+  // magic itself stays intact so both paths take the binary branch.)
+  for (size_t pos = 4; pos < encoded.size(); pos += 17) {
+    std::string corrupted = encoded;
+    corrupted[pos] ^= char(0x40);
+    WriteBytes(path, corrupted);
+    const MappedTrace mapped = MappedTrace::OpenFile(path);
+    ASSERT_TRUE(mapped.valid()) << "flip at " << pos;
+    ASSERT_TRUE(mapped.zero_copy()) << "flip at " << pos;
+    ExpectMatchesHeapParse(mapped, corrupted, ("flip at " + std::to_string(pos)).c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedTraceTest, TextDumpFallsBackToOwningParse) {
+  const Trace original = RandomTrace(9, 64);
+  const std::string path = TempTracePath("mapped_text.trc");
+  WriteBytes(path, original.Serialize());
+  const MappedTrace mapped = MappedTrace::OpenFile(path);
+  ASSERT_TRUE(mapped.valid());
+  EXPECT_FALSE(mapped.zero_copy());
+  ASSERT_EQ(mapped.event_count(), original.size());
+  const TraceView view = mapped.view();
+  for (size_t i = 0; i < view.size(); i++) {
+    EXPECT_EQ(view[i].ToLine(view.pool()), original[i].ToLine(original.pool()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedTraceTest, UnreadableFileYieldsDiagnostic) {
+  const MappedTrace mapped = MappedTrace::OpenFile(TempTracePath("nonexistent.trc"));
+  EXPECT_FALSE(mapped.valid());
+  ASSERT_FALSE(mapped.diagnostics().empty());
+  EXPECT_EQ(mapped.diagnostics()[0].code, DiagCode::kTraceFileUnreadable);
+  EXPECT_TRUE(mapped.view().empty());
+  EXPECT_EQ(mapped.event_count(), 0u);
+}
+
+TEST(MappedTraceTest, PromoteProducesIdenticalOwningTrace) {
+  const Trace original = RandomTrace(13, 512);
+  const std::string path = TempTracePath("mapped_promote.trc");
+  WriteBytes(path, original.SerializeBinary());
+  const MappedTrace mapped = MappedTrace::OpenFile(path);
+  ASSERT_TRUE(mapped.zero_copy());
+  const Trace promoted = mapped.Promote();
+  // Identical ids, events, and strings: the re-encodings are byte-equal.
+  EXPECT_EQ(promoted.SerializeBinary(), original.SerializeBinary());
+  EXPECT_EQ(promoted.Serialize(), original.Serialize());
+  std::remove(path.c_str());
+}
+
+// The lifetime contract, ASan-verifiable: dropping the last handle unmaps the
+// backing bytes (guard() expires), while any live copy keeps them valid.
+TEST(MappedTraceTest, UnmapLifetimeGuard) {
+  const Trace original = RandomTrace(17, 128);
+  const std::string path = TempTracePath("mapped_guard.trc");
+  WriteBytes(path, original.SerializeBinary());
+  std::weak_ptr<const void> guard;
+  {
+    MappedTrace outer;
+    {
+      const MappedTrace inner = MappedTrace::OpenFile(path);
+      ASSERT_TRUE(inner.valid());
+      guard = inner.guard();
+      outer = inner;  // A copy shares the mapping.
+    }
+    // The copy keeps the mapping alive — the view must still read cleanly
+    // (under ASan this dereferences the mapped pool strings).
+    EXPECT_FALSE(guard.expired());
+    const TraceView view = outer.view();
+    ASSERT_EQ(view.size(), original.size());
+    EXPECT_EQ(view[0].ToLine(view.pool()), original[0].ToLine(original.pool()));
+  }
+  // Last copy gone: mapping released. (Nothing touches the view past here.)
+  EXPECT_TRUE(guard.expired());
+  std::remove(path.c_str());
+}
+
+TEST(CanonicalBlobHashTest, MatchesParsedTraceHash) {
+  for (uint64_t seed = 1; seed <= 4; seed++) {
+    const Trace trace = RandomTrace(seed * 131, 400);
+    const std::string blob = trace.SerializeBinary();
+    uint64_t streamed = 0;
+    size_t events = 0;
+    std::vector<Diagnostic> diags;
+    ASSERT_TRUE(CanonicalBlobHash(blob, &streamed, &diags, &events));
+    EXPECT_TRUE(diags.empty());
+    EXPECT_EQ(events, trace.size());
+    EXPECT_EQ(streamed, CanonicalTraceHash(TraceView(trace)));
+  }
+}
+
+TEST(CanonicalBlobHashTest, RejectsTextAndDamage) {
+  uint64_t hash = 0;
+  std::vector<Diagnostic> diags;
+  EXPECT_FALSE(CanonicalBlobHash(RandomTrace(3, 16).Serialize(), &hash, &diags));
+  EXPECT_FALSE(diags.empty());
+  const std::string blob = RandomTrace(3, 64).SerializeBinary();
+  EXPECT_FALSE(CanonicalBlobHash(std::string_view(blob).substr(0, blob.size() / 2), &hash));
+}
+
+TEST(MmapTraceFileTest, ReadFileBytesMatchesMapping) {
+  const std::string path = TempTracePath("mmap_raw.bin");
+  const std::string payload = RandomTrace(41, 256).SerializeBinary();
+  WriteBytes(path, payload);
+  MmapTraceFile file = MmapTraceFile::Open(path);
+  ASSERT_TRUE(file.valid());
+  EXPECT_EQ(file.bytes(), std::string_view(payload));
+  std::string heap;
+  ASSERT_TRUE(ReadFileBytes(path, &heap));
+  EXPECT_EQ(heap, payload);
+  int open_errno = 0;
+  const MmapTraceFile missing = MmapTraceFile::Open(TempTracePath("missing.bin"), &open_errno);
+  EXPECT_FALSE(missing.valid());
+  EXPECT_NE(open_errno, 0);
+  std::remove(path.c_str());
 }
 
 TEST(TraceIoTest, BinaryEncodingIsSmallerThanText) {

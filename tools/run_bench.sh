@@ -31,7 +31,15 @@
 #    cores (a 1-core host shows flat times).
 #  - BENCH_trace_io: BM_ParseBinary must be >= 2x faster than BM_ParseText
 #    and the binary encoded_bytes counter <= 50% of the text one on the
-#    1M-event window (the binary container's acceptance bar).
+#    1M-event window (the binary container's acceptance bar). The load-path
+#    pairs compare the owning loader against the zero-copy mapped one on the
+#    same on-disk dump: BM_LoadFileMmap vs BM_LoadFileHeap is the full-decode
+#    comparison (mmap wins by skipping the read() copy and the pool-string
+#    re-copy; margin grows with string-heavy traces and release builds), and
+#    BM_OpenToFirstEventMmap must be >= 3x faster than BM_OpenToFirstEventHeap
+#    — the zero-copy data plane's acceptance bar, usually orders of magnitude
+#    since only the leading frames decode. BM_CanonicalBlobHash is the serve
+#    admission cache-key cost: one streamed pass, no Trace construction.
 #  - BENCH_serve: per-arg rows are concurrent client counts (1/4/16).
 #    BM_ServeCold items_per_second at 4 clients must be >= 2x the 1-client
 #    row (needs >= 4 real cores); BM_ServeCacheHit must show zero engine
