@@ -1,0 +1,152 @@
+// Flat vs. context-indexed SCF targeting (DESIGN.md §14), over the full bug
+// catalogue.
+//
+// Runs every catalogue bug through the Rose pipeline twice — once with the
+// historical flat nth-invocation counters (--indexing=flat) and once with
+// execution-indexed addresses (--indexing=context) — and reports the two
+// numbers the refactor is accountable for:
+//
+//   replay%        context targeting must match or beat flat targeting on
+//                  every bug: the indexed aim only ever adds sharper
+//                  candidates ahead of the flat plan (which is retained as
+//                  the fallback), so a regression is a bug;
+//   sweep width    the Level-2 SCF funnel each mode poses per candidate,
+//                  from the engine's static plan: flat grinds up to
+//                  max_scf_sweep nth values, the indexed mode probes the
+//                  residual same-context window (2*radius+1). `scf_sweeps`
+//                  counts the sweeps a run actually had to execute.
+//
+// With a file argument, also writes the rows as JSON (BENCH_indexing.json —
+// see tools/run_bench.sh).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/bug_registry.h"
+#include "src/harness/rose.h"
+
+namespace {
+
+struct ModeRow {
+  bool reproduced = false;
+  double replay_rate = 0;
+  int level = 0;
+  int schedules = 0;
+  int runs = 0;
+  int scf_sweeps = 0;
+  int scf_sweep_width = 0;
+  std::vector<int> planned_widths;
+  double mean_planned_width() const {
+    if (planned_widths.empty()) {
+      return 0.0;
+    }
+    double total = 0;
+    for (const int w : planned_widths) {
+      total += w;
+    }
+    return total / static_cast<double>(planned_widths.size());
+  }
+};
+
+ModeRow RunMode(const rose::BugSpec& spec, rose::DiagnosisConfig::IndexingMode mode) {
+  rose::RoseConfig config;
+  config.seed = 42;
+  config.diagnosis.indexing = mode;
+  const rose::RoseReport report = rose::ReproduceBugRobust(spec, config);
+  ModeRow row;
+  row.reproduced = report.reproduced();
+  row.replay_rate = report.replay_rate();
+  row.level = report.diagnosis.level;
+  row.schedules = report.schedules();
+  row.runs = report.runs();
+  row.scf_sweeps = report.diagnosis.scf_sweeps;
+  row.scf_sweep_width = report.diagnosis.scf_sweep_width;
+  row.planned_widths = report.diagnosis.planned_scf_sweep_widths;
+  return row;
+}
+
+std::string ModeJson(const ModeRow& row) {
+  std::string widths;
+  for (size_t i = 0; i < row.planned_widths.size(); i++) {
+    widths += (i == 0 ? "" : ", ") + std::to_string(row.planned_widths[i]);
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"reproduced\": %s, \"replay_percent\": %.1f, \"level\": %d, "
+                "\"schedules\": %d, \"runs\": %d, \"scf_sweeps\": %d, "
+                "\"executed_sweep_width\": %d, \"planned_sweep_widths\": [%s], "
+                "\"mean_planned_width\": %.2f}",
+                row.reproduced ? "true" : "false", row.replay_rate, row.level,
+                row.schedules, row.runs, row.scf_sweeps, row.scf_sweep_width,
+                widths.c_str(), row.mean_planned_width());
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = argc > 1 ? argv[1] : "";
+  std::printf("=== SCF targeting: flat nth counters vs execution-indexed addresses ===\n\n");
+  std::printf("%-16s | %8s %8s | %9s %9s | %11s %11s\n", "Bug", "flat RR%", "ctx RR%",
+              "flat swp", "ctx swp", "flat width", "ctx width");
+  std::printf("-----------------+-------------------+---------------------+------------------"
+              "-------\n");
+
+  std::string rows_json;
+  int replay_regressions = 0;
+  int sweep_bugs = 0;
+  int sweep_wins = 0;
+  for (const rose::BugSpec* spec : rose::AllBugs()) {
+    const ModeRow flat = RunMode(*spec, rose::DiagnosisConfig::IndexingMode::kFlat);
+    const ModeRow ctx = RunMode(*spec, rose::DiagnosisConfig::IndexingMode::kContext);
+    if (ctx.replay_rate + 1e-9 < flat.replay_rate) {
+      replay_regressions++;
+    }
+    if (!flat.planned_widths.empty()) {
+      sweep_bugs++;
+      if (ctx.mean_planned_width() < flat.mean_planned_width()) {
+        sweep_wins++;
+      }
+    }
+    std::printf("%-16s | %8.0f %8.0f | %9d %9d | %11.1f %11.1f\n", spec->id.c_str(),
+                flat.replay_rate, ctx.replay_rate, flat.scf_sweeps, ctx.scf_sweeps,
+                flat.mean_planned_width(), ctx.mean_planned_width());
+    rows_json += (rows_json.empty() ? "" : ",\n");
+    rows_json += "  {\"bug\": \"" + spec->id + "\",\n   \"flat\": " + ModeJson(flat) +
+                 ",\n   \"context\": " + ModeJson(ctx) + "}";
+  }
+
+  std::printf("\nsummary: %d replay regressions under context mode (must be 0); "
+              "context funnel narrower on %d of %d SCF-sweep-posing bugs\n",
+              replay_regressions, sweep_wins, sweep_bugs);
+
+  if (!json_out.empty()) {
+    std::string json = "{\n \"bugs\": [\n" + rows_json + "\n ],\n";
+    char buf[1200];
+    std::snprintf(
+        buf, sizeof(buf),
+        " \"summary\": {\"replay_regressions\": %d, \"sweep_posing_bugs\": %d, "
+        "\"context_narrower_on\": %d},\n"
+        " \"notes\": ["
+        "\"replay_percent: context must be >= flat on every bug; the indexed aim only "
+        "adds candidates ahead of the retained flat fallback, so a regression means the "
+        "fallback failed to engage\", "
+        "\"planned_sweep_widths: the Level-2 funnel each extracted SCF candidate would "
+        "pose, from the engine's static plan — flat grinds up to max_scf_sweep nth "
+        "values, context probes the residual same-context window "
+        "(2*index_sweep_radius+1, clamped at seq >= 1)\", "
+        "\"scf_sweeps / executed_sweep_width: sweeps a run actually executed; 0 means "
+        "diagnosis confirmed before reaching a Level-2 SCF sweep\"]\n}\n",
+        replay_regressions, sweep_bugs, sweep_wins);
+    json += buf;
+    std::FILE* f = std::fopen(json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return replay_regressions == 0 ? 0 : 1;
+}

@@ -68,6 +68,12 @@ void TraceEvent::AppendLine(std::string* out, const StringPool& pool) const {
                    std::string(SysName(scf_info.sys)).c_str(), scf_info.fd,
                    filename.empty() ? "-" : filename.c_str(),
                    std::string(ErrName(scf_info.err)).c_str());
+      // Unindexed events keep the legacy line verbatim — the canonical trace
+      // hash (and every pre-index dump) depends on that.
+      if (scf_info.ctx_digest != 0) {
+        AppendFormat(out, " ctx=%llx cseq=%u",
+                     static_cast<unsigned long long>(scf_info.ctx_digest), scf_info.ctx_seq);
+      }
       return;
     }
     case EventType::kAF: {
@@ -113,6 +119,30 @@ bool TokenInt(const std::string& token, std::string_view key, int64_t* out) {
   return TokenValue(token, key, &value) && ParseInt64(value, out);
 }
 
+// Hex variant for the context digest (emitted as %llx).
+bool TokenHex(const std::string& token, std::string_view key, uint64_t* out) {
+  std::string value;
+  if (!TokenValue(token, key, &value) || value.empty()) {
+    return false;
+  }
+  uint64_t parsed = 0;
+  for (char c : value) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    parsed = (parsed << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = parsed;
+  return true;
+}
+
 }  // namespace
 
 bool TraceEvent::FromLine(const std::string& line, StringPool* pool, TraceEvent* out) {
@@ -132,6 +162,7 @@ bool TraceEvent::FromLine(const std::string& line, StringPool* pool, TraceEvent*
   if (type == "SCF") {
     ScfInfo info;
     int64_t value = 0;
+    uint64_t hex = 0;
     for (const auto& token : tokens) {
       std::string text;
       if (TokenInt(token, "pid", &value)) {
@@ -144,6 +175,10 @@ bool TraceEvent::FromLine(const std::string& line, StringPool* pool, TraceEvent*
         info.filename = pool->Intern(text == "-" ? "" : text);
       } else if (TokenValue(token, "errno", &text)) {
         info.err = ErrFromName(text);
+      } else if (TokenHex(token, "ctx", &hex)) {
+        info.ctx_digest = hex;
+      } else if (TokenInt(token, "cseq", &value)) {
+        info.ctx_seq = static_cast<uint32_t>(value);
       }
     }
     out->type = EventType::kSCF;
@@ -304,6 +339,7 @@ bool TraceEquals(TraceView a, TraceView b) {
         const ScfInfo& sa = ea.scf();
         const ScfInfo& sb = eb.scf();
         if (sa.pid != sb.pid || sa.sys != sb.sys || sa.fd != sb.fd || sa.err != sb.err ||
+            sa.ctx_digest != sb.ctx_digest || sa.ctx_seq != sb.ctx_seq ||
             a.str(sa.filename) != b.str(sb.filename)) {
           return false;
         }

@@ -45,6 +45,13 @@ struct ScfInfo {
   // kEmptyStrId when unknown.
   StrId filename = kEmptyStrId;
   Err err = Err::kOk;
+  // Execution index (src/trace/execution_index.h): the calling-context
+  // digest active at the invocation and the 1-based in-context sequence
+  // number. 0/0 means "not indexed" (pre-index dumps); the textual and
+  // binary codecs omit the fields in that case, so legacy traces round-trip
+  // byte-identically.
+  uint64_t ctx_digest = 0;
+  uint32_t ctx_seq = 0;
 };
 
 struct AfInfo {

@@ -1,0 +1,90 @@
+// Execution indexing: calling-context-qualified syscall addresses.
+//
+// A flat "nth matching invocation" counter drifts whenever concurrency noise
+// adds or removes an unrelated invocation before the target. Following the
+// distributed execution indexing idea (Meiklejohn et al.), Rose instead
+// addresses a syscall by
+//
+//   (context digest, sequence number)
+//
+// where the context digest is a rolling 64-bit hash of the invoking
+// process's most recent function-enter chain (a bounded shadow stack: the
+// last kContextDepth uprobe hits, oldest to newest), and the sequence number
+// counts matching invocations *within* that context on that node, keyed by
+// (node, digest, syscall, input). Invocations from other calling contexts no
+// longer perturb the counter, so a recorded (digest, seq) pair re-resolves
+// to the same injection point across interleavings.
+//
+// The tracer runs one tracker over the production execution and stamps every
+// SCF event with the pair; the executor runs an identical tracker online
+// during replay and matches scheduled faults against it in O(1). Both sides
+// must observe the same kernel hook stream — the tracker is fed from
+// OnFunctionEnter (every uprobe hit, before any monitored-set filtering) and
+// advanced once per syscall invocation.
+//
+// A digest of 0 means "no context recorded" (e.g. a trace from a pre-index
+// tracer); all consumers treat it as absent and fall back to flat counting.
+#ifndef SRC_TRACE_EXECUTION_INDEX_H_
+#define SRC_TRACE_EXECUTION_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "src/os/process.h"
+#include "src/os/syscall.h"
+
+namespace rose {
+
+// Depth of the bounded shadow stack. The simulated guests' call chains are
+// shallow (Algorithm 1 caps context chains at 6); eight enters of history
+// distinguishes every calling context the diagnosis engine can express while
+// keeping the per-enter update a handful of integer mixes.
+inline constexpr int kExecutionContextDepth = 8;
+
+// The sequence-counter key input for a syscall invocation: the pathname for
+// path-based syscalls, "sock:<ip>" for network ones, empty otherwise. Both
+// the tracer (at syscall exit) and the executor (at interpose time) see the
+// same SyscallInvocation, so keying on its immediate arguments — never on
+// post-hoc fd resolution — guarantees the two sides count identically.
+std::string IndexInputOf(const SyscallInvocation& inv);
+
+class ExecutionIndexTracker {
+ public:
+  // Feeds one uprobe hit into pid's shadow chain. Must be called for every
+  // function enter the kernel reports, regardless of any monitored-set
+  // configuration, or digests diverge between capture and replay.
+  void OnFunctionEnter(Pid pid, int32_t function_id);
+
+  // Current context digest of `pid`; 0 when no function has entered yet.
+  uint64_t DigestOf(Pid pid) const;
+
+  // Advances and returns the 1-based sequence number of the next invocation
+  // matching (node, digest, sys, input). Call exactly once per syscall
+  // invocation on each side of the capture/replay pair.
+  uint32_t NextSeq(NodeId node, uint64_t digest, Sys sys, std::string_view input);
+
+  // Forgets all per-pid chains and sequence counters.
+  void Reset();
+
+  // The stable 64-bit key NextSeq counts under — exposed so tests can assert
+  // the keying scheme directly.
+  static uint64_t SeqKey(NodeId node, uint64_t digest, Sys sys, std::string_view input);
+
+ private:
+  struct Chain {
+    int32_t ids[kExecutionContextDepth] = {};
+    uint8_t size = 0;  // Valid entries, <= kExecutionContextDepth.
+    uint8_t head = 0;  // Ring slot the next enter writes.
+    uint64_t digest = 0;
+  };
+
+  static uint64_t DigestChain(const Chain& chain);
+
+  std::unordered_map<Pid, Chain> chains_;
+  std::unordered_map<uint64_t, uint32_t> seq_;
+};
+
+}  // namespace rose
+
+#endif  // SRC_TRACE_EXECUTION_INDEX_H_

@@ -172,11 +172,13 @@ bool LooksLikeBinaryTrace(std::string_view data) {
 
 // --- TraceWriter ------------------------------------------------------------
 
-TraceWriter::TraceWriter(std::string* out, const StringPool* pool, size_t events_per_frame)
+TraceWriter::TraceWriter(std::string* out, const StringPool* pool, size_t events_per_frame,
+                         uint16_t format_version)
     : out_(out), pool_(pool),
-      events_per_frame_(events_per_frame == 0 ? 1 : events_per_frame) {
+      events_per_frame_(events_per_frame == 0 ? 1 : events_per_frame),
+      format_version_(format_version) {
   out_->append(kTraceMagic, sizeof(kTraceMagic));
-  PutU16LE(out_, kTraceFormatVersion);
+  PutU16LE(out_, format_version_);
   PutU16LE(out_, 0);  // Reserved.
 }
 
@@ -231,6 +233,10 @@ void TraceWriter::Add(const TraceEvent& event) {
       PutVarint(p, ZigZagEncode(info.fd));
       PutVarint(p, info.filename);
       PutVarint(p, static_cast<uint64_t>(info.err));
+      if (format_version_ >= 2) {
+        PutVarint(p, info.ctx_digest);
+        PutVarint(p, info.ctx_seq);
+      }
       break;
     }
     case EventType::kAF: {
@@ -295,6 +301,8 @@ TraceReader::TraceReader(std::string_view data) : rest_(data) {
          "re-dump with this build, or upgrade the reader");
     return;
   }
+  format_version_ = version;
+  MetricRegistry::Global().GetGauge("trace_io.rtrc_version")->Set(version);
   rest_.remove_prefix(kStreamHeaderSize);
 }
 
@@ -412,6 +420,15 @@ bool TraceReader::DecodeEventFrame(std::string_view payload) {
         info.fd = static_cast<int32_t>(ZigZagDecode(fd));
         info.filename = static_cast<StrId>(filename);
         info.err = static_cast<Err>(err);
+        if (format_version_ >= 2) {
+          uint64_t digest = 0;
+          uint64_t seq = 0;
+          if (!GetVarint(&payload, &digest) || !GetVarint(&payload, &seq)) {
+            return false;
+          }
+          info.ctx_digest = digest;
+          info.ctx_seq = static_cast<uint32_t>(seq);
+        }
         event.info = info;
         break;
       }

@@ -17,7 +17,10 @@
 // delta timestamp (previous event's ts persists across frames), u8 type,
 // zigzag-varint node, then the type-specific fields. The end frame (empty
 // payload) distinguishes a complete stream from one truncated at a frame
-// boundary.
+// boundary. Version 2 appends two varints to every SCF record — the
+// execution-index context digest and sequence number (see
+// src/trace/execution_index.h); version 1 streams decode as before with
+// those fields zero.
 //
 // Failure semantics: the reader never throws and never loses intact data —
 // a bad magic, version, CRC, or truncation stops decoding at the last good
@@ -38,7 +41,14 @@
 namespace rose {
 
 inline constexpr char kTraceMagic[4] = {'R', 'T', 'R', 'C'};
-inline constexpr uint16_t kTraceFormatVersion = 1;
+// Wire version 2 adds the execution index to SCF records: two varints
+// (context digest, in-context sequence number) appended after errno. The
+// reader auto-detects version 1 streams and decodes them exactly as before
+// (events surface with ctx_digest = 0, i.e. "not indexed").
+inline constexpr uint16_t kTraceFormatVersion = 2;
+// The pre-execution-index wire format; TraceWriter can still emit it (compat
+// tests and downgrade paths).
+inline constexpr uint16_t kTraceLegacyFormatVersion = 1;
 
 // --- Encoding primitives (exposed for tests and benchmarks) ----------------
 
@@ -87,8 +97,12 @@ class TraceWriter {
  public:
   static constexpr size_t kDefaultEventsPerFrame = 4096;
 
+  // `format_version` selects the wire format: kTraceFormatVersion (default)
+  // writes execution-index fields on SCF records; kTraceLegacyFormatVersion
+  // drops them, reproducing the historical byte stream exactly.
   TraceWriter(std::string* out, const StringPool* pool,
-              size_t events_per_frame = kDefaultEventsPerFrame);
+              size_t events_per_frame = kDefaultEventsPerFrame,
+              uint16_t format_version = kTraceFormatVersion);
 
   void Add(const TraceEvent& event);
   void Finish();
@@ -101,6 +115,7 @@ class TraceWriter {
   std::string* out_;
   const StringPool* pool_;
   size_t events_per_frame_;
+  uint16_t format_version_;
   // Next pool id to emit; id 0 ("") is implicit in every pool.
   size_t pool_flushed_ = 1;
   std::string events_payload_;
@@ -129,6 +144,9 @@ class TraceReader {
   bool Next(TraceEvent* out);
 
   const StringPool& pool() const { return pool_; }
+  // The container version announced by the stream header (0 before a valid
+  // header was seen). Version 1 streams carry no execution-index fields.
+  uint16_t format_version() const { return format_version_; }
   // Transfers the decoded pool out of the reader (after the stream drains;
   // the reader must not decode further frames afterwards).
   StringPool ReleasePool() { return std::move(pool_); }
@@ -146,6 +164,7 @@ class TraceReader {
 
   std::string_view rest_;
   StringPool pool_;
+  uint16_t format_version_ = 0;
   // Zero-copy pool mode (see the two-arg constructor); null = copying mode.
   const char* external_base_ = nullptr;
   // Duplicate detection for external pools — copying mode gets it for free

@@ -100,6 +100,13 @@ void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
   syscalls_observed_++;
   Charge(config_.probe_cost);
 
+  // Advance the execution index for every invocation — recorded or not — so
+  // sequence numbers stay in lockstep with the executor's replay-side
+  // tracker, which also counts every invocation.
+  const uint64_t ctx_digest = index_.DigestOf(inv.pid);
+  const uint32_t ctx_seq =
+      index_.NextSeq(NodeOfPid(inv.pid), ctx_digest, inv.sys, IndexInputOf(inv));
+
   // Maintain the lightweight fd -> filename map (open/close/dup bookkeeping
   // only; reconstruction happens during dump post-processing).
   if (result.ok()) {
@@ -148,6 +155,8 @@ void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
   info.sys = inv.sys;
   info.fd = inv.fd;
   info.err = result.err;
+  info.ctx_digest = ctx_digest;
+  info.ctx_seq = ctx_seq;
   if (SysTakesPath(inv.sys)) {
     info.filename = pool_.Intern(inv.path);
   } else if (!inv.remote_ip.empty()) {
@@ -163,6 +172,10 @@ void Tracer::OnSyscallExit(SimTime now, const SyscallInvocation& inv,
 }
 
 void Tracer::OnFunctionEnter(SimTime now, Pid pid, int32_t function_id) {
+  // The shadow chain covers every function enter, monitored or not —
+  // filtering here would make context digests depend on the profiler's
+  // monitored set and break capture/replay digest parity.
+  index_.OnFunctionEnter(pid, function_id);
   if (config_.monitored_functions.count(function_id) == 0) {
     return;
   }

@@ -25,6 +25,7 @@
 #include "src/obs/metrics.h"
 #include "src/os/kernel.h"
 #include "src/trace/event.h"
+#include "src/trace/execution_index.h"
 #include "src/trace/ring_buffer.h"
 
 namespace rose {
@@ -125,6 +126,11 @@ class Tracer : public KernelObserver, public IngressTap {
   TracerConfig config_;
   bool attached_ = false;
   bool polling_ = false;
+
+  // Online execution index (shadow function chains + in-context sequence
+  // counters). Fed from every kernel hook regardless of the monitored set so
+  // the executor's replay-side tracker sees the identical stream.
+  ExecutionIndexTracker index_;
 
   RingBuffer<TraceEvent> window_;
   // Pool the in-window events' StrIds resolve against. It only grows while

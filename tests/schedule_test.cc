@@ -183,6 +183,14 @@ TEST_P(ScheduleYamlProperty, RandomScheduleRoundTrips) {
       fault.conditions.push_back(
           Condition::FunctionEnter(static_cast<int32_t>(rng.NextBelow(20))));
     }
+    if (fault.kind == FaultKind::kSyscallFailure && rng.NextBool(0.4)) {
+      // Execution-indexed targeting: a 64-bit context digest (|1 keeps it
+      // nonzero) plus a 1-based seq, optionally input-filtered.
+      fault.conditions.push_back(Condition::ExecutionIndex(
+          fault.syscall.sys, rng.Next() | 1,
+          static_cast<int32_t>(rng.NextBelow(100)) + 1,
+          rng.NextBool(0.5) ? "/data/indexed" : ""));
+    }
     schedule.faults.push_back(fault);
   }
   FaultSchedule parsed;
@@ -198,6 +206,10 @@ TEST_P(ScheduleYamlProperty, RandomScheduleRoundTrips) {
       EXPECT_EQ(a.conditions[c].kind, b.conditions[c].kind);
       EXPECT_EQ(a.conditions[c].function_id, b.conditions[c].function_id);
       EXPECT_EQ(a.conditions[c].fault_index, b.conditions[c].fault_index);
+      EXPECT_EQ(a.conditions[c].sys, b.conditions[c].sys);
+      EXPECT_EQ(a.conditions[c].ctx_digest, b.conditions[c].ctx_digest);
+      EXPECT_EQ(a.conditions[c].count, b.conditions[c].count);
+      EXPECT_EQ(a.conditions[c].path_filter, b.conditions[c].path_filter);
     }
     if (a.kind == FaultKind::kSyscallFailure) {
       EXPECT_EQ(a.syscall.sys, b.syscall.sys);

@@ -41,11 +41,19 @@ Trace RandomTrace(uint64_t seed, int events) {
         event.type = EventType::kSCF;
         const std::string file =
             rng.NextBool(0.3) ? "" : "/data/file" + std::to_string(rng.NextBelow(7));
-        event.info = ScfInfo{static_cast<Pid>(100 + rng.NextBelow(8)),
-                             kSysChoices[rng.NextBelow(std::size(kSysChoices))],
-                             static_cast<int32_t>(rng.NextBelow(32)) - 1,
-                             trace.Intern(file),
-                             kErrChoices[rng.NextBelow(std::size(kErrChoices))]};
+        ScfInfo info{static_cast<Pid>(100 + rng.NextBelow(8)),
+                     kSysChoices[rng.NextBelow(std::size(kSysChoices))],
+                     static_cast<int32_t>(rng.NextBelow(32)) - 1,
+                     trace.Intern(file),
+                     kErrChoices[rng.NextBelow(std::size(kErrChoices))]};
+        // A mix of execution-indexed and unindexed (pre-index) SCFs, so
+        // every round-trip, truncation, and mmap-parity matrix below also
+        // exercises the v2 ctx varints.
+        if (rng.NextBool(0.6)) {
+          info.ctx_digest = rng.Next() | 1;
+          info.ctx_seq = static_cast<uint32_t>(rng.NextBelow(9)) + 1;
+        }
+        event.info = info;
         break;
       }
       case 1:
@@ -230,6 +238,83 @@ TEST(TraceIoTest, FutureVersionRejectedWithDiagnostic) {
   EXPECT_EQ(diags[0].code, DiagCode::kBadTraceVersion);
 }
 
+// --- Wire-version compatibility (DESIGN.md §14) -----------------------------
+
+// Encodes `trace` at the given container wire version.
+std::string EncodeAtVersion(const Trace& trace, uint16_t version) {
+  std::string encoded;
+  TraceWriter writer(&encoded, &trace.pool(), TraceWriter::kDefaultEventsPerFrame, version);
+  for (const TraceEvent& event : trace.events()) {
+    writer.Add(event);
+  }
+  writer.Finish();
+  return encoded;
+}
+
+TEST(TraceIoTest, CurrentVersionRoundTripsExecutionIndex) {
+  const Trace original = RandomTrace(61, 400);
+  const std::string encoded = EncodeAtVersion(original, kTraceFormatVersion);
+  TraceReader reader(encoded);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.Next(&event)) {
+    events.push_back(event);
+  }
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.format_version(), kTraceFormatVersion);
+  const Trace parsed(std::move(events), reader.pool());
+  // TraceEquals compares ctx_digest/ctx_seq too, so this asserts the index
+  // survived the wire.
+  EXPECT_TRUE(TraceEquals(original, parsed));
+}
+
+TEST(TraceIoTest, LegacyVersionStreamStillLoads) {
+  // A v1 writer reproduces the historical byte stream: no ctx varints. The
+  // reader must auto-detect the stored version and decode every other field
+  // intact, leaving the index at its "not recorded" zeros.
+  const Trace original = RandomTrace(67, 400);
+  const std::string encoded = EncodeAtVersion(original, kTraceLegacyFormatVersion);
+  TraceReader reader(encoded);
+  std::vector<TraceEvent> events;
+  TraceEvent event;
+  while (reader.Next(&event)) {
+    events.push_back(event);
+  }
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.format_version(), kTraceLegacyFormatVersion);
+  const Trace parsed(std::move(events), reader.pool());
+  ASSERT_EQ(parsed.size(), original.size());
+  Trace stripped = original;  // The original with its indices erased.
+  for (size_t i = 0; i < stripped.size(); i++) {
+    if (stripped[i].type == EventType::kSCF) {
+      ScfInfo info = stripped[i].scf();
+      info.ctx_digest = 0;
+      info.ctx_seq = 0;
+      stripped.events()[i].info = info;
+    }
+  }
+  EXPECT_TRUE(TraceEquals(stripped, parsed));
+  // And the legacy stream is byte-identical whether the in-memory trace
+  // carried indices or not — v1 encoding never looks at them.
+  EXPECT_EQ(encoded, EncodeAtVersion(stripped, kTraceLegacyFormatVersion));
+}
+
+TEST(TraceIoTest, LegacyTruncationAtEveryByteNeverCrashes) {
+  // The every-byte truncation guarantee holds for both wire versions.
+  const Trace original = RandomTrace(5, 120);
+  const std::string encoded = EncodeAtVersion(original, kTraceLegacyFormatVersion);
+  for (size_t cut = 0; cut < encoded.size(); cut++) {
+    std::vector<Diagnostic> diags;
+    const Trace parsed = Trace::ParseBinary(std::string_view(encoded).substr(0, cut), &diags);
+    EXPECT_FALSE(diags.empty()) << "cut at " << cut;
+    ASSERT_LE(parsed.size(), original.size());
+    for (size_t i = 0; i < parsed.size(); i++) {
+      EXPECT_EQ(parsed[i].ts, original[i].ts);
+      EXPECT_EQ(parsed[i].type, original[i].type);
+    }
+  }
+}
+
 TEST(TraceIoTest, TruncationAtEveryByteNeverCrashes) {
   const Trace original = RandomTrace(5, 120);
   const std::string encoded = original.SerializeBinary();
@@ -408,6 +493,21 @@ TEST(MappedTraceTest, MmapLargeTraceRoundTripMatchesHeap) {
     EXPECT_GE(s.data(), mapped.bytes().data());
     EXPECT_LE(s.data() + s.size(), mapped.bytes().data() + mapped.bytes().size());
   }
+  std::remove(path.c_str());
+}
+
+TEST(MappedTraceTest, LegacyVersionFileMatchesHeap) {
+  // mmap parity holds for v1 dumps too: the zero-copy walk auto-detects the
+  // stored version exactly like the heap parse.
+  const Trace original = RandomTrace(23, 300);
+  const std::string encoded = EncodeAtVersion(original, kTraceLegacyFormatVersion);
+  const std::string path = TempTracePath("mapped_legacy.trc");
+  WriteBytes(path, encoded);
+  const MappedTrace mapped = MappedTrace::OpenFile(path);
+  ASSERT_TRUE(mapped.valid());
+  EXPECT_TRUE(mapped.zero_copy());
+  EXPECT_TRUE(mapped.diagnostics().empty());
+  ExpectMatchesHeapParse(mapped, encoded, "legacy version");
   std::remove(path.c_str());
 }
 
