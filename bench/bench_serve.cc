@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/cluster/router.h"
 #include "src/harness/bug_registry.h"
 #include "src/harness/runner.h"
 #include "src/net/transport.h"
@@ -196,6 +197,183 @@ void BM_ServeCacheHit(benchmark::State& state) {
   state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
 }
 BENCHMARK(BM_ServeCacheHit)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Cluster mode (rose::cluster, BENCH_serve_cluster.json) ------------------
+//
+// The same end-to-end workload pushed through a ClusterRouter instead of a
+// single daemon. Two benchmarks:
+//
+//   BM_ClusterCold    N shards (arg), 8 clients, each submitting a *distinct*
+//                     production dump (distinct trace bytes -> distinct ring
+//                     keys, so jobs spread across shards). Fresh cluster per
+//                     iteration: every job is a cache miss running a real
+//                     diagnosis. The acceptance bar is items_per_second at
+//                     2 shards >= 1.5x the 1-shard row (needs >= 4 real
+//                     cores; a 1-core host shows flat numbers).
+//   BM_ClusterSkewed  2 shards, 8 clients, 6 of them submitting the same
+//                     dump under distinct seeds — same trace hash, so the
+//                     whole hot tenant lands on one shard while the other
+//                     two jobs spread. p99_ms is the number to watch: it
+//                     shows what a skewed tenant does to tail latency when
+//                     placement is by content hash.
+
+constexpr int kClusterClients = 8;
+// Two engine slots per shard: 2 shards = 4 workers, so the 1-vs-2-shard
+// scaling comparison fits a 4-core host (mirrors the BM_ServeCold bar).
+constexpr int kClusterShardConcurrency = 2;
+
+// Distinct production dumps (different production seeds -> different trace
+// bytes -> different canonical hashes), so cluster jobs spread over the ring
+// instead of all hashing onto one shard.
+const std::vector<Dump>& ClusterDumps() {
+  static const std::vector<Dump>* dumps = [] {
+    auto* out = new std::vector<Dump>();
+    const BugSpec* spec = FindBug("RedisRaft-42");
+    if (spec == nullptr) {
+      std::abort();
+    }
+    for (int i = 0; i < kClusterClients; i++) {
+      Dump dump;
+      dump.seed = 100 + static_cast<uint64_t>(i);
+      BugRunner runner(spec);
+      dump.profile = runner.RunProfiling(dump.seed);
+      std::optional<Trace> trace =
+          runner.ObtainProductionTrace(dump.profile, dump.seed + 17);
+      if (!trace.has_value()) {
+        std::abort();
+      }
+      dump.trace = std::move(*trace);
+      out->push_back(std::move(dump));
+    }
+    return out;
+  }();
+  return *dumps;
+}
+
+struct BenchCluster {
+  ClusterRouter router;  // Memory-only journal: the bench times the data plane.
+  std::vector<std::unique_ptr<DiagnosisService>> shards;
+  std::vector<std::unique_ptr<ServeClient>> clients;
+};
+
+std::unique_ptr<BenchCluster> MakeBenchCluster(int num_shards, int num_clients) {
+  auto cluster = std::make_unique<BenchCluster>();
+  for (int s = 0; s < num_shards; s++) {
+    ServeConfig config;
+    config.max_concurrent_jobs = kClusterShardConcurrency;
+    config.queue_capacity = static_cast<size_t>(num_clients);
+    config.diagnosis.parallelism = 1;
+    auto service = std::make_unique<DiagnosisService>(config);
+    auto [router_end, service_end] = MakePipePair();
+    service->Attach(service_end);
+    cluster->router.AttachShard("shard" + std::to_string(s), router_end);
+    cluster->shards.push_back(std::move(service));
+  }
+  for (int i = 0; i < num_clients; i++) {
+    auto [client_end, router_end] = MakePipePair();
+    cluster->router.AttachClient(router_end);
+    cluster->clients.push_back(std::make_unique<ServeClient>(client_end));
+  }
+  return cluster;
+}
+
+void ClusterRound(BenchCluster& cluster, const std::vector<SubmitRequest>& requests,
+                  std::vector<double>* latencies_ms) {
+  using Clock = std::chrono::steady_clock;
+  const size_t n = requests.size();
+  std::vector<uint64_t> handles(n);
+  std::vector<Clock::time_point> submitted(n);
+  std::vector<bool> recorded(n, false);
+  for (size_t i = 0; i < n; i++) {
+    submitted[i] = Clock::now();
+    handles[i] = cluster.clients[i]->Submit(requests[i]);
+  }
+  size_t done = 0;
+  while (done < n) {
+    for (size_t i = 0; i < n; i++) {
+      cluster.clients[i]->Poll();
+      if (!recorded[i] && cluster.clients[i]->done(handles[i])) {
+        recorded[i] = true;
+        done++;
+        latencies_ms->push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - submitted[i])
+                .count());
+      }
+    }
+    cluster.router.Poll();
+    for (auto& shard : cluster.shards) {
+      shard->Poll();
+    }
+  }
+}
+
+void BM_ClusterCold(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  const std::vector<Dump>& dumps = ClusterDumps();  // Materialize untimed.
+  std::vector<SubmitRequest> requests;
+  for (int i = 0; i < kClusterClients; i++) {
+    const Dump& dump = dumps[static_cast<size_t>(i)];
+    SubmitRequest request;
+    request.bug_id = "RedisRaft-42";
+    request.seed = dump.seed;
+    request.profile = dump.profile;
+    request.trace = dump.trace;
+    requests.push_back(std::move(request));
+  }
+  std::vector<double> latencies_ms;
+  int64_t jobs = 0;
+  uint64_t redispatches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cluster = MakeBenchCluster(num_shards, kClusterClients);
+    state.ResumeTiming();
+    ClusterRound(*cluster, requests, &latencies_ms);
+    jobs += kClusterClients;
+    redispatches = cluster->router.stats().redispatches;
+    state.PauseTiming();
+    cluster.reset();  // Untimed teardown (joins every shard's worker pool).
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(jobs);
+  state.counters["p50_ms"] = Percentile(latencies_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
+  state.counters["redispatches"] = static_cast<double>(redispatches);
+}
+BENCHMARK(BM_ClusterCold)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ClusterSkewed(benchmark::State& state) {
+  const int num_shards = static_cast<int>(state.range(0));
+  const std::vector<Dump>& dumps = ClusterDumps();
+  // Skewed tenant mix: six submissions of one dump (same trace hash -> one
+  // hot shard) under distinct seeds, two of other dumps for background load.
+  std::vector<SubmitRequest> requests;
+  for (int i = 0; i < kClusterClients; i++) {
+    const bool hot = i < 6;
+    const Dump& dump = dumps[hot ? 0 : static_cast<size_t>(i)];
+    SubmitRequest request;
+    request.bug_id = "RedisRaft-42";
+    request.seed = dump.seed + (hot ? 1000 + static_cast<uint64_t>(i) : 0);
+    request.profile = dump.profile;
+    request.trace = dump.trace;
+    requests.push_back(std::move(request));
+  }
+  std::vector<double> latencies_ms;
+  int64_t jobs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto cluster = MakeBenchCluster(num_shards, kClusterClients);
+    state.ResumeTiming();
+    ClusterRound(*cluster, requests, &latencies_ms);
+    jobs += kClusterClients;
+    state.PauseTiming();
+    cluster.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(jobs);
+  state.counters["p50_ms"] = Percentile(latencies_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
+}
+BENCHMARK(BM_ClusterSkewed)->Arg(2)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace rose

@@ -1,0 +1,112 @@
+#include "src/cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace rose {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvMix(uint64_t hash, std::string_view bytes) {
+  for (char ch : bytes) {
+    hash ^= static_cast<uint8_t>(ch);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; i++) {
+    hash ^= (value >> (i * 8)) & 0xff;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Finalizer spreading FNV's low-entropy high bits across the whole word
+// (splitmix64's mixing rounds); ring positions must be uniform for vnode
+// ownership to split evenly.
+uint64_t Spread(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+uint64_t HashRing::HashKey(uint64_t key) {
+  return Spread(FnvMix(kFnvOffset, key));
+}
+
+bool HashRing::AddShard(const std::string& name) {
+  if (HasShard(name)) {
+    return false;
+  }
+  shards_.push_back(name);
+  epoch_++;
+  Rebuild();
+  return true;
+}
+
+bool HashRing::RemoveShard(const std::string& name) {
+  auto it = std::find(shards_.begin(), shards_.end(), name);
+  if (it == shards_.end()) {
+    return false;
+  }
+  shards_.erase(it);
+  epoch_++;
+  Rebuild();
+  return true;
+}
+
+bool HashRing::HasShard(const std::string& name) const {
+  return std::find(shards_.begin(), shards_.end(), name) != shards_.end();
+}
+
+void HashRing::Rebuild() {
+  points_.clear();
+  points_.reserve(shards_.size() * static_cast<size_t>(vnodes_));
+  for (size_t s = 0; s < shards_.size(); s++) {
+    const uint64_t base = FnvMix(kFnvOffset, shards_[s]);
+    for (int v = 0; v < vnodes_; v++) {
+      points_.push_back(Point{Spread(FnvMix(base, static_cast<uint64_t>(v))), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    // Position ties (vanishingly rare) break on shard index so the order —
+    // and therefore ownership — never depends on sort stability.
+    return a.position != b.position ? a.position < b.position : a.shard < b.shard;
+  });
+}
+
+std::string HashRing::OwnerOf(uint64_t key) const {
+  return SuccessorOf(key, "");
+}
+
+std::string HashRing::SuccessorOf(uint64_t key, const std::string& skip) const {
+  if (points_.empty()) {
+    return "";
+  }
+  const uint64_t position = HashKey(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(), position,
+                             [](const Point& p, uint64_t pos) { return p.position < pos; });
+  // Walk clockwise (wrapping) until a shard other than `skip` appears; at
+  // most one full lap even when every point belongs to `skip`.
+  for (size_t walked = 0; walked < points_.size(); walked++, ++it) {
+    if (it == points_.end()) {
+      it = points_.begin();
+    }
+    const std::string& owner = shards_[it->shard];
+    if (owner != skip) {
+      return owner;
+    }
+  }
+  return "";
+}
+
+}  // namespace rose

@@ -1,0 +1,350 @@
+#include "src/cluster/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/trace/mmap_file.h"
+#include "src/trace/trace_io.h"
+
+namespace rose {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 1 + 4 + 4;  // type | len | crc.
+constexpr size_t kStreamHeaderBytes = 8;          // magic | version | reserved.
+
+void PutU32LE(std::string* out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                   static_cast<char>((v >> 16) & 0xff),
+                   static_cast<char>((v >> 24) & 0xff)};
+  out->append(bytes, 4);
+}
+
+uint32_t ReadU32LE(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view bytes) {
+  PutVarint(out, bytes.size());
+  out->append(bytes.data(), bytes.size());
+}
+
+bool GetLengthPrefixed(std::string_view* data, std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetVarint(data, &len) || len > data->size()) {
+    return false;
+  }
+  *out = data->substr(0, static_cast<size_t>(len));
+  data->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+std::string StreamHeader() {
+  std::string out(kJournalMagic, 4);
+  out.push_back(static_cast<char>(kJournalFormatVersion & 0xff));
+  out.push_back(static_cast<char>(kJournalFormatVersion >> 8));
+  out.append(2, '\0');
+  return out;
+}
+
+}  // namespace
+
+// --- Record codecs -----------------------------------------------------------
+
+std::string EncodeDispatch(const DispatchRecord& record) {
+  std::string out;
+  PutVarint(&out, record.job_id);
+  PutVarint(&out, record.key);
+  PutVarint(&out, record.trace_hash);
+  PutLengthPrefixed(&out, record.shard);
+  PutVarint(&out, record.redispatch ? 1 : 0);
+  PutLengthPrefixed(&out, record.payload);
+  return out;
+}
+
+bool DecodeDispatch(std::string_view payload, DispatchRecord* out) {
+  uint64_t redispatch = 0;
+  std::string_view shard;
+  std::string_view submit;
+  if (!GetVarint(&payload, &out->job_id) || !GetVarint(&payload, &out->key) ||
+      !GetVarint(&payload, &out->trace_hash) || !GetLengthPrefixed(&payload, &shard) ||
+      !GetVarint(&payload, &redispatch) || !GetLengthPrefixed(&payload, &submit)) {
+    return false;
+  }
+  out->shard = std::string(shard);
+  out->redispatch = redispatch != 0;
+  out->payload = std::string(submit);
+  return payload.empty();
+}
+
+std::string EncodeRingEpoch(const RingEpochRecord& record) {
+  std::string out;
+  PutVarint(&out, record.epoch);
+  PutVarint(&out, record.shards.size());
+  for (const std::string& shard : record.shards) {
+    PutLengthPrefixed(&out, shard);
+  }
+  return out;
+}
+
+bool DecodeRingEpoch(std::string_view payload, RingEpochRecord* out) {
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &out->epoch) || !GetVarint(&payload, &count)) {
+    return false;
+  }
+  out->shards.clear();
+  for (uint64_t i = 0; i < count; i++) {
+    std::string_view shard;
+    if (!GetLengthPrefixed(&payload, &shard)) {
+      return false;
+    }
+    out->shards.emplace_back(shard);
+  }
+  return payload.empty();
+}
+
+std::string EncodeComplete(const CompleteRecord& record) {
+  std::string out;
+  PutVarint(&out, record.job_id);
+  PutVarint(&out, record.reproduced ? 1 : 0);
+  return out;
+}
+
+bool DecodeComplete(std::string_view payload, CompleteRecord* out) {
+  uint64_t reproduced = 0;
+  if (!GetVarint(&payload, &out->job_id) || !GetVarint(&payload, &reproduced)) {
+    return false;
+  }
+  out->reproduced = reproduced != 0;
+  return payload.empty();
+}
+
+// --- ClusterJournal ----------------------------------------------------------
+
+ClusterJournal::ClusterJournal(std::string path) : path_(std::move(path)) {
+  Replay();
+  if (!path_.empty()) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (fd_ >= 0) {
+      // Position after the last intact record: replay truncated a torn tail
+      // out of history_, and the file must agree before the next append.
+      if (recovered_torn_tail_) {
+        (void)::ftruncate(fd_, static_cast<off_t>(history_.size()));
+      }
+      (void)::lseek(fd_, static_cast<off_t>(history_.size()), SEEK_SET);
+    }
+  }
+  if (history_.empty()) {
+    const std::string header = StreamHeader();
+    history_ = header;
+    if (fd_ >= 0) {
+      (void)!::write(fd_, header.data(), header.size());
+      ::fsync(fd_);
+      fsyncs_++;
+      bytes_written_ += header.size();
+    }
+  }
+}
+
+ClusterJournal::~ClusterJournal() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ClusterJournal::Replay() {
+  std::string bytes;
+  if (path_.empty() || !ReadFileBytes(path_, &bytes) || bytes.empty()) {
+    return;
+  }
+  if (bytes.size() < kStreamHeaderBytes ||
+      std::memcmp(bytes.data(), kJournalMagic, 4) != 0) {
+    // Not a journal: refuse to adopt it. Appends start a fresh stream at
+    // offset zero (the constructor truncates).
+    recovered_torn_tail_ = true;
+    return;
+  }
+  const uint16_t version = static_cast<uint16_t>(
+      static_cast<uint8_t>(bytes[4]) | static_cast<uint8_t>(bytes[5]) << 8);
+  if (version != kJournalFormatVersion) {
+    recovered_torn_tail_ = true;
+    return;
+  }
+  size_t offset = kStreamHeaderBytes;
+  size_t last_good = offset;
+  while (bytes.size() - offset >= kRecordHeaderBytes) {
+    const uint8_t type = static_cast<uint8_t>(bytes[offset]);
+    const uint32_t len = ReadU32LE(bytes.data() + offset + 1);
+    const uint32_t crc = ReadU32LE(bytes.data() + offset + 5);
+    if (len > kMaxJournalRecordPayload ||
+        bytes.size() - offset - kRecordHeaderBytes < len) {
+      break;  // Torn tail (crash mid-append).
+    }
+    const std::string_view payload(bytes.data() + offset + kRecordHeaderBytes, len);
+    if (Crc32(payload) != crc) {
+      break;  // Corrupt tail; everything before it is intact.
+    }
+    bool decoded = true;
+    switch (static_cast<JournalRecordType>(type)) {
+      case JournalRecordType::kRingEpoch: {
+        RingEpochRecord record;
+        decoded = DecodeRingEpoch(payload, &record);
+        if (decoded) {
+          last_epoch_ = std::move(record);
+        }
+        break;
+      }
+      case JournalRecordType::kDispatch: {
+        DispatchRecord record;
+        decoded = DecodeDispatch(payload, &record);
+        if (decoded) {
+          if (record.job_id >= next_job_id_) {
+            next_job_id_ = record.job_id + 1;
+          }
+          pending_[record.job_id] = std::move(record);
+        }
+        break;
+      }
+      case JournalRecordType::kComplete: {
+        CompleteRecord record;
+        decoded = DecodeComplete(payload, &record);
+        if (decoded) {
+          pending_.erase(record.job_id);
+        }
+        break;
+      }
+      default:
+        // Unknown record type from a future version: skip, framing is
+        // self-describing (the serve protocol's extension rule).
+        break;
+    }
+    if (!decoded) {
+      break;  // A framed-but-undecodable record is corruption, not extension.
+    }
+    offset += kRecordHeaderBytes + len;
+    last_good = offset;
+    replayed_records_++;
+  }
+  recovered_torn_tail_ = last_good != bytes.size();
+  history_ = bytes.substr(0, last_good);
+}
+
+void ClusterJournal::Append(JournalRecordType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>(type));
+  PutU32LE(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32LE(&frame, Crc32(payload));
+  frame.append(payload.data(), payload.size());
+  history_ += frame;
+  appends_++;
+  if (fd_ >= 0) {
+    size_t written = 0;
+    while (written < frame.size()) {
+      const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+      if (n <= 0) {
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+    bytes_written_ += written;
+    ::fsync(fd_);
+    fsyncs_++;
+  }
+  for (Follower& follower : followers_) {
+    follower.outbox.append(frame);
+  }
+}
+
+void ClusterJournal::AppendRingEpoch(const RingEpochRecord& record) {
+  Append(JournalRecordType::kRingEpoch, EncodeRingEpoch(record));
+  last_epoch_ = record;
+}
+
+void ClusterJournal::AppendDispatch(const DispatchRecord& record) {
+  Append(JournalRecordType::kDispatch, EncodeDispatch(record));
+  if (record.job_id >= next_job_id_) {
+    next_job_id_ = record.job_id + 1;
+  }
+  pending_[record.job_id] = record;
+}
+
+void ClusterJournal::AppendComplete(const CompleteRecord& record) {
+  Append(JournalRecordType::kComplete, EncodeComplete(record));
+  pending_.erase(record.job_id);
+}
+
+void ClusterJournal::AttachFollower(std::shared_ptr<Transport> transport) {
+  Follower follower;
+  follower.transport = std::move(transport);
+  follower.outbox = history_;  // Full history first, then tail.
+  followers_.push_back(std::move(follower));
+}
+
+void ClusterJournal::PumpReplication() {
+  for (Follower& follower : followers_) {
+    if (follower.sent >= follower.outbox.size()) {
+      continue;
+    }
+    const std::string_view rest =
+        std::string_view(follower.outbox).substr(follower.sent);
+    follower.sent += follower.transport->Write(rest);
+    if (follower.sent >= follower.outbox.size()) {
+      follower.outbox.clear();
+      follower.sent = 0;
+    }
+  }
+}
+
+bool ClusterJournal::replication_idle() const {
+  for (const Follower& follower : followers_) {
+    if (follower.sent < follower.outbox.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- JournalFollower ---------------------------------------------------------
+
+JournalFollower::JournalFollower(std::string path, std::shared_ptr<Transport> transport)
+    : path_(std::move(path)), transport_(std::move(transport)) {
+  if (!path_.empty()) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+}
+
+JournalFollower::~JournalFollower() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void JournalFollower::Poll() {
+  for (;;) {
+    const std::string chunk = transport_->Read(16 * 1024);
+    if (chunk.empty()) {
+      return;
+    }
+    bytes_received_ += chunk.size();
+    bytes_ += chunk;
+    if (fd_ >= 0) {
+      size_t written = 0;
+      while (written < chunk.size()) {
+        const ssize_t n = ::write(fd_, chunk.data() + written, chunk.size() - written);
+        if (n <= 0) {
+          break;
+        }
+        written += static_cast<size_t>(n);
+      }
+      ::fsync(fd_);
+    }
+  }
+}
+
+}  // namespace rose

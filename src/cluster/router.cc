@@ -1,0 +1,620 @@
+#include "src/cluster/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/analyze/trace_validator.h"
+#include "src/serve/service.h"
+
+namespace rose {
+
+namespace {
+constexpr size_t kReadChunk = 16 * 1024;
+}  // namespace
+
+ClusterRouter::ClusterRouter(RouterConfig config)
+    : config_(std::move(config)),
+      journal_(config_.journal_path),
+      ring_(config_.ring_vnodes) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  metrics_.jobs_routed = reg.GetCounter("cluster.jobs_routed");
+  metrics_.completions = reg.GetCounter("cluster.completions");
+  metrics_.failovers = reg.GetCounter("cluster.failovers");
+  metrics_.redispatches = reg.GetCounter("cluster.redispatches");
+  metrics_.recovered_jobs = reg.GetCounter("cluster.recovered_jobs");
+  metrics_.rejects_invalid = reg.GetCounter("cluster.rejects_invalid");
+  metrics_.corrupt_frames = reg.GetCounter("cluster.corrupt_frames");
+  metrics_.journal_appends = reg.GetGauge("cluster.journal_appends");
+  metrics_.journal_fsyncs = reg.GetGauge("cluster.journal_fsyncs");
+  metrics_.journal_bytes = reg.GetGauge("cluster.journal_bytes");
+  metrics_.ring_imbalance = reg.GetGauge("cluster.ring_imbalance");
+
+  // Journal replay: every dispatch without a completion is a job this
+  // coordinator owes an answer. Readopt them as subscriber-less jobs (the
+  // original clients are gone with the old process) and re-dispatch once
+  // shards attach. Job ids and ring epochs continue where the journal ends,
+  // so nothing a shard or follower saw before the restart collides.
+  next_job_id_ = journal_.next_job_id();
+  ring_.SeedEpoch(journal_.last_epoch().epoch);
+  for (const auto& [job_id, record] : journal_.pending()) {
+    auto job = std::make_unique<RouterJob>();
+    job->id = job_id;
+    job->client = 0;
+    job->key = record.key;
+    job->trace_hash = record.trace_hash;
+    job->payload = record.payload;
+    job->redispatched = true;
+    job->accept_ready = true;  // No subscriber to answer.
+    job->accept_sent = true;
+    stats_.recovered_jobs++;
+    metrics_.recovered_jobs->Inc();
+    jobs_.emplace(job_id, std::move(job));
+  }
+}
+
+void ClusterRouter::AttachClient(std::shared_ptr<Transport> transport) {
+  auto conn = std::make_unique<ClientConn>();
+  conn->id = next_client_id_++;
+  conn->transport = std::move(transport);
+  AppendServeHeader(&conn->outbox);
+  clients_.emplace(conn->id, std::move(conn));
+}
+
+void ClusterRouter::AttachShard(const std::string& name,
+                                std::shared_ptr<Transport> transport) {
+  if (shards_.count(name) != 0) {
+    return;
+  }
+  if (ring_.AddShard(name)) {
+    journal_.AppendRingEpoch(RingEpochRecord{ring_.epoch(), ring_.shards()});
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->name = name;
+  shard->transport = std::move(transport);
+  AppendServeHeader(&shard->outbox);  // The router is the shard's client.
+  shards_.emplace(name, std::move(shard));
+  DispatchStranded();
+}
+
+void ClusterRouter::DetachShard(const std::string& name) {
+  if (shards_.count(name) != 0) {
+    OnShardDead(name);
+  }
+}
+
+void ClusterRouter::Poll() {
+  for (auto& [id, conn] : clients_) {
+    if (!conn->dead) {
+      ReadClient(*conn);
+    }
+  }
+
+  // Drain every shard before declaring any of them dead: a shard that
+  // finished a job and exited cleanly has its result sitting in the
+  // transport, and AtEof() only turns true once those bytes are read.
+  std::vector<std::string> dead_shards;
+  for (auto& [name, shard] : shards_) {
+    ReadShard(*shard);
+    if (shard->transport->AtEof()) {
+      dead_shards.push_back(name);
+    }
+  }
+  for (const std::string& name : dead_shards) {
+    OnShardDead(name);
+  }
+
+  // Clients that hung up: their in-flight jobs keep running (the journal
+  // already owns them), responses degrade to no-ops, and the connection is
+  // reaped once its admission FIFO drains.
+  std::vector<uint64_t> gone;
+  for (auto& [id, conn] : clients_) {
+    if (!conn->dead && conn->transport->AtEof()) {
+      conn->dead = true;
+    }
+    FlushClientFifo(*conn);
+    if (conn->dead && conn->accept_fifo.empty()) {
+      gone.push_back(id);
+    }
+  }
+  for (uint64_t id : gone) {
+    clients_.erase(id);
+  }
+
+  FlushOutboxes();
+  journal_.PumpReplication();
+  UpdateDepthGauges();
+}
+
+bool ClusterRouter::idle() const {
+  if (!jobs_.empty() || !journal_.replication_idle()) {
+    return false;
+  }
+  for (const auto& [id, conn] : clients_) {
+    if (!conn->dead && conn->outbox_sent < conn->outbox.size()) {
+      return false;
+    }
+  }
+  for (const auto& [name, shard] : shards_) {
+    if (shard->outbox_sent < shard->outbox.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ClusterRouter::ReadClient(ClientConn& conn) {
+  for (;;) {
+    const std::string chunk = conn.transport->Read(kReadChunk);
+    if (chunk.empty()) {
+      break;
+    }
+    conn.decoder.Feed(chunk);
+  }
+  DecodedFrame frame;
+  for (;;) {
+    switch (conn.decoder.Next(&frame)) {
+      case FrameDecoder::Status::kNeedMore:
+        return;
+      case FrameDecoder::Status::kFrame:
+        if (frame.kind == ServeFrame::kSubmit) {
+          HandleSubmit(conn, std::move(frame.payload));
+        } else if (frame.kind == ServeFrame::kStatsRequest) {
+          SendToClient(conn.id, ServeFrame::kStatsReply, EncodeStats(BuildStats()));
+        }
+        break;
+      case FrameDecoder::Status::kCorruptFrame:
+        // Same wire behavior as the daemon (kBadFrame, job id 0), but queued
+        // in the admission FIFO so it cannot overtake an accept the router is
+        // still waiting on from a shard.
+        stats_.corrupt_frames++;
+        metrics_.corrupt_frames->Inc();
+        RejectSubmit(conn, ServeError::kBadFrame,
+                     "frame failed its CRC32 and was skipped; resend the submission");
+        break;
+      case FrameDecoder::Status::kBadStream: {
+        AppendServeFrame(&conn.outbox, ServeFrame::kError,
+                         EncodeError(ErrorMsg{0, ServeError::kVersionMismatch,
+                                              "bad stream header or unsupported "
+                                              "protocol version"}));
+        conn.dead = true;
+        const std::string_view rest =
+            std::string_view(conn.outbox).substr(conn.outbox_sent);
+        conn.outbox_sent += conn.transport->Write(rest);
+        conn.transport->Close();
+        return;
+      }
+    }
+  }
+}
+
+void ClusterRouter::HandleSubmit(ClientConn& conn, std::string payload) {
+  SubmitEnvelope env;
+  if (!DecodeSubmitEnvelope(std::move(payload), &env)) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    RejectSubmit(conn, ServeError::kMalformedRequest, "submit payload does not decode");
+    return;
+  }
+  // The router's share of admission: one streaming pass over the RTRC blob
+  // yields both the ring key and the container verdict. Everything needing a
+  // bug registry or a materialized trace (unknown bug, validation, causal
+  // consistency) is the owner shard's job — the router stays a thin data
+  // plane that never decodes the blob.
+  uint64_t trace_hash = 0;
+  size_t event_count = 0;
+  std::vector<Diagnostic> container_diags;
+  CanonicalBlobHash(env.trace_blob(), &trace_hash, &container_diags, &event_count);
+  if (HasErrors(container_diags)) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    RejectSubmit(conn, ServeError::kInvalidTrace,
+                 "trace container damaged: " + container_diags.front().ToString());
+    return;
+  }
+  if (event_count == 0) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    RejectSubmit(conn, ServeError::kInvalidTrace, "trace decoded to zero events");
+    return;
+  }
+
+  auto job = std::make_unique<RouterJob>();
+  job->id = next_job_id_++;
+  job->client = conn.id;
+  job->key = DiagnosisService::JobKey(trace_hash, env.bug_id(), env.seed());
+  job->trace_hash = trace_hash;
+  job->payload = std::string(env.payload());
+  conn.accept_fifo.push_back(job->id);
+  stats_.jobs_routed++;
+  metrics_.jobs_routed->Inc();
+
+  // Sharded by trace hash — not the full job key — so every submission of
+  // one dump lands on the same shard regardless of bug/seed, and that
+  // shard's ResultCache answers repeats byte-identically to a single daemon.
+  const std::string owner = ring_.OwnerOf(trace_hash);
+  RouterJob& ref = *job;
+  jobs_.emplace(ref.id, std::move(job));
+  if (owner.empty()) {
+    // No shard alive: journal the admission (shard-less) and hold the job;
+    // AttachShard re-poses it.
+    journal_.AppendDispatch(DispatchRecord{ref.id, ref.key, ref.trace_hash, "",
+                                           /*redispatch=*/false, ref.payload});
+    return;
+  }
+  journal_.AppendDispatch(DispatchRecord{ref.id, ref.key, ref.trace_hash, owner,
+                                         /*redispatch=*/false, ref.payload});
+  DispatchTo(ref, *shards_.at(owner));
+}
+
+void ClusterRouter::RejectSubmit(ClientConn& conn, ServeError code,
+                                 const std::string& message) {
+  auto job = std::make_unique<RouterJob>();
+  job->id = next_job_id_++;
+  job->client = conn.id;
+  job->accept_ready = true;
+  job->terminal = true;
+  job->response_kind = ServeFrame::kError;
+  // Job id 0 on the wire: the client correlates pre-admission rejections
+  // FIFO, exactly as against a single daemon.
+  job->response_payload = EncodeError(ErrorMsg{0, code, message});
+  conn.accept_fifo.push_back(job->id);
+  jobs_.emplace(job->id, std::move(job));
+  FlushClientFifo(conn);
+}
+
+void ClusterRouter::DispatchTo(RouterJob& job, Shard& shard) {
+  AppendServeFrame(&shard.outbox, ServeFrame::kSubmit, job.payload);
+  shard.accept_fifo.push_back(job.id);
+  shard.inflight++;
+  job.shard = shard.name;
+  job.backend_job_id = 0;
+}
+
+void ClusterRouter::ReadShard(Shard& shard) {
+  for (;;) {
+    const std::string chunk = shard.transport->Read(kReadChunk);
+    if (chunk.empty()) {
+      break;
+    }
+    shard.decoder.Feed(chunk);
+  }
+  DecodedFrame frame;
+  for (;;) {
+    switch (shard.decoder.Next(&frame)) {
+      case FrameDecoder::Status::kNeedMore:
+        return;
+      case FrameDecoder::Status::kFrame:
+        HandleShardFrame(shard, std::move(frame));
+        break;
+      case FrameDecoder::Status::kCorruptFrame:
+        stats_.corrupt_frames++;
+        metrics_.corrupt_frames->Inc();
+        break;
+      case FrameDecoder::Status::kBadStream:
+        // A shard speaking a different protocol is as dead as a crashed one.
+        shard.transport->Close();
+        return;
+    }
+  }
+}
+
+void ClusterRouter::HandleShardFrame(Shard& shard, DecodedFrame frame) {
+  switch (frame.kind) {
+    case ServeFrame::kAccepted: {
+      AcceptedMsg msg;
+      if (!DecodeAccepted(frame.payload, &msg) || shard.accept_fifo.empty()) {
+        return;
+      }
+      const uint64_t rid = shard.accept_fifo.front();
+      shard.accept_fifo.pop_front();
+      auto it = jobs_.find(rid);
+      if (it == jobs_.end()) {
+        return;
+      }
+      RouterJob& job = *it->second;
+      job.backend_job_id = msg.job_id;
+      shard.by_backend_id[msg.job_id] = rid;
+      if (job.accept_ready || job.accept_sent) {
+        // Failover duplicate: the client already has (or will get) the first
+        // shard's accept; only the id mapping moves to the successor.
+        return;
+      }
+      msg.job_id = rid;  // Rewrite into the router's id namespace.
+      job.accept_ready = true;
+      job.response_kind = ServeFrame::kAccepted;
+      job.response_payload = EncodeAccepted(msg);
+      if (auto c = clients_.find(job.client); c != clients_.end()) {
+        FlushClientFifo(*c->second);
+      }
+      return;
+    }
+    case ServeFrame::kError: {
+      ErrorMsg msg;
+      if (!DecodeError(frame.payload, &msg)) {
+        return;
+      }
+      uint64_t rid = 0;
+      if (msg.job_id == 0) {
+        // Pre-admission rejection (queue full, invalid, unknown bug):
+        // answers the shard's oldest unanswered dispatch.
+        if (shard.accept_fifo.empty()) {
+          return;
+        }
+        rid = shard.accept_fifo.front();
+        shard.accept_fifo.pop_front();
+      } else {
+        auto bit = shard.by_backend_id.find(msg.job_id);
+        if (bit == shard.by_backend_id.end()) {
+          return;
+        }
+        rid = bit->second;
+        shard.by_backend_id.erase(bit);
+      }
+      auto it = jobs_.find(rid);
+      if (it == jobs_.end()) {
+        return;
+      }
+      RouterJob& job = *it->second;
+      if (shard.inflight > 0) {
+        shard.inflight--;
+      }
+      // A rejected job is as complete as a diagnosed one: journal it so a
+      // restarted coordinator does not re-pose a submission a shard refused.
+      journal_.AppendComplete(CompleteRecord{rid, false});
+      if (!job.accept_sent) {
+        // The error *is* the admission response; job id 0 on the wire keeps
+        // the client's FIFO correlation (and its queue-full retry) intact.
+        msg.job_id = 0;
+        job.accept_ready = true;
+        job.terminal = true;
+        job.response_kind = ServeFrame::kError;
+        job.response_payload = EncodeError(msg);
+        if (auto c = clients_.find(job.client); c != clients_.end()) {
+          FlushClientFifo(*c->second);
+        }
+      } else {
+        msg.job_id = rid;
+        SendToClient(job.client, ServeFrame::kError, EncodeError(msg));
+        FinishJob(rid);
+      }
+      return;
+    }
+    case ServeFrame::kProgress: {
+      ProgressMsg msg;
+      if (!DecodeProgress(frame.payload, &msg)) {
+        return;
+      }
+      auto bit = shard.by_backend_id.find(msg.job_id);
+      if (bit == shard.by_backend_id.end()) {
+        return;
+      }
+      auto it = jobs_.find(bit->second);
+      if (it == jobs_.end()) {
+        return;
+      }
+      RouterJob& job = *it->second;
+      msg.job_id = job.id;
+      const std::string body = EncodeProgress(msg);
+      if (job.accept_sent) {
+        SendToClient(job.client, ServeFrame::kProgress, body);
+      } else {
+        job.deferred.emplace_back(ServeFrame::kProgress, body);
+      }
+      return;
+    }
+    case ServeFrame::kResult: {
+      ResultMsg msg;
+      if (!DecodeResult(frame.payload, &msg)) {
+        return;
+      }
+      auto bit = shard.by_backend_id.find(msg.job_id);
+      if (bit == shard.by_backend_id.end()) {
+        return;
+      }
+      const uint64_t rid = bit->second;
+      shard.by_backend_id.erase(bit);
+      auto it = jobs_.find(rid);
+      if (it == jobs_.end()) {
+        return;
+      }
+      RouterJob& job = *it->second;
+      if (shard.inflight > 0) {
+        shard.inflight--;
+      }
+      journal_.AppendComplete(CompleteRecord{rid, msg.reproduced});
+      stats_.completions++;
+      metrics_.completions->Inc();
+      msg.job_id = rid;
+      const std::string body = EncodeResult(msg);
+      job.result_seen = true;
+      if (job.accept_sent) {
+        SendToClient(job.client, ServeFrame::kResult, body);
+        FinishJob(rid);
+      } else {
+        job.deferred.emplace_back(ServeFrame::kResult, body);
+        if (auto c = clients_.find(job.client); c != clients_.end()) {
+          FlushClientFifo(*c->second);
+        }
+      }
+      return;
+    }
+    case ServeFrame::kStatsReply:
+    case ServeFrame::kSubmit:
+    case ServeFrame::kStatsRequest:
+    default:
+      return;  // Unknown / unexpected kinds: framing already advanced.
+  }
+}
+
+void ClusterRouter::OnShardDead(const std::string& name) {
+  auto sit = shards_.find(name);
+  if (sit == shards_.end()) {
+    return;
+  }
+  stats_.failovers++;
+  metrics_.failovers->Inc();
+  shards_.erase(sit);
+  MetricRegistry::Global().GetGauge("cluster.shard_depth." + name)->Set(0);
+  if (ring_.RemoveShard(name)) {
+    journal_.AppendRingEpoch(RingEpochRecord{ring_.epoch(), ring_.shards()});
+  }
+  // Re-pose every job the dead shard owned. With the shard off the ring,
+  // OwnerOf(trace_hash) *is* the failover successor; engine determinism
+  // makes the re-run result byte-identical to the one that was lost. Jobs
+  // whose accept already reached the client keep their router job id — the
+  // successor's duplicate accept is swallowed in HandleShardFrame.
+  for (auto& [rid, job] : jobs_) {
+    if (job->shard != name) {
+      continue;
+    }
+    job->shard.clear();
+    job->backend_job_id = 0;
+    job->redispatched = true;
+    const std::string owner = ring_.OwnerOf(job->trace_hash);
+    if (owner.empty()) {
+      continue;  // Stranded until a shard attaches.
+    }
+    stats_.redispatches++;
+    metrics_.redispatches->Inc();
+    journal_.AppendDispatch(DispatchRecord{job->id, job->key, job->trace_hash,
+                                           owner, /*redispatch=*/true,
+                                           job->payload});
+    DispatchTo(*job, *shards_.at(owner));
+  }
+}
+
+void ClusterRouter::DispatchStranded() {
+  for (auto& [rid, job] : jobs_) {
+    if (!job->shard.empty() || job->terminal) {
+      continue;
+    }
+    const std::string owner = ring_.OwnerOf(job->trace_hash);
+    if (owner.empty()) {
+      return;
+    }
+    if (job->redispatched) {
+      stats_.redispatches++;
+      metrics_.redispatches->Inc();
+    }
+    journal_.AppendDispatch(DispatchRecord{job->id, job->key, job->trace_hash,
+                                           owner, job->redispatched,
+                                           job->payload});
+    DispatchTo(*job, *shards_.at(owner));
+  }
+}
+
+void ClusterRouter::FlushClientFifo(ClientConn& conn) {
+  while (!conn.accept_fifo.empty()) {
+    auto it = jobs_.find(conn.accept_fifo.front());
+    if (it == jobs_.end()) {
+      conn.accept_fifo.pop_front();  // Stale (job finished elsewhere).
+      continue;
+    }
+    RouterJob& job = *it->second;
+    if (!job.accept_ready) {
+      return;  // Head-of-line admission still pending on its shard.
+    }
+    if (!job.accept_sent) {
+      SendToClient(conn.id, job.response_kind, job.response_payload);
+      job.accept_sent = true;
+      for (auto& [kind, body] : job.deferred) {
+        SendToClient(conn.id, kind, body);
+      }
+      job.deferred.clear();
+    }
+    conn.accept_fifo.pop_front();
+    if (job.terminal || job.result_seen) {
+      FinishJob(job.id);
+    }
+  }
+}
+
+void ClusterRouter::FinishJob(uint64_t job_id) {
+  jobs_.erase(job_id);
+}
+
+void ClusterRouter::FlushOutboxes() {
+  for (auto& [id, conn] : clients_) {
+    if (conn->dead || conn->outbox_sent >= conn->outbox.size()) {
+      continue;
+    }
+    const std::string_view rest =
+        std::string_view(conn->outbox).substr(conn->outbox_sent);
+    conn->outbox_sent += conn->transport->Write(rest);
+    if (conn->outbox_sent >= conn->outbox.size()) {
+      conn->outbox.clear();
+      conn->outbox_sent = 0;
+    } else if (conn->outbox_sent > 64 * 1024 &&
+               conn->outbox_sent * 2 >= conn->outbox.size()) {
+      conn->outbox.erase(0, conn->outbox_sent);
+      conn->outbox_sent = 0;
+    }
+  }
+  for (auto& [name, shard] : shards_) {
+    if (shard->outbox_sent >= shard->outbox.size()) {
+      continue;
+    }
+    const std::string_view rest =
+        std::string_view(shard->outbox).substr(shard->outbox_sent);
+    shard->outbox_sent += shard->transport->Write(rest);
+    if (shard->outbox_sent >= shard->outbox.size()) {
+      shard->outbox.clear();
+      shard->outbox_sent = 0;
+    } else if (shard->outbox_sent > 64 * 1024 &&
+               shard->outbox_sent * 2 >= shard->outbox.size()) {
+      shard->outbox.erase(0, shard->outbox_sent);
+      shard->outbox_sent = 0;
+    }
+  }
+}
+
+void ClusterRouter::UpdateDepthGauges() {
+  metrics_.journal_appends->Set(static_cast<int64_t>(journal_.appends()));
+  metrics_.journal_fsyncs->Set(static_cast<int64_t>(journal_.fsyncs()));
+  metrics_.journal_bytes->Set(static_cast<int64_t>(journal_.bytes_written()));
+  size_t min_depth = 0, max_depth = 0;
+  bool first = true;
+  MetricRegistry& reg = MetricRegistry::Global();
+  for (const auto& [name, shard] : shards_) {
+    reg.GetGauge("cluster.shard_depth." + name)
+        ->Set(static_cast<int64_t>(shard->inflight));
+    if (first || shard->inflight < min_depth) {
+      min_depth = shard->inflight;
+    }
+    if (first || shard->inflight > max_depth) {
+      max_depth = shard->inflight;
+    }
+    first = false;
+  }
+  metrics_.ring_imbalance->Set(static_cast<int64_t>(max_depth - min_depth));
+}
+
+void ClusterRouter::SendToClient(uint64_t client_id, ServeFrame kind,
+                                 const std::string& payload) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end() || it->second->dead) {
+    return;  // Subscriber gone; the journal still completed the job.
+  }
+  AppendServeFrame(&it->second->outbox, kind, payload);
+}
+
+StatsMsg ClusterRouter::BuildStats() const {
+  StatsMsg msg;
+  msg.jobs_submitted = stats_.jobs_routed;
+  msg.jobs_completed = stats_.completions;
+  msg.rejected_invalid = stats_.rejected_invalid;
+  msg.corrupt_frames = stats_.corrupt_frames;
+  size_t dispatched = 0, stranded = 0;
+  for (const auto& [rid, job] : jobs_) {
+    if (job->terminal) {
+      continue;
+    }
+    (job->shard.empty() ? stranded : dispatched)++;
+  }
+  msg.queued_jobs = stranded;
+  msg.running_jobs = dispatched;
+  msg.metrics_yaml = MetricRegistry::Global().Snapshot().ToYaml();
+  return msg;
+}
+
+}  // namespace rose

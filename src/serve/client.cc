@@ -6,6 +6,18 @@ namespace {
 // Chunk size for transport reads; small enough to exercise reassembly.
 constexpr size_t kReadChunk = 16 * 1024;
 
+// splitmix64 finalizer: full-avalanche mixing for the deterministic retry
+// jitter (no global RNG, no wall clock — replays byte-identically).
+uint64_t MixJitter(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 ServeClient::ServeClient(std::shared_ptr<Transport> transport, ServeClientConfig config)
@@ -31,6 +43,26 @@ uint64_t ServeClient::SubmitEncoded(std::string encoded) {
   AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
   accept_fifo_.push_back(handle);
   return handle;
+}
+
+int ServeClient::BackoffRounds(const PendingJob& job) const {
+  const int cap = config_.max_backoff_rounds > 0 ? config_.max_backoff_rounds : 1;
+  // Shift saturates well before it could overflow (cap is an int).
+  int rounds = config_.backoff_base_rounds > 0 ? config_.backoff_base_rounds : 1;
+  for (int i = 0; i < job.attempts && rounds < cap; i++) {
+    rounds <<= 1;
+  }
+  if (rounds > cap) {
+    rounds = cap;
+  }
+  // Up to +50% jitter so synchronized clients fan out instead of re-stampeding
+  // the queue in lockstep; the mix is a pure function of (seed, handle,
+  // attempt), so a rerun of the same submission order waits identically.
+  const uint64_t mix =
+      MixJitter(config_.backoff_jitter_seed ^ (job.handle * 0x9e3779b97f4a7c15ULL) ^
+                static_cast<uint64_t>(job.attempts));
+  rounds += static_cast<int>(mix % (static_cast<uint64_t>(rounds) / 2 + 1));
+  return rounds < cap ? rounds : cap;
 }
 
 void ServeClient::RequestStats() {
@@ -171,8 +203,19 @@ void ServeClient::HandleFrame(const DecodedFrame& frame) {
       if (msg.code == ServeError::kQueueFull && config_.auto_retry_queue_full &&
           job->attempts < config_.max_retries) {
         job->state = JobState::kBackoff;
-        job->backoff_left = config_.backoff_base_rounds << job->attempts;
+        job->backoff_left = BackoffRounds(*job);
         job->attempts++;
+        return;
+      }
+      if (msg.code == ServeError::kQueueFull && config_.auto_retry_queue_full) {
+        // Every retry consumed: surface a client-side typed error instead of
+        // the server's last rejection, so callers can tell "gave up after
+        // backoff" from "rejected once with retries disabled".
+        job->state = JobState::kFailed;
+        job->error = ServeError::kRetriesExhausted;
+        job->error_message =
+            "queue full after " + std::to_string(job->attempts) +
+            " retries: " + std::move(msg.message);
         return;
       }
       job->state = JobState::kFailed;

@@ -30,11 +30,21 @@
 namespace rose {
 
 struct ServeClientConfig {
-  // Queue-full handling: resubmit after backoff_base << attempt Poll rounds,
-  // up to max_retries; then the job fails with the typed error.
+  // Queue-full handling: resubmit after backoff_base << attempt Poll rounds
+  // (plus jitter, capped at max_backoff_rounds), up to max_retries; then the
+  // job fails with ServeError::kRetriesExhausted.
   bool auto_retry_queue_full = true;
   int max_retries = 8;
   int backoff_base_rounds = 1;
+  // Ceiling on any single wait — exponential growth stops doubling here, so
+  // a deep retry never strands a job for thousands of rounds.
+  int max_backoff_rounds = 64;
+  // Seed for deterministic retry jitter. Each wait gains up to half its
+  // length again, mixed from (seed, handle, attempt) — so a thundering herd
+  // of clients hitting one queue-full server desynchronizes, yet any given
+  // (seed, submission order) replays the exact same backoff schedule. No
+  // wall-clock or global RNG is involved (the determinism lint's rule).
+  uint64_t backoff_jitter_seed = 0;
 };
 
 // Terminal state of one submitted job.
@@ -120,6 +130,9 @@ class ServeClient {
 
   void HandleFrame(const DecodedFrame& frame);
   uint64_t SubmitEncoded(std::string encoded);
+  // Rounds to wait before retry `job.attempts`: exponential base, capped,
+  // plus deterministic jitter mixed from (jitter seed, handle, attempt).
+  int BackoffRounds(const PendingJob& job) const;
   PendingJob* OldestAwaitingAccept();
   PendingJob* ByServerJobId(uint64_t job_id);
   const PendingJob& Get(uint64_t handle) const;

@@ -48,6 +48,7 @@ std::string_view ServeErrorName(ServeError error) {
     case ServeError::kBadFrame: return "bad_frame";
     case ServeError::kVersionMismatch: return "version_mismatch";
     case ServeError::kMalformedRequest: return "malformed_request";
+    case ServeError::kRetriesExhausted: return "retries_exhausted";
   }
   return "?";
 }

@@ -72,6 +72,9 @@ enum class ServeError : uint8_t {
   kBadFrame = 4,        // Frame skipped: CRC mismatch or undecodable payload.
   kVersionMismatch = 5, // Peer speaks a newer protocol version.
   kMalformedRequest = 6,// Frame decoded but fields are out of range.
+  // Client-side terminal state, never sent by a server: every queue-full
+  // retry was consumed (ServeClientConfig::max_retries) and the job gave up.
+  kRetriesExhausted = 7,
 };
 
 std::string_view ServeErrorName(ServeError error);
@@ -104,6 +107,10 @@ class SubmitEnvelope {
  public:
   std::string_view bug_id() const { return Field(bug_id_off_, bug_id_len_); }
   std::string_view tag() const { return Field(tag_off_, tag_len_); }
+  // The adopted frame payload, verbatim. The cluster router forwards these
+  // bytes to the owner shard unchanged (and journals them for re-dispatch),
+  // so the blob is never decoded or re-encoded on its way through.
+  std::string_view payload() const { return payload_; }
   std::string_view profile_text() const { return Field(profile_off_, profile_len_); }
   std::string_view trace_blob() const { return Field(trace_off_, trace_len_); }
   uint64_t seed() const { return seed_; }

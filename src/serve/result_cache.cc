@@ -25,13 +25,28 @@ bool ReadFile(const std::filesystem::path& path, std::string* out) {
   return true;
 }
 
-bool WriteFile(const std::filesystem::path& path, std::string_view data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
+// Temp-file + atomic rename: a crash mid-write leaves a stray .tmp (ignored
+// by LoadFromDisk), never a half-written cache entry under its final name.
+// Readers therefore see each file either whole or absent.
+bool WriteFileAtomic(const std::filesystem::path& path, std::string_view data) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out.good()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
     return false;
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  return out.good();
+  return true;
 }
 
 }  // namespace
@@ -74,7 +89,13 @@ void ResultCache::Put(uint64_t key, const CachedResult& result) {
 
 void ResultCache::Persist(uint64_t key, const CachedResult& result) const {
   const std::filesystem::path base = std::filesystem::path(dir_) / KeyName(key);
-  WriteFile(base.string() + ".yaml", result.schedule_yaml);
+  // Yaml first, meta second: the meta file is the commit point (LoadFromDisk
+  // starts from .meta files), so an entry only becomes visible once both
+  // halves are durably named. yaml_bytes is written last so any truncation
+  // of the meta — or of the yaml it vouches for — is detectable on load.
+  if (!WriteFileAtomic(base.string() + ".yaml", result.schedule_yaml)) {
+    return;
+  }
   std::string meta = "rose-serve-result v1\n";
   meta += StrFormat("reproduced %d\n", result.reproduced ? 1 : 0);
   meta += StrFormat("rate_permille %u\n", result.rate_permille);
@@ -82,7 +103,8 @@ void ResultCache::Persist(uint64_t key, const CachedResult& result) const {
   meta += StrFormat("schedules %u\n", result.schedules);
   meta += StrFormat("runs %u\n", result.runs);
   meta += "summary " + result.fault_summary + "\n";
-  WriteFile(base.string() + ".meta", meta);
+  meta += StrFormat("yaml_bytes %zu\n", result.schedule_yaml.size());
+  WriteFileAtomic(base.string() + ".meta", meta);
 }
 
 void ResultCache::LoadFromDisk() {
@@ -124,6 +146,8 @@ void ResultCache::LoadFromDisk() {
     }
     CachedResult result;
     bool header_ok = false;
+    bool sealed = false;  // yaml_bytes present = the meta is complete.
+    uint64_t yaml_bytes = 0;
     for (const std::string& raw : Split(meta, '\n')) {
       const std::string_view line = StripWhitespace(raw);
       if (line.empty()) {
@@ -156,13 +180,21 @@ void ResultCache::LoadFromDisk() {
           result.schedules = static_cast<uint32_t>(number);
         } else if (field == "runs") {
           result.runs = static_cast<uint32_t>(number);
+        } else if (field == "yaml_bytes") {
+          yaml_bytes = number;
+          sealed = true;
         }
       }
     }
     std::string yaml;
     const std::string yaml_path =
         meta_path.substr(0, meta_path.size() - 5) + ".yaml";
-    if (!header_ok || !ReadFile(yaml_path, &yaml)) {
+    // `sealed` rejects a meta truncated mid-file (yaml_bytes is its last
+    // line); the size check rejects a yaml truncated after its meta was
+    // sealed. Either way the damaged entry is skipped cleanly — the cache
+    // recovers with one fewer hit, never with a corrupt schedule.
+    if (!header_ok || !sealed || !ReadFile(yaml_path, &yaml) ||
+        yaml.size() != yaml_bytes) {
       continue;
     }
     result.schedule_yaml = std::move(yaml);

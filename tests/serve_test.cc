@@ -2,6 +2,7 @@
 // and the diagnosis service end to end (concurrent clients, cache hits,
 // coalescing, corrupt-frame recovery, backpressure, restart persistence).
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -288,6 +289,57 @@ TEST(ResultCacheTest, PersistsConfirmedResultsAcrossInstances) {
   std::filesystem::remove_all(dir);
 }
 
+void TruncateFile(const std::string& path, size_t drop) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(bytes.size(), drop);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - drop));
+}
+
+TEST(ResultCacheTest, TruncatedFilesAreSkippedCleanlyOnReload) {
+  const std::string dir = testing::TempDir() + "rose_serve_cache_torn";
+  std::filesystem::remove_all(dir);
+  {
+    ResultCache cache(8, dir);
+    cache.Put(1, MakeResult("yaml-one\n"));
+    cache.Put(2, MakeResult("yaml-two\n"));
+    cache.Put(3, MakeResult("yaml-three\n"));
+  }
+  // Three crash-damage modes: entry 1's meta cut mid-file (loses the
+  // yaml_bytes seal on its last line), entry 2's yaml cut after its meta
+  // sealed, and a stray .tmp pair left by a crash between write and rename —
+  // which must never be adopted as an entry.
+  TruncateFile(dir + "/0000000000000001.meta", 10);
+  TruncateFile(dir + "/0000000000000002.yaml", 4);
+  {
+    std::ofstream meta(dir + "/0000000000000004.meta.tmp");
+    meta << "rose-serve-result v1\nreproduced 1\nyaml_bytes 2\n";
+    std::ofstream yaml(dir + "/0000000000000004.yaml.tmp");
+    yaml << "y\n";
+  }
+
+  ResultCache reloaded(8, dir);
+  EXPECT_FALSE(reloaded.Get(1).has_value());  // Unsealed meta: skipped.
+  EXPECT_FALSE(reloaded.Get(2).has_value());  // Yaml shorter than vouched.
+  EXPECT_FALSE(reloaded.Get(4).has_value());  // .tmp is not a cache entry.
+  std::optional<CachedResult> hit = reloaded.Get(3);  // Undamaged: intact.
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->schedule_yaml, "yaml-three\n");
+
+  // The recovered cache keeps working: a fresh Put re-persists cleanly and
+  // survives another reload.
+  reloaded.Put(1, MakeResult("yaml-one-again\n"));
+  ResultCache again(8, dir);
+  ASSERT_TRUE(again.Get(1).has_value());
+  EXPECT_EQ(again.Get(1)->schedule_yaml, "yaml-one-again\n");
+  std::filesystem::remove_all(dir);
+}
+
 // --- Service end to end -----------------------------------------------------
 
 struct Dump {
@@ -560,6 +612,87 @@ TEST(DiagnosisServiceTest, QueueFullWithoutRetrySurfacesTypedError) {
   }
   EXPECT_TRUE(b.failed(hb));
   EXPECT_EQ(b.error_code(hb), ServeError::kQueueFull);
+}
+
+// Runs the saturated-server scenario: client A pins the run slot and the one
+// waiting slot for a whole diagnosis, client B (configured by `config`)
+// submits into the full queue. Returns the Poll rounds until B's handle
+// resolved, and reports B's terminal state through the out-params.
+int RunSaturatedRetry(const Dump& dump_a, const Dump& dump_a2, const Dump& dump_b,
+                      ServeClientConfig config, bool* b_failed, ServeError* b_error,
+                      std::string* b_message) {
+  ServeConfig server;
+  server.max_concurrent_jobs = 1;
+  server.queue_capacity = 1;
+  DiagnosisService service(server);
+  auto [a_end, a_srv] = MakePipePair();
+  auto [b_end, b_srv] = MakePipePair();
+  service.Attach(a_srv);
+  service.Attach(b_srv);
+  ServeClient a(a_end);
+  ServeClient b(b_end, config);
+
+  // Two distinct jobs from A: one runs, one occupies the single waiting slot
+  // until the first *completes* — the queue stays full for a whole diagnosis.
+  a.Submit(MakeSubmit("RedisRaft-42", 42, dump_a));
+  a.Submit(MakeSubmit("RedisRaft-42", 31, dump_a2));
+  const uint64_t hb = b.Submit(MakeSubmit("RedisRaft-42", 7, dump_b));
+  int rounds = 0;
+  while (!b.done(hb)) {
+    a.Poll();
+    b.Poll();
+    service.Poll();
+    rounds++;
+  }
+  *b_failed = b.failed(hb);
+  *b_error = b.error_code(hb);
+  *b_message = b.error_message(hb);
+  return rounds;
+}
+
+TEST(DiagnosisServiceTest, ExhaustedRetriesSurfaceTypedTerminalError) {
+  const Dump dump_a = MakeDump("RedisRaft-42", 42);
+  const Dump dump_a2 = MakeDump("RedisRaft-42", 31);
+  const Dump dump_b = MakeDump("RedisRaft-42", 7);
+  ServeClientConfig config;
+  config.max_retries = 2;  // Exhausts long before A's first job completes.
+  bool failed = false;
+  ServeError error = ServeError::kNone;
+  std::string message;
+  RunSaturatedRetry(dump_a, dump_a2, dump_b, config, &failed, &error, &message);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(error, ServeError::kRetriesExhausted);
+  EXPECT_NE(message.find("queue full after 2 retries"), std::string::npos)
+      << message;
+}
+
+TEST(ServeClientTest, BackoffScheduleIsDeterministicPerSeedAndCapped) {
+  const Dump dump_a = MakeDump("RedisRaft-42", 42);
+  const Dump dump_a2 = MakeDump("RedisRaft-42", 31);
+  const Dump dump_b = MakeDump("RedisRaft-42", 7);
+  auto rounds_until_exhausted = [&](uint64_t seed, int base, int cap) {
+    ServeClientConfig config;
+    config.max_retries = 3;
+    config.backoff_base_rounds = base;
+    config.max_backoff_rounds = cap;
+    config.backoff_jitter_seed = seed;
+    bool failed = false;
+    ServeError error = ServeError::kNone;
+    std::string message;
+    const int rounds = RunSaturatedRetry(dump_a, dump_a2, dump_b, config,
+                                         &failed, &error, &message);
+    EXPECT_TRUE(failed);
+    EXPECT_EQ(error, ServeError::kRetriesExhausted);
+    return rounds;
+  };
+  // Same jitter seed, same submission order: the exact same backoff schedule,
+  // down to the Poll-round count — the determinism lint's promise, testably.
+  const int first = rounds_until_exhausted(7, 1, 64);
+  EXPECT_EQ(first, rounds_until_exhausted(7, 1, 64));
+  // The cap bounds every wait: an absurd exponential base (64 doubling, which
+  // uncapped would wait 64+128+256 = 448+ rounds) capped at 4 must exhaust
+  // its three retries in well under a hundred rounds even with jitter.
+  EXPECT_LT(rounds_until_exhausted(3, 64, 4), 100);
 }
 
 TEST(DiagnosisServiceTest, RejectsUnknownBugAndEmptyTrace) {

@@ -31,6 +31,13 @@
 #       byte-identical confirmed-schedule YAML — context digests and seqs must
 #       be pure functions of the simulated execution. Registered as
 #       `index_determinism`.
+#   tools/check_determinism.sh --cluster [build_dir]
+#       clustered serve determinism (DESIGN.md section 15): route the same
+#       submissions through a 2-shard rose_routerd twice — the second run
+#       killing shard0 mid-job, so one job fails over to the ring successor —
+#       and require byte-identical schedule YAML from both runs, and from a
+#       single rose_served daemon for the same (bug, seed). Registered as
+#       `cluster_determinism`.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -128,6 +135,58 @@ if [ "${1:-lint}" = "--indexing" ]; then
     exit 1
   fi
   echo "index determinism OK: --indexing=$mode twice -> byte-identical schedule YAML."
+  exit 0
+fi
+
+if [ "${1:-lint}" = "--cluster" ] || [ "${1:-lint}" = "cluster" ]; then
+  build_dir="${2:-build}"
+  routerd="${build_dir}/examples/rose_routerd"
+  cli="${build_dir}/examples/rose_serve_cli"
+  if [ ! -x "$routerd" ] || [ ! -x "$cli" ]; then
+    echo "cluster determinism: build rose_routerd and rose_serve_cli first ($build_dir)" >&2
+    exit 1
+  fi
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  bugs="${CLUSTER_DETERMINISM_BUGS:-RedisRaft-42 RedisRaft-43}"
+  seed="${SERVE_DETERMINISM_SEED:-42}"
+
+  # Run 1: a clean 2-shard cluster. Run 2: the same submissions, but shard0
+  # is crashed as soon as it starts a job — failover must be invisible in
+  # the output bytes. (Journal + follower exercise replication too.)
+  # shellcheck disable=SC2086
+  "$routerd" --shards 2 --seed "$seed" --journal "$work/run1.rjnl" \
+    --out "$work/run1" $bugs > /dev/null \
+    || { echo "cluster determinism: clean cluster run failed" >&2; exit 1; }
+  # shellcheck disable=SC2086
+  "$routerd" --shards 2 --seed "$seed" --kill-shard shard0 \
+    --journal "$work/run2.rjnl" --follower "$work/run2-follower.rjnl" \
+    --out "$work/run2" $bugs > /dev/null \
+    || { echo "cluster determinism: kill-shard cluster run failed" >&2; exit 1; }
+  for bug in $bugs; do
+    if ! cmp -s "$work/run1/$bug-$seed.yaml" "$work/run2/$bug-$seed.yaml"; then
+      echo "cluster determinism FAILED: $bug schedule differs after failover:" >&2
+      diff "$work/run1/$bug-$seed.yaml" "$work/run2/$bug-$seed.yaml" >&2 || true
+      exit 1
+    fi
+  done
+  if ! cmp -s "$work/run2.rjnl" "$work/run2-follower.rjnl"; then
+    echo "cluster determinism FAILED: follower journal is not byte-identical" >&2
+    exit 1
+  fi
+
+  # A single rose_served daemon must land on the same bytes per bug.
+  for bug in $bugs; do
+    "$cli" "$bug" "$seed" --yaml-out "$work/single-$bug.yaml" --quiet > /dev/null \
+      || { echo "cluster determinism: single-daemon run of $bug failed" >&2; exit 1; }
+    if ! cmp -s "$work/run1/$bug-$seed.yaml" "$work/single-$bug.yaml"; then
+      echo "cluster determinism FAILED: clustered and single-daemon $bug disagree:" >&2
+      diff "$work/run1/$bug-$seed.yaml" "$work/single-$bug.yaml" >&2 || true
+      exit 1
+    fi
+  done
+  echo "cluster determinism OK: 2-shard cluster twice (one mid-job kill) +" \
+       "single daemon -> byte-identical schedule YAML; follower journal matches."
   exit 0
 fi
 

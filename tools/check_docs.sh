@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
 doc="docs/cli.md"
-tools="reproduce_bug trace_explorer lint_schedule rose_served rose_serve_cli"
+tools="reproduce_bug trace_explorer lint_schedule rose_served rose_serve_cli rose_routerd"
 
 if [ ! -f "$doc" ]; then
   echo "check_docs: $doc not found"

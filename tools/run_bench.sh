@@ -4,6 +4,9 @@
 #   BENCH_diagnosis.json — parallel-diagnosis engine (bench_diagnosis_parallel)
 #   BENCH_trace_io.json  — trace text/binary serialization (bench_trace_io)
 #   BENCH_serve.json     — diagnosis service throughput/latency (bench_serve)
+#   BENCH_serve_cluster.json — sharded serve cluster: jobs/sec vs shard count
+#                          and tail latency under a skewed tenant mix
+#                          (bench_serve, BM_Cluster* rows)
 #   BENCH_obs.json       — rose::obs instrumentation cost: bench_obs run from
 #                          the default tree (ROSE_OBS=ON) and from a second
 #                          -DROSE_OBS=OFF tree, merged with the per-benchmark
@@ -51,6 +54,13 @@
 #    row (needs >= 4 real cores); BM_ServeCacheHit must show zero engine
 #    runs and sit far above cold throughput. p50_ms/p99_ms counters are
 #    submit-to-schedule latency.
+#  - BENCH_serve_cluster: per-arg rows of BM_ClusterCold are shard counts
+#    (1/2/4) with 8 clients of distinct dumps; the acceptance bar is the
+#    2-shard items_per_second >= 1.5x the 1-shard row on this cache-miss
+#    workload (needs >= 4 real cores — 2 engine slots per shard).
+#    BM_ClusterSkewed routes six of the eight jobs onto one shard by content
+#    hash; its p99_ms against BM_ClusterCold/2's shows the tail cost of a
+#    skewed tenant.
 #  - BENCH_causal: BM_CausalGraphBuild reports graph construction in
 #    events/sec. BM_DiagnoseCausal* rows come in pairs — arg 0 is the naive
 #    order-enumeration baseline (no causal analysis), arg 1 is the default
@@ -88,10 +98,18 @@ echo "wrote ${out_dir}/BENCH_diagnosis.json"
 echo "wrote ${out_dir}/BENCH_trace_io.json"
 
 "${build_dir}/bench/bench_serve" \
+  --benchmark_filter='BM_Serve' \
   --benchmark_out="${out_dir}/BENCH_serve.json" \
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
 echo "wrote ${out_dir}/BENCH_serve.json"
+
+"${build_dir}/bench/bench_serve" \
+  --benchmark_filter='BM_Cluster' \
+  --benchmark_out="${out_dir}/BENCH_serve_cluster.json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_serve_cluster.json"
 
 "${build_dir}/bench/bench_causal" \
   --benchmark_out="${out_dir}/BENCH_causal.json" \
