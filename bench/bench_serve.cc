@@ -32,6 +32,7 @@
 #include "src/obs/metrics.h"
 #include "src/serve/client.h"
 #include "src/serve/service.h"
+#include "src/trace/trace_io.h"
 
 namespace rose {
 namespace {
@@ -374,6 +375,255 @@ void BM_ClusterSkewed(benchmark::State& state) {
   state.counters["p99_ms"] = Percentile(latencies_ms, 0.99);
 }
 BENCHMARK(BM_ClusterSkewed)->Arg(2)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Streaming ingestion (rose::stream, BENCH_stream.json) -------------------
+//
+// Three benchmarks behind the paper's "always-on window" latency claim:
+//
+//   BM_StreamIngest        pure data-plane throughput: N clients (arg) each
+//                          hold one stream session and pump event frames at a
+//                          16 KiB resident window, so the eviction path runs
+//                          constantly. bytes_per_second is the number; the
+//                          4-client row additionally asserts the per-tenant
+//                          memory bound — peak resident bytes across all
+//                          sessions <= clients x 2 x window (the factor 2
+//                          covers the un-evictable pool plus one in-flight
+//                          frame batch of transient overshoot).
+//   BM_StreamOracleLatency the streamed window is already resident when the
+//                          oracle fires: timed region = oracle-mark frame ->
+//                          first progress frame of the diagnosis.
+//   BM_DumpSubmitBaseline  the classic workflow's same interval: timed region
+//                          = kSubmit (the full dump blob over the wire, with
+//                          its admission hash + validation) -> first progress
+//                          frame. The acceptance bar is BM_StreamOracleLatency
+//                          strictly below this row — at the oracle the stream
+//                          path ships an 18-byte mark where the baseline
+//                          ships the whole window.
+//
+// Both latency rows diagnose the same window: the RedisRaft-42 dump with its
+// string pool padded to a few MiB (production windows are string-heavy; the
+// padding rides the wire, the CRCs, and the admission hash like any pool
+// content, while the event stream — and so the diagnosis — is unchanged).
+// The baseline's blob is prebuilt untimed, as if the dump file already
+// existed when the oracle fired: the bar is conservative — the baseline is
+// not even charged for serializing the window. Every iteration uses a
+// distinct diagnosis seed, so nothing is ever answered from the cache (both
+// rows pay one full cold diagnosis untimed).
+
+// Pumps both ends until the global stream.bytes_ingested counter reaches
+// `target` (i.e. the service's ingestor actually consumed the queued bytes).
+void PumpUntilIngested(DiagnosisService& service,
+                       std::vector<std::unique_ptr<ServeClient>>& clients,
+                       uint64_t target) {
+  Counter* ingested = MetricRegistry::Global().GetCounter("stream.bytes_ingested");
+  while (ingested->value() < target) {
+    for (auto& client : clients) {
+      client->Poll();
+    }
+    service.Poll();
+  }
+}
+
+void BM_StreamIngest(benchmark::State& state) {
+  const int num_clients = static_cast<int>(state.range(0));
+  const Dump& dump = TheDump();
+  const std::string profile_text = SerializeProfile(dump.profile);
+
+  ServeConfig config = BenchServeConfig();
+  // A window far smaller than the pumped volume: every iteration exercises
+  // decode + window eviction, not just buffer appends. No spill dir — the
+  // throughput row measures the in-memory data plane (the spill ring is
+  // covered by stream_test).
+  config.stream_window_bytes = 16u << 10;
+  DiagnosisService service(config);
+  std::vector<std::unique_ptr<ServeClient>> clients;
+  std::vector<uint64_t> handles;
+  for (int i = 0; i < num_clients; i++) {
+    auto [client_end, server_end] = MakePipePair();
+    service.Attach(server_end);
+    clients.push_back(std::make_unique<ServeClient>(client_end));
+    handles.push_back(clients.back()->OpenStream(
+        "RedisRaft-42", dump.seed + static_cast<uint64_t>(i), "bench", profile_text));
+  }
+  // One writer per session over the shared dump pool: re-Adding the same
+  // events each iteration yields an endless well-formed stream (fresh delta
+  // timestamps, no repeated header), which is what an always-on tracer
+  // produces.
+  std::vector<std::string> wires(static_cast<size_t>(num_clients));
+  std::vector<std::unique_ptr<TraceWriter>> writers;
+  for (int i = 0; i < num_clients; i++) {
+    writers.push_back(std::make_unique<TraceWriter>(&wires[static_cast<size_t>(i)],
+                                                    &dump.trace.pool()));
+  }
+  Counter* ingested = MetricRegistry::Global().GetCounter("stream.bytes_ingested");
+  uint64_t target = ingested->value();
+
+  // The dump is small; batch several copies per iteration so the timed
+  // region is dominated by steady-state ingestion.
+  constexpr int kBatchesPerIteration = 16;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    for (int b = 0; b < kBatchesPerIteration; b++) {
+      for (int i = 0; i < num_clients; i++) {
+        const size_t idx = static_cast<size_t>(i);
+        for (const TraceEvent& event : dump.trace.events()) {
+          writers[idx]->Add(event);
+        }
+        writers[idx]->Flush();
+        clients[idx]->StreamData(handles[idx], wires[idx]);
+        target += wires[idx].size();
+        bytes += static_cast<int64_t>(wires[idx].size());
+        wires[idx].clear();
+      }
+      PumpUntilIngested(service, clients, target);
+    }
+  }
+  state.SetBytesProcessed(bytes);
+  state.counters["peak_resident_bytes"] =
+      static_cast<double>(service.stream_peak_resident_bytes());
+  double throttles = 0;
+  for (auto& client : clients) {
+    throttles += static_cast<double>(client->throttle_events());
+  }
+  state.counters["throttle_events"] = throttles;
+  // The multi-tenant memory bound (ISSUE acceptance): resident footprint
+  // stays proportional to sessions x window, never to bytes pumped.
+  const size_t bound =
+      static_cast<size_t>(num_clients) * 2 * config.stream_window_bytes;
+  if (service.stream_peak_resident_bytes() > bound) {
+    state.SkipWithError("stream resident bytes exceeded the per-tenant bound");
+    return;
+  }
+  for (int i = 0; i < num_clients; i++) {
+    clients[static_cast<size_t>(i)]->CloseStream(handles[static_cast<size_t>(i)]);
+  }
+}
+BENCHMARK(BM_StreamIngest)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Pumps until at least one progress frame arrives for `handle` (the shared
+// stop condition of the two latency rows), leaving the rest of the job to an
+// untimed drain.
+void PumpUntilFirstProgress(DiagnosisService& service, ServeClient& client,
+                            uint64_t handle) {
+  for (;;) {
+    client.Poll();
+    service.Poll();
+    if (!client.TakeProgress(handle).empty() || client.done(handle)) {
+      return;
+    }
+  }
+}
+
+void DrainJob(DiagnosisService& service, ServeClient& client, uint64_t handle) {
+  while (!client.done(handle)) {
+    client.Poll();
+    service.Poll();
+  }
+}
+
+// The latency rows' shared workload: the real dump with its string pool
+// padded by `pad_bytes` of unique, unreferenced strings (inserted as one
+// extra pool frame ahead of the container's end frame, ids continuing the
+// stream order). Decoders intern the padding like any pool delta; no event
+// references it, so the diagnosis stays the stock RedisRaft-42 one.
+std::string PaddedBlob(const Trace& trace, size_t pad_bytes) {
+  std::string blob = trace.SerializeBinary();
+  constexpr size_t kPadString = 4096;
+  const size_t count = (pad_bytes + kPadString - 1) / kPadString;
+  std::string payload;
+  PutVarint(&payload, trace.pool().size());  // first_id: continue the stream.
+  PutVarint(&payload, count);
+  for (size_t i = 0; i < count; i++) {
+    // Unique per entry — interning must not collapse two pad strings.
+    std::string filler = "pad-" + std::to_string(i) + "-";
+    filler.resize(kPadString, 'x');
+    PutVarint(&payload, filler.size());
+    payload += filler;
+  }
+  std::string framed;
+  AppendRtrcFrame(&framed, kFramePool, payload);
+  // Splice ahead of the trailing end frame (empty payload, header only).
+  blob.insert(blob.size() - kRtrcFrameHeaderSize, framed);
+  return blob;
+}
+
+constexpr size_t kLatencyPadBytes = 4u << 20;
+
+void BM_StreamOracleLatency(benchmark::State& state) {
+  const Dump& dump = TheDump();
+  const std::string profile_text = SerializeProfile(dump.profile);
+  const std::string blob = PaddedBlob(dump.trace, kLatencyPadBytes);
+  ServeConfig config = BenchServeConfig();
+  // The window must hold the padded pool (pool bytes are resident cost and
+  // cannot be evicted).
+  config.stream_window_bytes = kLatencyPadBytes + (4u << 20);
+  DiagnosisService service(config);
+  auto [client_end, server_end] = MakePipePair();
+  service.Attach(server_end);
+  ServeClient client(client_end);
+
+  std::string oracle_frame;
+  OracleMark mark;
+  mark.detail = "bench";
+  AppendRtrcFrame(&oracle_frame, kFrameOracleMark, EncodeOracleMark(mark));
+
+  uint64_t seed = 5000;  // Distinct per iteration: never a cache hit.
+  for (auto _ : state) {
+    state.PauseTiming();
+    const uint64_t handle =
+        client.OpenStream("RedisRaft-42", seed++, "bench", profile_text);
+    client.StreamData(handle, blob);
+    // Pre-ingest the whole window untimed — the streamed bytes are resident
+    // on the server before the failure fires, which is the scenario.
+    Counter* ingested = MetricRegistry::Global().GetCounter("stream.bytes_ingested");
+    const uint64_t target = ingested->value() + blob.size();
+    while (ingested->value() < target) {
+      client.Poll();
+      service.Poll();
+    }
+    state.ResumeTiming();
+
+    client.StreamData(handle, oracle_frame);
+    PumpUntilFirstProgress(service, client, handle);
+
+    state.PauseTiming();
+    DrainJob(service, client, handle);
+    client.CloseStream(handle);
+    while (service.stream_sessions() > 0) {
+      client.Poll();
+      service.Poll();
+    }
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_StreamOracleLatency)->Iterations(5)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DumpSubmitBaseline(benchmark::State& state) {
+  const Dump& dump = TheDump();
+  const std::string profile_text = SerializeProfile(dump.profile);
+  // Prebuilt untimed: the dump artifact already exists when the oracle
+  // fires. The baseline is charged only for shipping + admitting it.
+  const std::string blob = PaddedBlob(dump.trace, kLatencyPadBytes);
+  DiagnosisService service(BenchServeConfig());
+  auto [client_end, server_end] = MakePipePair();
+  service.Attach(server_end);
+  ServeClient client(client_end);
+
+  uint64_t seed = 6000;  // Distinct per iteration: never a cache hit.
+  for (auto _ : state) {
+    // Timed: what the classic workflow pays between "oracle fired" and the
+    // diagnosis starting — the whole window over the wire, then admission
+    // (hash + validation) on the far side.
+    const uint64_t handle =
+        client.SubmitBlob("RedisRaft-42", seed++, "bench", profile_text, blob);
+    PumpUntilFirstProgress(service, client, handle);
+
+    state.PauseTiming();
+    DrainJob(service, client, handle);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_DumpSubmitBaseline)->Iterations(5)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace rose

@@ -23,6 +23,9 @@
 //   --cache-dir DIR   persist confirmed schedules across daemon restarts
 //   --again           resubmit the identical dump; the second submission must
 //                     be served from the cache with zero extra engine runs
+//   --stream          replay the dump through a stream session (open / data
+//                     chunks / oracle mark) instead of one kSubmit
+//   --chunk N         stream chunk size in bytes (default 4096)
 //   --server-stats    send a STATS request and print the server's reply
 //   --quiet           suppress the progress tail
 #include <cstdio>
@@ -69,6 +72,15 @@ flags:
   --cache-dir DIR   persist confirmed schedules across daemon restarts
   --again           resubmit the identical dump; the second submission must
                     be served from the cache with zero extra engine runs
+                    (with --stream this re-submits over the classic kSubmit
+                    path, proving the streamed window materialized to the
+                    same cache key)
+  --stream          replay the dump through a stream session instead of one
+                    kSubmit: open the session, ship the container bytes in
+                    --chunk sized kStreamData frames, then append an
+                    oracle-mark frame -- the daemon materializes its window
+                    and diagnoses under the session id (DESIGN.md section 16)
+  --chunk N         stream chunk size in bytes (default 4096)
   --server-stats    send a STATS request after the job and print the
                     server's reply (counters, queue, metrics YAML)
   --quiet           suppress the progress tail
@@ -108,6 +120,8 @@ int main(int argc, char** argv) {
   bool again = false;
   bool quiet = false;
   bool server_stats = false;
+  bool stream = false;
+  size_t chunk = 4096;
   int num_positional = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -131,6 +145,14 @@ int main(int argc, char** argv) {
       cache_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--again") == 0) {
       again = true;
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
+    } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+      chunk = static_cast<size_t>(std::atoll(argv[++i]));
+      if (chunk == 0) {
+        std::fprintf(stderr, "rose_serve_cli: --chunk must be positive\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--server-stats") == 0) {
       server_stats = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -145,7 +167,8 @@ int main(int argc, char** argv) {
   if (bug_id.empty()) {
     std::fprintf(stderr, "usage: %s <bug-id> [seed] [--dump FILE --profile FILE] "
                          "[--save-dump BASE] [--yaml-out FILE] [--cache-dir DIR] "
-                         "[--again] [--server-stats] [--quiet]  (see --help)\n", argv[0]);
+                         "[--again] [--stream] [--chunk N] [--server-stats] [--quiet]"
+                         "  (see --help)\n", argv[0]);
     return 2;
   }
   const rose::BugSpec* spec = rose::FindBug(bug_id);
@@ -261,9 +284,41 @@ int main(int argc, char** argv) {
     return client.Submit(request);
   };
 
-  std::printf("\n--- submitting to rose_served ---\n");
-  const uint64_t first = submit_job();
+  // --stream: replay the same container bytes through a stream session. The
+  // daemon's window re-canonicalizes to the identical blob a kSubmit would
+  // have carried, so the result (and the cache key) must match byte for byte.
+  auto stream_job = [&]() {
+    const std::string blob =
+        mapped.valid() ? std::string(mapped.bytes()) : trace.SerializeBinary();
+    const std::string prof_text =
+        profile_text.empty() ? rose::SerializeProfile(profile) : profile_text;
+    const uint64_t handle = client.OpenStream(bug_id, seed, "cli", prof_text);
+    for (size_t off = 0; off < blob.size(); off += chunk) {
+      client.StreamData(handle, std::string_view(blob).substr(off, chunk));
+      client.Poll();
+      service.Poll();
+    }
+    // The in-band "failure fired" signal: diagnosis starts on what the
+    // daemon's window holds.
+    rose::OracleMark mark;
+    mark.detail = "cli replay";
+    std::string tail;
+    rose::AppendRtrcFrame(&tail, rose::kFrameOracleMark, rose::EncodeOracleMark(mark));
+    client.StreamData(handle, tail);
+    return handle;
+  };
+
+  std::printf("\n--- submitting to rose_served%s ---\n",
+              stream ? " (stream session)" : "");
+  const uint64_t first = stream ? stream_job() : submit_job();
   PumpUntilDone(client, service, first, quiet);
+  if (stream) {
+    client.CloseStream(first);
+    while (service.stream_sessions() > 0) {
+      client.Poll();
+      service.Poll();
+    }
+  }
   if (client.failed(first)) {
     std::fprintf(stderr, "rose_serve_cli: rejected: %s (%s)\n",
                  client.error_message(first).c_str(),

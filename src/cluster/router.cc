@@ -10,6 +10,28 @@ namespace rose {
 
 namespace {
 constexpr size_t kReadChunk = 16 * 1024;
+
+// Ring key for a stream session: the trace hash a submit would shard by does
+// not exist at open time, so the session's identity (bug, seed, client
+// token) places it instead. All of one session's bytes land on one shard;
+// only cross-submission cache affinity is weaker than the submit path.
+uint64_t StreamShardKey(std::string_view bug_id, uint64_t seed, uint64_t token) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bug_id) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; i++) {
+    h ^= (seed >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; i++) {
+    h ^= (token >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 ClusterRouter::ClusterRouter(RouterConfig config)
@@ -126,7 +148,15 @@ void ClusterRouter::Poll() {
 }
 
 bool ClusterRouter::idle() const {
-  if (!jobs_.empty() || !journal_.replication_idle()) {
+  if (!journal_.replication_idle()) {
+    return false;
+  }
+  for (const auto& [id, job] : jobs_) {
+    // An accepted stream session at rest is idle state, not pending work —
+    // it lives until the client closes it.
+    if (job->is_stream && job->accept_sent) {
+      continue;
+    }
     return false;
   }
   for (const auto& [id, conn] : clients_) {
@@ -160,6 +190,12 @@ void ClusterRouter::ReadClient(ClientConn& conn) {
           HandleSubmit(conn, std::move(frame.payload));
         } else if (frame.kind == ServeFrame::kStatsRequest) {
           SendToClient(conn.id, ServeFrame::kStatsReply, EncodeStats(BuildStats()));
+        } else if (frame.kind == ServeFrame::kStreamOpen) {
+          HandleStreamOpen(conn, frame.payload);
+        } else if (frame.kind == ServeFrame::kStreamData) {
+          HandleStreamData(conn, frame.payload);
+        } else if (frame.kind == ServeFrame::kStreamClose) {
+          HandleStreamClose(conn, frame.payload);
         }
         break;
       case FrameDecoder::Status::kCorruptFrame:
@@ -244,6 +280,78 @@ void ClusterRouter::HandleSubmit(ClientConn& conn, std::string payload) {
   journal_.AppendDispatch(DispatchRecord{ref.id, ref.key, ref.trace_hash, owner,
                                          /*redispatch=*/false, ref.payload});
   DispatchTo(ref, *shards_.at(owner));
+}
+
+void ClusterRouter::HandleStreamOpen(ClientConn& conn, std::string_view payload) {
+  StreamOpenMsg msg;
+  if (!DecodeStreamOpen(payload, &msg)) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    RejectSubmit(conn, ServeError::kMalformedRequest, "stream-open payload does not decode");
+    return;
+  }
+  const std::string owner =
+      ring_.OwnerOf(StreamShardKey(msg.bug_id, msg.seed, msg.token));
+  if (owner.empty()) {
+    // A stranded submit can wait for a shard; a stream cannot — its bytes
+    // would pile up in the router, which deliberately holds no window.
+    RejectSubmit(conn, ServeError::kQueueFull,
+                 "no shards attached; retry the stream open with backoff");
+    return;
+  }
+  auto job = std::make_unique<RouterJob>();
+  job->id = next_job_id_++;
+  job->client = conn.id;
+  job->is_stream = true;
+  conn.accept_fifo.push_back(job->id);
+  stats_.jobs_routed++;
+  metrics_.jobs_routed->Inc();
+  Shard& shard = *shards_.at(owner);
+  AppendServeFrame(&shard.outbox, ServeFrame::kStreamOpen, std::string(payload));
+  shard.accept_fifo.push_back(job->id);
+  job->shard = owner;
+  jobs_.emplace(job->id, std::move(job));
+}
+
+void ClusterRouter::HandleStreamData(ClientConn& conn, std::string_view payload) {
+  uint64_t rid = 0;
+  std::string_view chunk;
+  if (!DecodeStreamData(payload, &rid, &chunk)) {
+    return;
+  }
+  auto it = jobs_.find(rid);
+  if (it == jobs_.end() || !it->second->is_stream || it->second->client != conn.id ||
+      it->second->backend_job_id == 0 || it->second->shard.empty()) {
+    return;  // Session gone (shard died) or never accepted; bytes are moot.
+  }
+  auto sit = shards_.find(it->second->shard);
+  if (sit == shards_.end()) {
+    return;
+  }
+  // Rewrite the varint job-id prefix into the backend's namespace; the chunk
+  // bytes are forwarded untouched.
+  AppendServeFrame(&sit->second->outbox, ServeFrame::kStreamData,
+                   EncodeStreamData(it->second->backend_job_id, chunk));
+}
+
+void ClusterRouter::HandleStreamClose(ClientConn& conn, std::string_view payload) {
+  StreamCloseMsg msg;
+  if (!DecodeStreamClose(payload, &msg)) {
+    return;
+  }
+  auto it = jobs_.find(msg.job_id);
+  if (it == jobs_.end() || !it->second->is_stream || it->second->client != conn.id) {
+    return;
+  }
+  RouterJob& job = *it->second;
+  if (auto sit = shards_.find(job.shard); sit != shards_.end()) {
+    if (job.backend_job_id != 0) {
+      AppendServeFrame(&sit->second->outbox, ServeFrame::kStreamClose,
+                       EncodeStreamClose(StreamCloseMsg{job.backend_job_id}));
+      sit->second->by_backend_id.erase(job.backend_job_id);
+    }
+  }
+  FinishJob(msg.job_id);
 }
 
 void ClusterRouter::RejectSubmit(ClientConn& conn, ServeError code,
@@ -348,6 +456,15 @@ void ClusterRouter::HandleShardFrame(Shard& shard, DecodedFrame frame) {
           return;
         }
         rid = bit->second;
+        if (auto jit = jobs_.find(rid);
+            jit != jobs_.end() && jit->second->is_stream) {
+          // Stream-session error (oracle admission rejected, unusable
+          // stream bytes): forwarded under the router's id. The mapping
+          // stays — the backend may hold the session open for more data.
+          msg.job_id = rid;
+          SendToClient(jit->second->client, ServeFrame::kError, EncodeError(msg));
+          return;
+        }
         shard.by_backend_id.erase(bit);
       }
       auto it = jobs_.find(rid);
@@ -412,12 +529,29 @@ void ClusterRouter::HandleShardFrame(Shard& shard, DecodedFrame frame) {
         return;
       }
       const uint64_t rid = bit->second;
-      shard.by_backend_id.erase(bit);
       auto it = jobs_.find(rid);
       if (it == jobs_.end()) {
+        shard.by_backend_id.erase(bit);
         return;
       }
       RouterJob& job = *it->second;
+      if (job.is_stream) {
+        // A session's diagnosis result: forward it, keep the session — the
+        // id mapping must survive (the window can fire further oracles, and
+        // data/close frames still need routing). Never journaled: sessions
+        // are not re-posable (see RouterJob::is_stream).
+        stats_.completions++;
+        metrics_.completions->Inc();
+        msg.job_id = rid;
+        const std::string body = EncodeResult(msg);
+        if (job.accept_sent) {
+          SendToClient(job.client, ServeFrame::kResult, body);
+        } else {
+          job.deferred.emplace_back(ServeFrame::kResult, body);
+        }
+        return;
+      }
+      shard.by_backend_id.erase(bit);
       if (shard.inflight > 0) {
         shard.inflight--;
       }
@@ -436,6 +570,26 @@ void ClusterRouter::HandleShardFrame(Shard& shard, DecodedFrame frame) {
           FlushClientFifo(*c->second);
         }
       }
+      return;
+    }
+    case ServeFrame::kThrottle: {
+      // Backpressure toward the sender: rewrite the id and pass it through —
+      // the router buffers no window, so the backend's verdict is the one
+      // that matters.
+      ThrottleMsg msg;
+      if (!DecodeThrottle(frame.payload, &msg)) {
+        return;
+      }
+      auto bit = shard.by_backend_id.find(msg.job_id);
+      if (bit == shard.by_backend_id.end()) {
+        return;
+      }
+      auto it = jobs_.find(bit->second);
+      if (it == jobs_.end()) {
+        return;
+      }
+      msg.job_id = bit->second;
+      SendToClient(it->second->client, ServeFrame::kThrottle, EncodeThrottle(msg));
       return;
     }
     case ServeFrame::kStatsReply:
@@ -463,8 +617,26 @@ void ClusterRouter::OnShardDead(const std::string& name) {
   // makes the re-run result byte-identical to the one that was lost. Jobs
   // whose accept already reached the client keep their router job id — the
   // successor's duplicate accept is swallowed in HandleShardFrame.
+  std::vector<uint64_t> dead_streams;
   for (auto& [rid, job] : jobs_) {
     if (job->shard != name) {
+      continue;
+    }
+    if (job->is_stream) {
+      // The session's window died with the shard; there is nothing to
+      // re-pose. The client learns its session is gone and reopens.
+      ErrorMsg err{job->id, ServeError::kInvalidTrace,
+                   "stream session lost: shard '" + name + "' died"};
+      if (job->accept_sent) {
+        SendToClient(job->client, ServeFrame::kError, EncodeError(err));
+        dead_streams.push_back(rid);
+      } else {
+        err.job_id = 0;  // FIFO-correlated, like any pre-admission reject.
+        job->accept_ready = true;
+        job->terminal = true;
+        job->response_kind = ServeFrame::kError;
+        job->response_payload = EncodeError(err);
+      }
       continue;
     }
     job->shard.clear();
@@ -481,11 +653,14 @@ void ClusterRouter::OnShardDead(const std::string& name) {
                                            job->payload});
     DispatchTo(*job, *shards_.at(owner));
   }
+  for (uint64_t rid : dead_streams) {
+    FinishJob(rid);
+  }
 }
 
 void ClusterRouter::DispatchStranded() {
   for (auto& [rid, job] : jobs_) {
-    if (!job->shard.empty() || job->terminal) {
+    if (!job->shard.empty() || job->terminal || job->is_stream) {
       continue;
     }
     const std::string owner = ring_.OwnerOf(job->trace_hash);

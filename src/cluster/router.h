@@ -149,6 +149,13 @@ class ClusterRouter {
     std::string payload;  // Verbatim submit payload (kept for re-dispatch).
     std::string shard;    // Current owner ("" = stranded, awaiting a shard).
     uint64_t backend_job_id = 0;
+    // Stream session (kStreamOpen) instead of a one-shot submit: data/close
+    // frames route through the id mapping, the session outlives its results
+    // (a window can fire several oracles), and failover cannot re-pose it —
+    // the dead shard's window bytes are gone, so the session errors out.
+    // Stream sessions are never journaled (documented open follow-up in
+    // docs/wire_protocol.md).
+    bool is_stream = false;
     bool redispatched = false;
     // Admission response state: ready = received (or router-local reject),
     // sent = flushed to the client in FIFO turn.
@@ -165,6 +172,12 @@ class ClusterRouter {
 
   void ReadClient(ClientConn& conn);
   void HandleSubmit(ClientConn& conn, std::string payload);
+  // Stream forwarding: opens shard by FNV(bug id, seed, token) — the trace
+  // hash does not exist yet at open time — then data/close frames follow the
+  // session's id mapping with the varint job-id prefix rewritten in place.
+  void HandleStreamOpen(ClientConn& conn, std::string_view payload);
+  void HandleStreamData(ClientConn& conn, std::string_view payload);
+  void HandleStreamClose(ClientConn& conn, std::string_view payload);
   // Queues a router-local rejection in the client's FIFO turn.
   void RejectSubmit(ClientConn& conn, ServeError code, const std::string& message);
   void ReadShard(Shard& shard);

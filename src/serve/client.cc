@@ -1,5 +1,7 @@
 #include "src/serve/client.h"
 
+#include "src/analyze/trace_validator.h"
+
 namespace rose {
 namespace {
 
@@ -18,6 +20,25 @@ uint64_t MixJitter(uint64_t x) {
   return x;
 }
 
+// FNV-1a over a short string (bug ids, tags) for token derivation.
+uint64_t FnvMix(uint64_t seed, std::string_view s) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Idempotency token for a submission: the blob's canonical hash (encoding-
+// independent — a resend of the same window matches even if re-encoded)
+// mixed with bug id and seed so two jobs over one dump stay distinct.
+// Always nonzero: 0 means "no token" on the wire.
+uint64_t SubmitToken(uint64_t trace_hash, std::string_view bug_id, uint64_t seed) {
+  const uint64_t token = MixJitter(FnvMix(trace_hash, bug_id) ^ seed);
+  return token == 0 ? 1 : token;
+}
+
 }  // namespace
 
 ServeClient::ServeClient(std::shared_ptr<Transport> transport, ServeClientConfig config)
@@ -26,24 +47,100 @@ ServeClient::ServeClient(std::shared_ptr<Transport> transport, ServeClientConfig
 }
 
 uint64_t ServeClient::Submit(const SubmitRequest& request) {
-  return SubmitEncoded(EncodeSubmit(request));
+  const uint64_t token =
+      SubmitToken(CanonicalTraceHash(request.trace), request.bug_id, request.seed);
+  return SubmitEncoded(EncodeSubmitBlob(request.bug_id, request.seed, request.tag,
+                                        SerializeProfile(request.profile),
+                                        request.trace.SerializeBinary(), token),
+                       token);
 }
 
 uint64_t ServeClient::SubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
                                  std::string_view profile_text, std::string_view trace_blob) {
-  return SubmitEncoded(EncodeSubmitBlob(bug_id, seed, tag, profile_text, trace_blob));
+  uint64_t trace_hash = 0;
+  CanonicalBlobHash(trace_blob, &trace_hash);  // Best-effort: damaged blobs
+                                               // still get a stable token.
+  const uint64_t token = SubmitToken(trace_hash, bug_id, seed);
+  return SubmitEncoded(EncodeSubmitBlob(bug_id, seed, tag, profile_text, trace_blob, token),
+                       token);
 }
 
-uint64_t ServeClient::SubmitEncoded(std::string encoded) {
+uint64_t ServeClient::SubmitEncoded(std::string encoded, uint64_t token) {
   const uint64_t handle = next_handle_++;
   PendingJob& job = jobs_[handle];
   job.handle = handle;
   job.encoded = std::move(encoded);
+  job.token = token;
   job.state = JobState::kAwaitingAccept;
   AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
   accept_fifo_.push_back(handle);
   return handle;
 }
+
+uint64_t ServeClient::OpenStream(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                                 std::string_view profile_text) {
+  const uint64_t handle = next_handle_++;
+  PendingJob& job = jobs_[handle];
+  job.handle = handle;
+  job.is_stream = true;
+  // Session nonce, not a content hash: the content does not exist yet.
+  job.token = SubmitToken(MixJitter(config_.backoff_jitter_seed ^ handle), bug_id, seed);
+  StreamOpenMsg msg;
+  msg.bug_id = std::string(bug_id);
+  msg.seed = seed;
+  msg.tag = std::string(tag);
+  msg.profile_text = std::string(profile_text);
+  msg.token = job.token;
+  job.encoded = EncodeStreamOpen(msg);
+  job.state = JobState::kAwaitingAccept;
+  AppendServeFrame(&outbox_, ServeFrame::kStreamOpen, job.encoded);
+  accept_fifo_.push_back(handle);
+  return handle;
+}
+
+void ServeClient::StreamData(uint64_t handle, std::string_view bytes) {
+  auto it = jobs_.find(handle);
+  if (it == jobs_.end() || !it->second.is_stream || bytes.empty()) {
+    return;
+  }
+  PendingJob& job = it->second;
+  if (job.state == JobState::kAwaitingAccept) {
+    job.stream_staged.append(bytes.data(), bytes.size());
+    return;
+  }
+  // kDone only means a result arrived under the session id — the session
+  // itself stays open (a window can fire several oracles). Only failure
+  // ends it.
+  if (job.state != JobState::kAccepted && job.state != JobState::kDone) {
+    return;
+  }
+  AppendServeFrame(&outbox_, ServeFrame::kStreamData,
+                   EncodeStreamData(job.server_job_id, bytes));
+}
+
+void ServeClient::CloseStream(uint64_t handle) {
+  auto it = jobs_.find(handle);
+  if (it == jobs_.end() || !it->second.is_stream) {
+    return;
+  }
+  PendingJob& job = it->second;
+  if (job.state == JobState::kAwaitingAccept) {
+    job.close_requested = true;  // Sent right after the accept arrives.
+    return;
+  }
+  if (job.state != JobState::kAccepted && job.state != JobState::kDone) {
+    return;  // Never accepted, or already failed.
+  }
+  AppendServeFrame(&outbox_, ServeFrame::kStreamClose,
+                   EncodeStreamClose(StreamCloseMsg{job.server_job_id}));
+}
+
+bool ServeClient::stream_accepted(uint64_t handle) const {
+  const PendingJob& job = Get(handle);
+  return job.is_stream && (job.state == JobState::kAccepted || job.state == JobState::kDone);
+}
+
+bool ServeClient::stream_throttled(uint64_t handle) const { return Get(handle).throttled; }
 
 int ServeClient::BackoffRounds(const PendingJob& job) const {
   const int cap = config_.max_backoff_rounds > 0 ? config_.max_backoff_rounds : 1;
@@ -85,7 +182,9 @@ void ServeClient::Poll() {
       continue;
     }
     job.state = JobState::kAwaitingAccept;
-    AppendServeFrame(&outbox_, ServeFrame::kSubmit, job.encoded);
+    AppendServeFrame(&outbox_,
+                     job.is_stream ? ServeFrame::kStreamOpen : ServeFrame::kSubmit,
+                     job.encoded);
     accept_fifo_.push_back(handle);
     retries_performed_++;
   }
@@ -141,17 +240,9 @@ void ServeClient::HandleFrame(const DecodedFrame& frame) {
   switch (frame.kind) {
     case ServeFrame::kAccepted: {
       AcceptedMsg msg;
-      if (!DecodeAccepted(frame.payload, &msg)) {
-        return;
+      if (DecodeAccepted(frame.payload, &msg)) {
+        HandleAccepted(msg);
       }
-      PendingJob* job = OldestAwaitingAccept();
-      if (job == nullptr) {
-        return;
-      }
-      accept_fifo_.pop_front();
-      job->state = JobState::kAccepted;
-      job->server_job_id = msg.job_id;
-      job->accept_kind = msg.kind;
       return;
     }
     case ServeFrame::kProgress: {
@@ -200,22 +291,31 @@ void ServeClient::HandleFrame(const DecodedFrame& frame) {
       if (msg.job_id == 0) {
         accept_fifo_.pop_front();
       }
-      if (msg.code == ServeError::kQueueFull && config_.auto_retry_queue_full &&
+      // Retryable rejections: queue-full always; a pre-admission kBadFrame on
+      // a plain submit too — a half-closed transport can truncate the frame
+      // mid-flight, and resending is safe because the idempotency token makes
+      // a second accept for an already-registered original recognizable
+      // (HandleAccepted drops it) instead of double-submitting. Stream opens
+      // stay fail-fast: their data frames are gone with the connection.
+      const bool retryable =
+          msg.code == ServeError::kQueueFull ||
+          (msg.code == ServeError::kBadFrame && msg.job_id == 0 && !job->is_stream);
+      if (retryable && config_.auto_retry_queue_full &&
           job->attempts < config_.max_retries) {
         job->state = JobState::kBackoff;
         job->backoff_left = BackoffRounds(*job);
         job->attempts++;
         return;
       }
-      if (msg.code == ServeError::kQueueFull && config_.auto_retry_queue_full) {
+      if (retryable && config_.auto_retry_queue_full) {
         // Every retry consumed: surface a client-side typed error instead of
         // the server's last rejection, so callers can tell "gave up after
         // backoff" from "rejected once with retries disabled".
         job->state = JobState::kFailed;
         job->error = ServeError::kRetriesExhausted;
         job->error_message =
-            "queue full after " + std::to_string(job->attempts) +
-            " retries: " + std::move(msg.message);
+            std::string(msg.code == ServeError::kQueueFull ? "queue full" : "bad frame") +
+            " after " + std::to_string(job->attempts) + " retries: " + std::move(msg.message);
         return;
       }
       job->state = JobState::kFailed;
@@ -231,9 +331,73 @@ void ServeClient::HandleFrame(const DecodedFrame& frame) {
       }
       return;
     }
+    case ServeFrame::kThrottle: {
+      ThrottleMsg msg;
+      if (!DecodeThrottle(frame.payload, &msg)) {
+        return;
+      }
+      if (PendingJob* job = ByServerJobId(msg.job_id)) {
+        if (msg.on && !job->throttled) {
+          throttle_events_++;
+        }
+        job->throttled = msg.on;
+      }
+      return;
+    }
     case ServeFrame::kSubmit:
     case ServeFrame::kStatsRequest:
+    case ServeFrame::kStreamOpen:
+    case ServeFrame::kStreamData:
+    case ServeFrame::kStreamClose:
       return;  // Client never receives these; skip per protocol rules.
+  }
+}
+
+void ServeClient::HandleAccepted(const AcceptedMsg& msg) {
+  PendingJob* job = nullptr;
+  if (msg.token != 0) {
+    // Token-directed accept: claim the first awaiting FIFO entry carrying
+    // this token. If a resent submission's original actually registered, the
+    // server answers twice with the same token — by the second accept the job
+    // is no longer awaiting, nothing matches, and the duplicate is dropped
+    // WITHOUT popping the FIFO (popping would steal the next submission's
+    // accept and shift every later correlation by one).
+    for (auto it = accept_fifo_.begin(); it != accept_fifo_.end(); ++it) {
+      auto jit = jobs_.find(*it);
+      if (jit == jobs_.end() || jit->second.state != JobState::kAwaitingAccept) {
+        continue;
+      }
+      if (jit->second.token == msg.token) {
+        job = &jit->second;
+        accept_fifo_.erase(it);
+        break;
+      }
+    }
+    if (job == nullptr) {
+      return;  // Duplicate (or unknown) token — swallow.
+    }
+  } else {
+    // Legacy pre-token server: plain FIFO correlation.
+    job = OldestAwaitingAccept();
+    if (job == nullptr) {
+      return;
+    }
+    accept_fifo_.pop_front();
+  }
+  job->state = JobState::kAccepted;
+  job->server_job_id = msg.job_id;
+  job->accept_kind = msg.kind;
+  if (job->is_stream) {
+    if (!job->stream_staged.empty()) {
+      AppendServeFrame(&outbox_, ServeFrame::kStreamData,
+                       EncodeStreamData(job->server_job_id, job->stream_staged));
+      job->stream_staged.clear();
+      job->stream_staged.shrink_to_fit();
+    }
+    if (job->close_requested) {
+      AppendServeFrame(&outbox_, ServeFrame::kStreamClose,
+                       EncodeStreamClose(StreamCloseMsg{job->server_job_id}));
+    }
   }
 }
 

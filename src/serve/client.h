@@ -73,8 +73,30 @@ class ServeClient {
   // mapped dump file's bytes) without building or re-encoding a Trace. Same
   // cache key as Submit of the equivalent trace — the canonical hash is
   // encoding-independent. All views are copied into the frame immediately.
+  // Every submission carries an idempotency token derived from the blob's
+  // canonical hash: if a suspected-lost submit is resent and the original
+  // actually registered, the duplicate kAccepted is recognized by token and
+  // dropped instead of being mis-attributed to the next FIFO submission.
   uint64_t SubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
                       std::string_view profile_text, std::string_view trace_blob);
+
+  // --- Streaming ingestion (DESIGN.md §16) -----------------------------------
+  // Opens a stream session: the kStreamOpen enters the same FIFO accept
+  // correlation as submits; once accepted (AcceptKind::kStream), StreamData
+  // bytes flow under the session's server job id. Data handed over before
+  // the accept arrives is staged client-side and flushed on acceptance.
+  uint64_t OpenStream(std::string_view bug_id, uint64_t seed, std::string_view tag,
+                      std::string_view profile_text);
+  // Queues raw RTRC stream bytes for the session. The sink is expected to
+  // honor stream_throttled() and pause pumping; bytes handed here are always
+  // forwarded (the oracle flush must go through even under throttle).
+  void StreamData(uint64_t handle, std::string_view bytes);
+  void CloseStream(uint64_t handle);
+  bool stream_accepted(uint64_t handle) const;
+  // True between a kThrottle(on) and the matching kThrottle(off).
+  bool stream_throttled(uint64_t handle) const;
+  // kThrottle(on) frames received over the connection's lifetime.
+  uint64_t throttle_events() const { return throttle_events_; }
 
   // Queues a kStatsRequest. The server answers with one kStatsReply;
   // stats_available() turns true and stats() holds the latest snapshot.
@@ -126,10 +148,18 @@ class ServeClient {
     std::string error_message;
     ServeJobResult result;
     std::vector<ProgressMsg> progress;
+    // Idempotency token carried in the submit/stream-open payload (0 on
+    // stats-era encodings that predate tokens).
+    uint64_t token = 0;
+    bool is_stream = false;
+    bool throttled = false;
+    bool close_requested = false;   // CloseStream before the accept arrived.
+    std::string stream_staged;      // Data queued before the accept arrived.
   };
 
   void HandleFrame(const DecodedFrame& frame);
-  uint64_t SubmitEncoded(std::string encoded);
+  void HandleAccepted(const AcceptedMsg& msg);
+  uint64_t SubmitEncoded(std::string encoded, uint64_t token);
   // Rounds to wait before retry `job.attempts`: exponential base, capped,
   // plus deterministic jitter mixed from (jitter seed, handle, attempt).
   int BackoffRounds(const PendingJob& job) const;
@@ -147,6 +177,7 @@ class ServeClient {
   std::deque<uint64_t> accept_fifo_;
   uint64_t next_handle_ = 1;
   int retries_performed_ = 0;
+  uint64_t throttle_events_ = 0;
   bool broken_ = false;
   uint64_t stats_received_ = 0;
   StatsMsg latest_stats_;

@@ -158,7 +158,8 @@ std::string EncodeSubmit(const SubmitRequest& request) {
 }
 
 std::string EncodeSubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
-                             std::string_view profile_text, std::string_view trace_blob) {
+                             std::string_view profile_text, std::string_view trace_blob,
+                             uint64_t token) {
   std::string payload;
   payload.reserve(bug_id.size() + tag.size() + profile_text.size() + trace_blob.size() + 32);
   PutLengthPrefixed(&payload, bug_id);
@@ -166,6 +167,12 @@ std::string EncodeSubmitBlob(std::string_view bug_id, uint64_t seed, std::string
   PutLengthPrefixed(&payload, tag);
   PutLengthPrefixed(&payload, profile_text);
   PutLengthPrefixed(&payload, trace_blob);
+  if (token != 0) {
+    // Optional trailing idempotency token. Pre-token decoders stop after
+    // the blob and ignore trailing bytes, so this is additive within v1 —
+    // and omitting it when 0 keeps historical submissions byte-identical.
+    PutVarint(&payload, token);
+  }
   return payload;
 }
 
@@ -205,6 +212,10 @@ bool DecodeSubmitEnvelope(std::string payload, SubmitEnvelope* out) {
   if (!ParseProfile(profile_text, &out->profile_)) {
     return false;
   }
+  out->token_ = 0;
+  if (!rest.empty() && !GetVarint(&rest, &out->token_)) {
+    return false;
+  }
   out->seed_ = seed;
   out->bug_id_off_ = static_cast<size_t>(bug_id.data() - base);
   out->bug_id_len_ = bug_id.size();
@@ -226,6 +237,9 @@ std::string EncodeAccepted(const AcceptedMsg& msg) {
   PutVarint(&payload, msg.job_id);
   payload.push_back(static_cast<char>(msg.kind));
   PutVarint(&payload, msg.queue_depth);
+  if (msg.token != 0) {
+    PutVarint(&payload, msg.token);  // Optional trailing echo; see header.
+  }
   return payload;
 }
 
@@ -235,11 +249,83 @@ bool DecodeAccepted(std::string_view payload, AcceptedMsg* out) {
   }
   const uint8_t kind = static_cast<uint8_t>(payload[0]);
   payload.remove_prefix(1);
-  if (kind > static_cast<uint8_t>(AcceptKind::kCoalesced)) {
+  if (kind > static_cast<uint8_t>(AcceptKind::kStream)) {
     return false;
   }
   out->kind = static_cast<AcceptKind>(kind);
-  return GetVarint(&payload, &out->queue_depth);
+  if (!GetVarint(&payload, &out->queue_depth)) {
+    return false;
+  }
+  out->token = 0;
+  return payload.empty() || GetVarint(&payload, &out->token);
+}
+
+std::string EncodeStreamOpen(const StreamOpenMsg& msg) {
+  std::string payload;
+  PutLengthPrefixed(&payload, msg.bug_id);
+  PutVarint(&payload, msg.seed);
+  PutLengthPrefixed(&payload, msg.tag);
+  PutLengthPrefixed(&payload, msg.profile_text);
+  PutVarint(&payload, msg.token);
+  return payload;
+}
+
+bool DecodeStreamOpen(std::string_view payload, StreamOpenMsg* out) {
+  std::string_view bug_id;
+  std::string_view tag;
+  std::string_view profile_text;
+  if (!GetLengthPrefixed(&payload, &bug_id) || !GetVarint(&payload, &out->seed) ||
+      !GetLengthPrefixed(&payload, &tag) || !GetLengthPrefixed(&payload, &profile_text) ||
+      !GetVarint(&payload, &out->token)) {
+    return false;
+  }
+  out->bug_id = std::string(bug_id);
+  out->tag = std::string(tag);
+  out->profile_text = std::string(profile_text);
+  return true;
+}
+
+std::string EncodeStreamData(uint64_t job_id, std::string_view chunk) {
+  std::string payload;
+  payload.reserve(chunk.size() + 10);
+  PutVarint(&payload, job_id);
+  payload.append(chunk.data(), chunk.size());
+  return payload;
+}
+
+bool DecodeStreamData(std::string_view payload, uint64_t* job_id, std::string_view* chunk) {
+  if (!GetVarint(&payload, job_id)) {
+    return false;
+  }
+  *chunk = payload;  // The rest of the frame is the raw RTRC byte run.
+  return true;
+}
+
+std::string EncodeStreamClose(const StreamCloseMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  return payload;
+}
+
+bool DecodeStreamClose(std::string_view payload, StreamCloseMsg* out) {
+  return GetVarint(&payload, &out->job_id) && payload.empty();
+}
+
+std::string EncodeThrottle(const ThrottleMsg& msg) {
+  std::string payload;
+  PutVarint(&payload, msg.job_id);
+  payload.push_back(msg.on ? 1 : 0);
+  PutVarint(&payload, msg.resident_bytes);
+  return payload;
+}
+
+bool DecodeThrottle(std::string_view payload, ThrottleMsg* out) {
+  if (!GetVarint(&payload, &out->job_id) || payload.empty()) {
+    return false;
+  }
+  out->on = payload[0] != 0;
+  payload.remove_prefix(1);
+  return GetVarint(&payload, &out->resident_bytes) && payload.empty();
 }
 
 std::string EncodeProgress(const ProgressMsg& msg) {

@@ -53,7 +53,14 @@ inline constexpr uint32_t kMaxServeFramePayload = 256u * 1024u * 1024u;
 enum class ServeFrame : uint8_t {
   kSubmit = 1,
   kStatsRequest = 2,  // Empty payload; answered with exactly one kStatsReply.
-  // 3..15 reserved for future client->server frames.
+  // Streaming ingestion (DESIGN.md §16) — additive within version 1, like
+  // kStatsReply below. kStreamOpen enters the same FIFO accept correlation
+  // as kSubmit (one kAccepted with AcceptKind::kStream, or one kError);
+  // kStreamData/kStreamClose carry the accepted session's job id.
+  kStreamOpen = 3,
+  kStreamData = 4,
+  kStreamClose = 5,
+  // 6..15 reserved for future client->server frames.
   kAccepted = 16,
   kProgress = 17,
   kResult = 18,
@@ -61,6 +68,9 @@ enum class ServeFrame : uint8_t {
   // An *additive* extension within version 1: servers predating it skip the
   // unknown kind (framing is self-describing), so no version bump is needed.
   kStatsReply = 20,
+  // Server -> client backpressure for a stream session: on=true asks the
+  // sender to pause pushing kStreamData until a matching on=false arrives.
+  kThrottle = 21,
 };
 
 // Typed rejection codes carried by kError frames.
@@ -84,6 +94,7 @@ enum class AcceptKind : uint8_t {
   kQueued = 0,     // New job, waiting for a worker slot.
   kCacheHit = 1,   // Result served from the canonical-hash cache; no runs.
   kCoalesced = 2,  // Attached to an identical queued/running job.
+  kStream = 3,     // A stream session opened; job id names the session.
 };
 
 // --- Message bodies ---------------------------------------------------------
@@ -114,6 +125,11 @@ class SubmitEnvelope {
   std::string_view profile_text() const { return Field(profile_off_, profile_len_); }
   std::string_view trace_blob() const { return Field(trace_off_, trace_len_); }
   uint64_t seed() const { return seed_; }
+  // Client-chosen idempotency token (0 = none; pre-token clients). Echoed in
+  // the kAccepted frame so a client that resent after a suspected loss can
+  // correlate — and discard — a duplicate accept instead of mis-attributing
+  // it to the next submission in FIFO order.
+  uint64_t token() const { return token_; }
   const Profile& profile() const { return profile_; }
 
   // Transfers the trace blob's bytes out as an owned string (one copy — the
@@ -135,6 +151,7 @@ class SubmitEnvelope {
   size_t profile_off_ = 0, profile_len_ = 0;
   size_t trace_off_ = 0, trace_len_ = 0;
   uint64_t seed_ = 42;
+  uint64_t token_ = 0;
   Profile profile_;
 };
 
@@ -142,6 +159,35 @@ struct AcceptedMsg {
   uint64_t job_id = 0;
   AcceptKind kind = AcceptKind::kQueued;
   uint64_t queue_depth = 0;  // Jobs ahead of this one (queued disposition).
+  // Echo of the submission's idempotency token (0 when the client sent
+  // none). Encoded as an optional trailing varint: pre-token decoders
+  // ignore trailing bytes, so the extension is additive within version 1.
+  uint64_t token = 0;
+};
+
+// --- Streaming ingestion messages (DESIGN.md §16) ----------------------------
+
+// kStreamOpen payload: everything a kSubmit carries except the trace blob,
+// which follows incrementally as kStreamData chunks.
+struct StreamOpenMsg {
+  std::string bug_id;
+  uint64_t seed = 42;
+  std::string tag;
+  std::string profile_text;   // SerializeProfile() form.
+  uint64_t token = 0;         // Idempotency token, echoed in kAccepted.
+};
+
+// kStreamClose payload. Closing a session discards its window (a session
+// whose oracle already fired keeps its admitted diagnosis job running).
+struct StreamCloseMsg {
+  uint64_t job_id = 0;
+};
+
+// kThrottle payload (server -> client).
+struct ThrottleMsg {
+  uint64_t job_id = 0;
+  bool on = false;
+  uint64_t resident_bytes = 0;  // Session window occupancy at send time.
 };
 
 // Job lifecycle milestones streamed while a diagnosis runs.
@@ -214,8 +260,15 @@ std::string EncodeSubmit(const SubmitRequest& request);
 // plus SerializeBinary; the canonical hash is encoding-independent, so a
 // raw-blob submission and a re-encoded one dedup to the same cache key.
 std::string EncodeSubmitBlob(std::string_view bug_id, uint64_t seed, std::string_view tag,
-                             std::string_view profile_text, std::string_view trace_blob);
+                             std::string_view profile_text, std::string_view trace_blob,
+                             uint64_t token = 0);
 std::string EncodeAccepted(const AcceptedMsg& msg);
+std::string EncodeStreamOpen(const StreamOpenMsg& msg);
+// kStreamData payload: varint session job id, then the raw RTRC stream
+// bytes verbatim (no inner length prefix — the frame bounds the chunk).
+std::string EncodeStreamData(uint64_t job_id, std::string_view chunk);
+std::string EncodeStreamClose(const StreamCloseMsg& msg);
+std::string EncodeThrottle(const ThrottleMsg& msg);
 std::string EncodeProgress(const ProgressMsg& msg);
 std::string EncodeResult(const ResultMsg& msg);
 std::string EncodeError(const ErrorMsg& msg);
@@ -234,6 +287,12 @@ bool DecodeSubmit(std::string_view payload, SubmitRequest* out,
 // trace_blob().
 bool DecodeSubmitEnvelope(std::string payload, SubmitEnvelope* out);
 bool DecodeAccepted(std::string_view payload, AcceptedMsg* out);
+bool DecodeStreamOpen(std::string_view payload, StreamOpenMsg* out);
+// `*chunk` views into `payload`; the caller keeps the payload alive while
+// feeding the chunk onward (zero-copy into the ingestor).
+bool DecodeStreamData(std::string_view payload, uint64_t* job_id, std::string_view* chunk);
+bool DecodeStreamClose(std::string_view payload, StreamCloseMsg* out);
+bool DecodeThrottle(std::string_view payload, ThrottleMsg* out);
 bool DecodeProgress(std::string_view payload, ProgressMsg* out);
 bool DecodeResult(std::string_view payload, ResultMsg* out);
 bool DecodeError(std::string_view payload, ErrorMsg* out);

@@ -48,6 +48,8 @@ DiagnosisService::DiagnosisService(ServeConfig config)
     : config_(config),
       cache_(config.cache_capacity, config.cache_dir),
       queue_(config.queue_capacity),
+      ingestor_(StreamIngestorConfig{config.stream_window_bytes, config.stream_spill_dir,
+                                     config.stream_spill_bytes}),
       pool_(std::make_unique<WorkerPool>(std::max(config.max_concurrent_jobs, 1))) {
   MetricRegistry& reg = MetricRegistry::Global();
   metrics_.submissions = reg.GetCounter("serve.submissions");
@@ -62,6 +64,12 @@ DiagnosisService::DiagnosisService(ServeConfig config)
   metrics_.admit_zero_copy = reg.GetCounter("serve.admit_zero_copy");
   metrics_.queue_depth = reg.GetGauge("serve.queue_depth");
   metrics_.job_ns = reg.GetHistogram("serve.job_ns");
+  metrics_.stream_sessions_opened = reg.GetCounter("stream.sessions_opened");
+  metrics_.stream_data_frames = reg.GetCounter("stream.data_frames");
+  metrics_.stream_bytes_ingested = reg.GetCounter("stream.bytes_ingested");
+  metrics_.stream_throttle_events = reg.GetCounter("stream.throttle_events");
+  metrics_.stream_oracle_marks = reg.GetCounter("stream.oracle_marks");
+  metrics_.stream_oracle_to_candidate_ns = reg.GetHistogram("stream.oracle_to_candidate_ns");
 }
 
 DiagnosisService::~DiagnosisService() {
@@ -84,6 +92,7 @@ void DiagnosisService::Poll() {
       ReadConnection(*conn);
     }
   }
+  PollStreamSessions();
   StartJobs();
   HarvestJobs();
   FlushConnections();
@@ -120,6 +129,12 @@ void DiagnosisService::ReadConnection(Connection& conn) {
         } else if (frame.kind == ServeFrame::kStatsRequest) {
           metrics_.stats_requests->Inc();
           SendFrame(conn.id, ServeFrame::kStatsReply, EncodeStats(BuildStats()));
+        } else if (frame.kind == ServeFrame::kStreamOpen) {
+          HandleStreamOpen(conn, frame.payload);
+        } else if (frame.kind == ServeFrame::kStreamData) {
+          HandleStreamData(conn, frame.payload);
+        } else if (frame.kind == ServeFrame::kStreamClose) {
+          HandleStreamClose(conn, frame.payload);
         }
         // Unknown / server-only kinds from a confused peer are skipped;
         // framing already advanced past them.
@@ -134,6 +149,7 @@ void DiagnosisService::ReadConnection(Connection& conn) {
         SendError(conn, ServeError::kVersionMismatch,
                   "bad stream header or unsupported protocol version");
         conn.dead = true;
+        CloseStreamSessionsFor(conn.id);
         FlushConnections();
         conn.transport->Close();
         return;
@@ -142,11 +158,18 @@ void DiagnosisService::ReadConnection(Connection& conn) {
 }
 
 void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
+  AdmitSubmission(conn, std::move(payload), /*reply_job_id=*/0, std::nullopt);
+}
+
+void DiagnosisService::AdmitSubmission(
+    Connection& conn, std::string payload, uint64_t reply_job_id,
+    std::optional<std::chrono::steady_clock::time_point> oracle_at) {
   SubmitEnvelope env;
   if (!DecodeSubmitEnvelope(std::move(payload), &env)) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
-    SendError(conn, ServeError::kMalformedRequest, "submit payload does not decode");
+    SendError(conn, ServeError::kMalformedRequest, "submit payload does not decode",
+              reply_job_id);
     return;
   }
   const std::string bug_id(env.bug_id());
@@ -154,7 +177,7 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
   if (spec == nullptr) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
-    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + bug_id);
+    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + bug_id, reply_job_id);
     return;
   }
   // Streaming canonical hash straight over the RTRC blob: the cache/dedup
@@ -169,13 +192,15 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace,
-              "trace container damaged: " + container_diags.front().ToString());
+              "trace container damaged: " + container_diags.front().ToString(),
+              reply_job_id);
     return;
   }
   if (event_count == 0) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
-    SendError(conn, ServeError::kInvalidTrace, "trace decoded to zero events");
+    SendError(conn, ServeError::kInvalidTrace, "trace decoded to zero events",
+              reply_job_id);
     return;
   }
   const uint64_t key = JobKey(trace_hash, bug_id, env.seed());
@@ -190,11 +215,22 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
     stats_.cache_hits++;
     metrics_.cache_hits->Inc();
     metrics_.admit_zero_copy->Inc();
-    const uint64_t job_id = next_job_id_++;
-    AcceptedMsg accepted;
-    accepted.job_id = job_id;
-    accepted.kind = AcceptKind::kCacheHit;
-    SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    const uint64_t job_id = reply_job_id != 0 ? reply_job_id : next_job_id_++;
+    if (reply_job_id == 0) {
+      AcceptedMsg accepted;
+      accepted.job_id = job_id;
+      accepted.kind = AcceptKind::kCacheHit;
+      accepted.token = env.token();
+      SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    }
+#if ROSE_OBS_ENABLED
+    if (oracle_at.has_value()) {
+      metrics_.stream_oracle_to_candidate_ns->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - *oracle_at)
+              .count()));
+    }
+#endif
     ResultMsg msg;
     msg.job_id = job_id;
     msg.reproduced = cached->reproduced;
@@ -219,11 +255,17 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
     stats_.coalesced++;
     metrics_.coalesced->Inc();
     metrics_.admit_zero_copy->Inc();
-    job.subscribers.emplace_back(conn.id, /*coalesced=*/true);
-    AcceptedMsg accepted;
-    accepted.job_id = job.id;
-    accepted.kind = AcceptKind::kCoalesced;
-    SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    job.subscribers.push_back({conn.id, /*coalesced=*/true, reply_job_id});
+    if (reply_job_id == 0) {
+      AcceptedMsg accepted;
+      accepted.job_id = job.id;
+      accepted.kind = AcceptKind::kCoalesced;
+      accepted.token = env.token();
+      SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+    }
+    if (oracle_at.has_value()) {
+      stream_oracle_pending_.emplace(job.id, *oracle_at);
+    }
     return;
   }
 
@@ -243,7 +285,7 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
     stats_.rejected_invalid++;
     metrics_.rejects_invalid->Inc();
     SendError(conn, ServeError::kInvalidTrace,
-              "trace failed validation: " + validation.front().ToString());
+              "trace failed validation: " + validation.front().ToString(), reply_job_id);
     return;
   }
   // Causal consistency (TB303, DESIGN.md §12): a trace the happens-before
@@ -256,7 +298,8 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
     metrics_.rejects_invalid->Inc();
     metrics_.rejects_causal->Inc();
     SendError(conn, ServeError::kInvalidTrace,
-              "trace causally inconsistent: " + causal.diagnostics().front().ToString());
+              "trace causally inconsistent: " + causal.diagnostics().front().ToString(),
+              reply_job_id);
     return;
   }
 
@@ -273,14 +316,15 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
   job->spec = spec;
   job->profile = std::move(profile);
   job->trace = std::move(mapped);
-  job->subscribers.emplace_back(conn.id, /*coalesced=*/false);
+  job->subscribers.push_back({conn.id, /*coalesced=*/false, reply_job_id});
 
   if (queue_.Push(conn.id, job->id) == JobQueue::PushResult::kFull) {
     stats_.rejected_queue_full++;
     metrics_.rejects_queue_full->Inc();
     SendError(conn, ServeError::kQueueFull,
               StrFormat("job queue at capacity (%zu); retry with backoff",
-                        queue_.capacity()));
+                        queue_.capacity()),
+              reply_job_id);
     return;  // `job` dies here; nothing was registered.
   }
   job->admitted = std::chrono::steady_clock::now();
@@ -289,13 +333,143 @@ void DiagnosisService::HandleSubmit(Connection& conn, std::string payload) {
       .GetGauge("serve.queue_depth.client" + std::to_string(conn.id))
       ->Set(static_cast<int64_t>(queue_.DepthOf(conn.id)));
 
-  AcceptedMsg accepted;
-  accepted.job_id = job->id;
-  accepted.kind = AcceptKind::kQueued;
-  accepted.queue_depth = queue_.size() - 1;
-  SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+  if (reply_job_id == 0) {
+    AcceptedMsg accepted;
+    accepted.job_id = job->id;
+    accepted.kind = AcceptKind::kQueued;
+    accepted.queue_depth = queue_.size() - 1;
+    accepted.token = env.token();
+    SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+  }
+  if (oracle_at.has_value()) {
+    stream_oracle_pending_.emplace(job->id, *oracle_at);
+  }
   inflight_by_key_.emplace(key, job->id);
   jobs_.emplace(job->id, std::move(job));
+}
+
+void DiagnosisService::HandleStreamOpen(Connection& conn, std::string_view payload) {
+  StreamOpenMsg msg;
+  if (!DecodeStreamOpen(payload, &msg)) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    SendError(conn, ServeError::kMalformedRequest, "stream-open payload does not decode");
+    return;
+  }
+  // Bug identity is checked at open so a misconfigured sender fails before
+  // shipping a window; the trace itself is validated at oracle admission.
+  if (FindBug(msg.bug_id) == nullptr) {
+    stats_.rejected_invalid++;
+    metrics_.rejects_invalid->Inc();
+    SendError(conn, ServeError::kUnknownBug, "unknown bug id: " + msg.bug_id);
+    return;
+  }
+  StreamSession session;
+  session.id = next_job_id_++;
+  session.conn_id = conn.id;
+  session.bug_id = std::move(msg.bug_id);
+  session.seed = msg.seed;
+  session.tag = std::move(msg.tag);
+  session.profile_text = std::move(msg.profile_text);
+  session.token = msg.token;
+  ingestor_.Open(session.id);
+  metrics_.stream_sessions_opened->Inc();
+  AcceptedMsg accepted;
+  accepted.job_id = session.id;
+  accepted.kind = AcceptKind::kStream;
+  accepted.token = msg.token;
+  SendFrame(conn.id, ServeFrame::kAccepted, EncodeAccepted(accepted));
+  stream_sessions_.emplace(session.id, std::move(session));
+}
+
+void DiagnosisService::HandleStreamData(Connection& conn, std::string_view payload) {
+  uint64_t session_id = 0;
+  std::string_view chunk;
+  if (!DecodeStreamData(payload, &session_id, &chunk)) {
+    SendError(conn, ServeError::kMalformedRequest, "stream-data payload does not decode");
+    return;
+  }
+  auto it = stream_sessions_.find(session_id);
+  if (it == stream_sessions_.end() || it->second.conn_id != conn.id) {
+    SendError(conn, ServeError::kBadFrame, "stream data for unknown session",
+              session_id);
+    return;
+  }
+  metrics_.stream_data_frames->Inc();
+  metrics_.stream_bytes_ingested->Inc(chunk.size());
+  if (!ingestor_.Feed(session_id, chunk)) {
+    SendError(conn, ServeError::kInvalidTrace,
+              "stream bytes are not a usable RTRC container", session_id);
+    ingestor_.Close(session_id);
+    stream_sessions_.erase(it);
+    return;
+  }
+  if (ingestor_.oracle_pending(session_id)) {
+    AdmitStreamOracle(conn, session_id);
+  }
+}
+
+void DiagnosisService::HandleStreamClose(Connection& conn, std::string_view payload) {
+  StreamCloseMsg msg;
+  if (!DecodeStreamClose(payload, &msg)) {
+    SendError(conn, ServeError::kMalformedRequest, "stream-close payload does not decode");
+    return;
+  }
+  auto it = stream_sessions_.find(msg.job_id);
+  if (it == stream_sessions_.end() || it->second.conn_id != conn.id) {
+    return;  // Already gone (errored out, or a confused peer); nothing to do.
+  }
+  ingestor_.Close(msg.job_id);
+  stream_sessions_.erase(it);
+}
+
+void DiagnosisService::AdmitStreamOracle(Connection& conn, uint64_t session_id) {
+  StreamSession& session = stream_sessions_.at(session_id);
+  ingestor_.TakeOracle(session_id);  // Clears the latch; ts/detail are the
+                                     // sender's annotation, not inputs here.
+  metrics_.stream_oracle_marks->Inc();
+  const auto oracle_at = std::chrono::steady_clock::now();
+  // Materialize re-canonicalizes the window exactly as Tracer::Dump would,
+  // so the admission below computes the same canonical hash — and hits the
+  // same cache entries — as a dump-file submission of this window. The blob
+  // re-enters through the submit envelope: one encode buys the entire
+  // existing admission chain (hash, cache, coalesce, validate, queue).
+  AdmitSubmission(conn,
+                  EncodeSubmitBlob(session.bug_id, session.seed, session.tag,
+                                   session.profile_text,
+                                   ingestor_.Materialize(session_id), /*token=*/0),
+                  /*reply_job_id=*/session_id, oracle_at);
+}
+
+void DiagnosisService::PollStreamSessions() {
+  for (auto& [id, session] : stream_sessions_) {
+    const uint64_t drops = ingestor_.drops(id);
+    const bool dropping = drops > session.drops_at_check;
+    session.drops_at_check = drops;
+    if (dropping == session.throttled) {
+      continue;  // No edge; kThrottle frames only mark transitions.
+    }
+    session.throttled = dropping;
+    if (dropping) {
+      metrics_.stream_throttle_events->Inc();
+    }
+    ThrottleMsg msg;
+    msg.job_id = id;
+    msg.on = dropping;
+    msg.resident_bytes = ingestor_.resident_bytes();
+    SendFrame(session.conn_id, ServeFrame::kThrottle, EncodeThrottle(msg));
+  }
+}
+
+void DiagnosisService::CloseStreamSessionsFor(uint64_t conn_id) {
+  for (auto it = stream_sessions_.begin(); it != stream_sessions_.end();) {
+    if (it->second.conn_id == conn_id) {
+      ingestor_.Close(it->first);
+      it = stream_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void DiagnosisService::StartJobs() {
@@ -309,7 +483,7 @@ void DiagnosisService::StartJobs() {
     running_++;
     metrics_.queue_depth->Set(static_cast<int64_t>(queue_.size()));
     if (!job.subscribers.empty()) {
-      const uint64_t tenant = job.subscribers.front().first;
+      const uint64_t tenant = job.subscribers.front().conn_id;
       MetricRegistry::Global()
           .GetGauge("serve.queue_depth.client" + std::to_string(tenant))
           ->Set(static_cast<int64_t>(queue_.DepthOf(tenant)));
@@ -373,6 +547,20 @@ void DiagnosisService::HarvestJobs() {
       msg.rate_permille = RatePermille(step.rate);
       msg.detail = step.detail;
       BroadcastProgress(*job, msg);
+      if (msg.kind == ProgressKind::kCandidate) {
+        // First candidate for a stream-admitted job: the paper's
+        // oracle-to-first-candidate latency ends here.
+        auto [begin, end] = stream_oracle_pending_.equal_range(job->id);
+#if ROSE_OBS_ENABLED
+        for (auto it = begin; it != end; ++it) {
+          metrics_.stream_oracle_to_candidate_ns->Record(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - it->second)
+                  .count()));
+        }
+#endif
+        stream_oracle_pending_.erase(begin, end);
+      }
     }
     if (!finished) {
       continue;
@@ -401,6 +589,20 @@ void DiagnosisService::HarvestJobs() {
     cache_.Put(job->key, cached);
 
     BroadcastResult(*job, cached);
+    // Fallback for stream admissions that never surfaced a candidate (e.g.
+    // nothing to diagnose): the latency ends at the result instead.
+    {
+      auto [begin, end] = stream_oracle_pending_.equal_range(job->id);
+#if ROSE_OBS_ENABLED
+      for (auto it = begin; it != end; ++it) {
+        metrics_.stream_oracle_to_candidate_ns->Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - it->second)
+                .count()));
+      }
+#endif
+      stream_oracle_pending_.erase(begin, end);
+    }
     inflight_by_key_.erase(job->key);
     done.push_back(id);
   }
@@ -454,23 +656,24 @@ void DiagnosisService::SendFrame(uint64_t conn_id, ServeFrame kind,
 }
 
 void DiagnosisService::SendError(Connection& conn, ServeError code,
-                                 const std::string& message) {
+                                 const std::string& message, uint64_t job_id) {
   ErrorMsg msg;
+  msg.job_id = job_id;
   msg.code = code;
   msg.message = message;
   SendFrame(conn.id, ServeFrame::kError, EncodeError(msg));
 }
 
 void DiagnosisService::BroadcastProgress(const Job& job, const ProgressMsg& msg) {
-  const std::string payload = EncodeProgress(msg);
-  for (const auto& [conn_id, coalesced] : job.subscribers) {
-    SendFrame(conn_id, ServeFrame::kProgress, payload);
+  ProgressMsg stamped = msg;
+  for (const Job::Subscriber& sub : job.subscribers) {
+    stamped.job_id = sub.reply_job_id != 0 ? sub.reply_job_id : job.id;
+    SendFrame(sub.conn_id, ServeFrame::kProgress, EncodeProgress(stamped));
   }
 }
 
 void DiagnosisService::BroadcastResult(Job& job, const CachedResult& cached) {
   ResultMsg msg;
-  msg.job_id = job.id;
   msg.reproduced = cached.reproduced;
   msg.cached = false;
   msg.rate_permille = cached.rate_permille;
@@ -479,9 +682,10 @@ void DiagnosisService::BroadcastResult(Job& job, const CachedResult& cached) {
   msg.runs = cached.runs;
   msg.schedule_yaml = cached.schedule_yaml;
   msg.fault_summary = cached.fault_summary;
-  for (const auto& [conn_id, coalesced] : job.subscribers) {
-    msg.coalesced = coalesced;
-    SendFrame(conn_id, ServeFrame::kResult, EncodeResult(msg));
+  for (const Job::Subscriber& sub : job.subscribers) {
+    msg.job_id = sub.reply_job_id != 0 ? sub.reply_job_id : job.id;
+    msg.coalesced = sub.coalesced;
+    SendFrame(sub.conn_id, ServeFrame::kResult, EncodeResult(msg));
   }
 }
 

@@ -30,7 +30,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/parallel.h"
@@ -40,6 +42,7 @@
 #include "src/serve/job_queue.h"
 #include "src/serve/protocol.h"
 #include "src/serve/result_cache.h"
+#include "src/serve/stream_ingestor.h"
 #include "src/trace/mapped_trace.h"
 
 namespace rose {
@@ -59,6 +62,16 @@ struct ServeConfig {
   // Per-job diagnosis template. seed/base_seed come from the submission;
   // on_progress is owned by the service.
   DiagnosisConfig diagnosis;
+
+  // --- Streaming ingestion (DESIGN.md §16) -----------------------------------
+  // Per-session resident window bound for stream sessions (decoded events +
+  // pool payload). Older events spill to disk or drop; drops trigger
+  // kThrottle backpressure toward the sender.
+  size_t stream_window_bytes = 4u << 20;
+  // Per-session spill-ring directory; empty disables spilling.
+  std::string stream_spill_dir;
+  // Per-session spill-ring capacity in bytes.
+  size_t stream_spill_bytes = 32u << 20;
 };
 
 struct ServeStats {
@@ -97,6 +110,12 @@ class DiagnosisService {
   const ServeStats& stats() const { return stats_; }
   size_t queued_jobs() const { return queue_.size(); }
   int running_jobs() const { return running_; }
+  // Stream-ingestion footprint: open sessions, current and high-water
+  // resident bytes across all of them (the multi-client ingest bench asserts
+  // the peak stays under sessions x stream_window_bytes).
+  size_t stream_sessions() const { return ingestor_.session_count(); }
+  size_t stream_resident_bytes() const { return ingestor_.resident_bytes(); }
+  size_t stream_peak_resident_bytes() const { return ingestor_.peak_resident_bytes(); }
 
   // The kStatsReply body: lifetime ServeStats + instantaneous queue/worker
   // state + the process-wide rose::obs registry snapshot. Also what the
@@ -128,8 +147,16 @@ class DiagnosisService {
     // of the submit envelope — never re-parsed into an owning Trace). The
     // worker diagnoses through trace.view().
     MappedTrace trace;
-    // Connections awaiting this job's result; bool = joined by coalescing.
-    std::vector<std::pair<uint64_t, bool>> subscribers;
+    // Connections awaiting this job's result.
+    struct Subscriber {
+      uint64_t conn_id = 0;
+      bool coalesced = false;  // Joined an in-flight identical job.
+      // Job id stamped on frames to this subscriber: a stream-admitted
+      // diagnosis answers under the session's id (the only id its client
+      // knows); 0 = use job.id.
+      uint64_t reply_job_id = 0;
+    };
+    std::vector<Subscriber> subscribers;
     enum class State : uint8_t { kQueued, kRunning, kDone } state = State::kQueued;
     // Admission timestamp (host steady clock) — feeds the serve.job_ns
     // latency histogram at completion; never read by job logic.
@@ -146,12 +173,35 @@ class DiagnosisService {
   // Takes the frame payload by value: the envelope adopts it, so the trace
   // blob is never copied on its way to the hash or the job.
   void HandleSubmit(Connection& conn, std::string payload);
+  // The admission chain shared by kSubmit and stream-oracle admissions:
+  // decode → bug lookup → streaming canonical hash → cache / coalesce /
+  // validate / queue. `reply_job_id` != 0 means the caller already owns a
+  // client-visible id (a stream session): no kAccepted is sent, and every
+  // reply — errors, cache-hit result, progress, final result — is stamped
+  // with that id. `oracle_at` carries the oracle arrival time so the
+  // stream.oracle_to_candidate_ns histogram can be recorded at the first
+  // candidate (or immediately, on a cache hit).
+  void AdmitSubmission(Connection& conn, std::string payload, uint64_t reply_job_id,
+                       std::optional<std::chrono::steady_clock::time_point> oracle_at);
+  void HandleStreamOpen(Connection& conn, std::string_view payload);
+  void HandleStreamData(Connection& conn, std::string_view payload);
+  void HandleStreamClose(Connection& conn, std::string_view payload);
+  // Oracle mark latched on a session: materialize its window and admit the
+  // blob as a diagnosis under the session's job id.
+  void AdmitStreamOracle(Connection& conn, uint64_t session_id);
+  // Transition-edged kThrottle emission: on when a session dropped events
+  // since the last poll, off when a poll passes clean. Called from Poll().
+  void PollStreamSessions();
+  void CloseStreamSessionsFor(uint64_t conn_id);
   void StartJobs();
   void HarvestJobs();
   void FlushConnections();
 
   void SendFrame(uint64_t conn_id, ServeFrame kind, const std::string& payload);
-  void SendError(Connection& conn, ServeError code, const std::string& message);
+  // `job_id` 0 = pre-admission rejection (FIFO-correlated at the client);
+  // nonzero names the job/session the error belongs to.
+  void SendError(Connection& conn, ServeError code, const std::string& message,
+                 uint64_t job_id = 0);
   // kProgress to every subscriber of `job`.
   void BroadcastProgress(const Job& job, const ProgressMsg& msg);
   void BroadcastResult(Job& job, const CachedResult& cached);
@@ -177,11 +227,40 @@ class DiagnosisService {
     Counter* admit_zero_copy;
     Gauge* queue_depth;
     Histogram* job_ns;
+    // rose::stream ("stream.*"): session-level detail; window/spill/drop
+    // counters live in StreamIngestor.
+    Counter* stream_sessions_opened;
+    Counter* stream_data_frames;
+    Counter* stream_bytes_ingested;
+    Counter* stream_throttle_events;
+    Counter* stream_oracle_marks;
+    Histogram* stream_oracle_to_candidate_ns;
   };
   ServeMetrics metrics_;
 
+  // One open stream session: identity from the kStreamOpen plus throttle
+  // edge state. Window/spill bytes live in the ingestor under the same id.
+  struct StreamSession {
+    uint64_t id = 0;       // Server job id (client-visible).
+    uint64_t conn_id = 0;
+    std::string bug_id;
+    uint64_t seed = 0;
+    std::string tag;
+    std::string profile_text;
+    uint64_t token = 0;
+    uint64_t drops_at_check = 0;  // Ingestor drop count at the last poll.
+    bool throttled = false;
+  };
+
   ResultCache cache_;
   JobQueue queue_;
+  StreamIngestor ingestor_;
+  std::map<uint64_t, StreamSession> stream_sessions_;
+  // Stream admissions awaiting their first candidate: job id -> oracle
+  // arrival timestamp (multimap: coalescing can attach several sessions to
+  // one job). Resolved — and recorded into stream.oracle_to_candidate_ns — at
+  // the first kCandidate progress, or at completion as a fallback.
+  std::multimap<uint64_t, std::chrono::steady_clock::time_point> stream_oracle_pending_;
   std::map<uint64_t, std::unique_ptr<Connection>> connections_;
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;
   // In-flight dedup: key -> job id for every job not yet completed.

@@ -1,0 +1,82 @@
+// rose::stream client half — pushes the tracer's window over a serve
+// connection as it records (DESIGN.md §16, docs/wire_protocol.md).
+//
+// The paper's workflow dumps the window once, after the failure; the sink
+// removes the dump-and-carry step by shipping incremental RTRC frames
+// (pool deltas + event batches) through an open stream session, so the
+// daemon already holds the window when the oracle fires. The sink reads the
+// tracer's ring outside the simulated run (TakeStreamDelta never charges
+// virtual time), honors the server's kThrottle backpressure by leaving
+// events in the ring, and force-flushes everything — including the
+// open-ended-event synthesis a dump would perform — when the oracle fires.
+#ifndef SRC_SERVE_STREAM_SINK_H_
+#define SRC_SERVE_STREAM_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/serve/client.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/tracer.h"
+
+namespace rose {
+
+class StreamSink {
+ public:
+  // Neither pointer is owned; both must outlive the sink.
+  StreamSink(Tracer* tracer, ServeClient* client);
+
+  // Opens the stream session (kStreamOpen) and queues the RTRC stream
+  // header plus an epoch frame. `epoch` bumps on sender restart.
+  void Open(std::string_view bug_id, uint64_t seed, std::string_view tag,
+            std::string_view profile_text, uint64_t epoch = 1,
+            std::string_view source = "tracer");
+
+  // Ships the events recorded since the last pump. A no-op while the server
+  // throttles this session — the events stay in the tracer's ring (whose own
+  // overwrite policy still applies, so a long throttle loses the oldest,
+  // exactly like an unattended tracer would). Call between client Poll()s.
+  void Pump();
+
+  // The failure fired: ships the remaining delta plus the open-ended events
+  // a dump would synthesize (ongoing pauses, unreported crashes, silent
+  // connections), then an oracle-mark frame — throttled or not. The daemon
+  // starts diagnosis on what it holds.
+  void NotifyOracle(SimTime ts, std::string_view detail);
+
+  // Ends the container (kFrameEnd), ships the tail, closes the session.
+  void Close();
+
+  uint64_t handle() const { return handle_; }
+  bool opened() const { return writer_ != nullptr; }
+  bool throttled() const { return client_->stream_throttled(handle_); }
+  uint64_t events_shipped() const { return events_shipped_; }
+  uint64_t bytes_shipped() const { return bytes_shipped_; }
+  // Events the tracer's ring overwrote before they could ship (reported by
+  // TakeStreamDelta; grows under throttle on a hot window).
+  uint64_t events_lost() const { return events_lost_; }
+
+ private:
+  // Hands the staged wire bytes to the client and clears the stage.
+  void Ship();
+
+  Tracer* tracer_;
+  ServeClient* client_;
+  uint64_t handle_ = 0;
+  std::string wire_;
+  // Writes pool/event frames into wire_ against the tracer's own pool (ids
+  // on the wire are tracer-pool ids; the ingestor's decoder re-interns them
+  // in order, so both sides agree).
+  std::unique_ptr<TraceWriter> writer_;
+  std::vector<TraceEvent> batch_;
+  uint64_t events_shipped_ = 0;
+  uint64_t bytes_shipped_ = 0;
+  uint64_t events_lost_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rose
+
+#endif  // SRC_SERVE_STREAM_SINK_H_

@@ -54,6 +54,27 @@ class RingBuffer {
     return out;
   }
 
+  // The newest min(n, size()) entries in insertion order — what a streaming
+  // sender ships without copying the whole window.
+  std::vector<T> SnapshotTail(size_t n) const {
+    const size_t count = entries_.size();
+    const size_t take = n < count ? n : count;
+    std::vector<T> out;
+    out.reserve(take);
+    size_t index = head_ + (count - take);
+    if (index >= count) {
+      index -= count;
+    }
+    for (size_t i = 0; i < take; i++) {
+      out.push_back(entries_[index]);
+      index++;
+      if (index == count) {
+        index = 0;
+      }
+    }
+    return out;
+  }
+
   void Clear() {
     entries_.clear();
     head_ = 0;

@@ -44,13 +44,6 @@ IoMetrics& Metrics() {
   return *m;
 }
 
-constexpr uint8_t kFramePool = 1;
-constexpr uint8_t kFrameEvents = 2;
-constexpr uint8_t kFrameEnd = 3;
-// kind + payload_len + crc32.
-constexpr size_t kFrameHeaderSize = 1 + 4 + 4;
-constexpr size_t kStreamHeaderSize = 4 + 2 + 2;
-
 void PutU16LE(std::string* out, uint16_t value) {
   out->push_back(static_cast<char>(value & 0xff));
   out->push_back(static_cast<char>((value >> 8) & 0xff));
@@ -170,6 +163,198 @@ bool LooksLikeBinaryTrace(std::string_view data) {
          data[2] == kTraceMagic[2] && data[3] == kTraceMagic[3];
 }
 
+// --- Streaming frame protocol -----------------------------------------------
+
+void AppendRtrcHeader(std::string* out, uint16_t format_version) {
+  out->append(kTraceMagic, sizeof(kTraceMagic));
+  PutU16LE(out, format_version);
+  PutU16LE(out, 0);  // Reserved.
+}
+
+void AppendRtrcFrame(std::string* out, uint8_t kind, std::string_view payload) {
+  out->push_back(static_cast<char>(kind));
+  PutU32LE(out, static_cast<uint32_t>(payload.size()));
+  PutU32LE(out, Crc32(payload));
+  out->append(payload);
+}
+
+std::string EncodeStreamEpoch(const StreamEpoch& epoch) {
+  std::string payload;
+  PutVarint(&payload, epoch.epoch);
+  PutVarint(&payload, ZigZagEncode(epoch.start_ts));
+  PutVarint(&payload, epoch.source.size());
+  payload.append(epoch.source);
+  return payload;
+}
+
+bool DecodeStreamEpoch(std::string_view payload, StreamEpoch* out) {
+  uint64_t epoch = 0;
+  uint64_t ts = 0;
+  uint64_t len = 0;
+  if (!GetVarint(&payload, &epoch) || !GetVarint(&payload, &ts) ||
+      !GetVarint(&payload, &len) || len != payload.size()) {
+    return false;
+  }
+  out->epoch = epoch;
+  out->start_ts = ZigZagDecode(ts);
+  out->source.assign(payload);
+  return true;
+}
+
+std::string EncodeOracleMark(const OracleMark& mark) {
+  std::string payload;
+  PutVarint(&payload, ZigZagEncode(mark.ts));
+  PutVarint(&payload, mark.detail.size());
+  payload.append(mark.detail);
+  return payload;
+}
+
+bool DecodeOracleMark(std::string_view payload, OracleMark* out) {
+  uint64_t ts = 0;
+  uint64_t len = 0;
+  if (!GetVarint(&payload, &ts) || !GetVarint(&payload, &len) || len != payload.size()) {
+    return false;
+  }
+  out->ts = ZigZagDecode(ts);
+  out->detail.assign(payload);
+  return true;
+}
+
+bool DecodeRtrcPoolFrame(std::string_view payload, StringPool* pool) {
+  uint64_t first_id = 0;
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &first_id) || !GetVarint(&payload, &count)) {
+    return false;
+  }
+  if (first_id != pool->size()) {
+    // Ids must be dense and in stream order, or event ids resolve wrongly.
+    return false;
+  }
+  pool->ReserveEntries(pool->size() + count);
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t length = 0;
+    if (!GetVarint(&payload, &length) || length > payload.size()) {
+      return false;
+    }
+    if (pool->Intern(payload.substr(0, length)) != first_id + i) {
+      return false;  // Duplicate or empty string would desynchronize ids.
+    }
+    payload.remove_prefix(length);
+  }
+  return payload.empty();
+}
+
+bool DecodeRtrcEventFrame(std::string_view payload, uint16_t format_version,
+                          size_t pool_size, SimTime* prev_ts, std::vector<TraceEvent>* out) {
+  uint64_t count = 0;
+  if (!GetVarint(&payload, &count)) {
+    return false;
+  }
+  out->reserve(out->size() + count);
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t raw = 0;
+    if (!GetVarint(&payload, &raw)) {
+      return false;
+    }
+    TraceEvent event;
+    event.ts = *prev_ts + ZigZagDecode(raw);
+    *prev_ts = event.ts;
+    if (payload.empty()) {
+      return false;
+    }
+    const auto type = static_cast<uint8_t>(payload[0]);
+    payload.remove_prefix(1);
+    if (type > static_cast<uint8_t>(EventType::kPS)) {
+      return false;
+    }
+    event.type = static_cast<EventType>(type);
+    if (!GetVarint(&payload, &raw)) {
+      return false;
+    }
+    event.node = static_cast<NodeId>(ZigZagDecode(raw));
+    switch (event.type) {
+      case EventType::kSCF: {
+        ScfInfo info;
+        uint64_t sys = 0;
+        uint64_t filename = 0;
+        uint64_t err = 0;
+        uint64_t pid = 0;
+        uint64_t fd = 0;
+        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &sys) ||
+            !GetVarint(&payload, &fd) || !GetVarint(&payload, &filename) ||
+            !GetVarint(&payload, &err) || filename >= pool_size) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.sys = static_cast<Sys>(sys);
+        info.fd = static_cast<int32_t>(ZigZagDecode(fd));
+        info.filename = static_cast<StrId>(filename);
+        info.err = static_cast<Err>(err);
+        if (format_version >= 2) {
+          uint64_t digest = 0;
+          uint64_t seq = 0;
+          if (!GetVarint(&payload, &digest) || !GetVarint(&payload, &seq)) {
+            return false;
+          }
+          info.ctx_digest = digest;
+          info.ctx_seq = static_cast<uint32_t>(seq);
+        }
+        event.info = info;
+        break;
+      }
+      case EventType::kAF: {
+        AfInfo info;
+        uint64_t pid = 0;
+        uint64_t fid = 0;
+        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &fid)) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.function_id = static_cast<int32_t>(ZigZagDecode(fid));
+        event.info = info;
+        break;
+      }
+      case EventType::kND: {
+        NdInfo info;
+        uint64_t src = 0;
+        uint64_t dst = 0;
+        uint64_t duration = 0;
+        uint64_t packets = 0;
+        if (!GetVarint(&payload, &src) || !GetVarint(&payload, &dst) ||
+            !GetVarint(&payload, &duration) || !GetVarint(&payload, &packets) ||
+            src >= pool_size || dst >= pool_size) {
+          return false;
+        }
+        info.src_ip = static_cast<StrId>(src);
+        info.dst_ip = static_cast<StrId>(dst);
+        info.duration = ZigZagDecode(duration);
+        info.packet_count = packets;
+        event.info = info;
+        break;
+      }
+      case EventType::kPS: {
+        PsInfo info;
+        uint64_t pid = 0;
+        uint64_t duration = 0;
+        if (!GetVarint(&payload, &pid) || payload.empty()) {
+          return false;
+        }
+        info.pid = static_cast<Pid>(ZigZagDecode(pid));
+        info.state = static_cast<ProcState>(payload[0]);
+        payload.remove_prefix(1);
+        if (!GetVarint(&payload, &duration)) {
+          return false;
+        }
+        info.duration = ZigZagDecode(duration);
+        event.info = info;
+        break;
+      }
+    }
+    out->push_back(event);
+  }
+  return payload.empty();
+}
+
 // --- TraceWriter ------------------------------------------------------------
 
 TraceWriter::TraceWriter(std::string* out, const StringPool* pool, size_t events_per_frame,
@@ -177,16 +362,11 @@ TraceWriter::TraceWriter(std::string* out, const StringPool* pool, size_t events
     : out_(out), pool_(pool),
       events_per_frame_(events_per_frame == 0 ? 1 : events_per_frame),
       format_version_(format_version) {
-  out_->append(kTraceMagic, sizeof(kTraceMagic));
-  PutU16LE(out_, format_version_);
-  PutU16LE(out_, 0);  // Reserved.
+  AppendRtrcHeader(out_, format_version_);
 }
 
 void TraceWriter::EmitFrame(uint8_t kind, std::string_view payload) {
-  out_->push_back(static_cast<char>(kind));
-  PutU32LE(out_, static_cast<uint32_t>(payload.size()));
-  PutU32LE(out_, Crc32(payload));
-  out_->append(payload);
+  AppendRtrcFrame(out_, kind, payload);
 }
 
 void TraceWriter::FlushPool() {
@@ -217,6 +397,13 @@ void TraceWriter::FlushEvents() {
   EmitFrame(kFrameEvents, payload);
   events_payload_.clear();
   buffered_ = 0;
+}
+
+void TraceWriter::Flush() {
+  // FlushEvents emits the pool delta ahead of the event frame; the second
+  // call covers pool growth with no buffered events (a pool-only delta).
+  FlushEvents();
+  FlushPool();
 }
 
 void TraceWriter::Add(const TraceEvent& event) {
@@ -287,7 +474,7 @@ TraceReader::TraceReader(std::string_view data) : rest_(data) {
          "is this a text dump? Trace::Load auto-detects the format");
     return;
   }
-  if (data.size() < kStreamHeaderSize) {
+  if (data.size() < kRtrcStreamHeaderSize) {
     Fail(DiagCode::kTruncatedTrace, Severity::kError,
          "stream ends inside the container header",
          "the dump was cut off while writing its first 8 bytes");
@@ -303,7 +490,7 @@ TraceReader::TraceReader(std::string_view data) : rest_(data) {
   }
   format_version_ = version;
   MetricRegistry::Global().GetGauge("trace_io.rtrc_version")->Set(version);
-  rest_.remove_prefix(kStreamHeaderSize);
+  rest_.remove_prefix(kRtrcStreamHeaderSize);
 }
 
 TraceReader::TraceReader(std::string_view data, const char* external_arena_base)
@@ -337,6 +524,9 @@ bool TraceReader::ok() const {
 }
 
 bool TraceReader::DecodePoolFrame(std::string_view payload) {
+  if (external_base_ == nullptr) {
+    return DecodeRtrcPoolFrame(payload, &pool_);
+  }
   uint64_t first_id = 0;
   uint64_t count = 0;
   if (!GetVarint(&payload, &first_id) || !GetVarint(&payload, &count)) {
@@ -353,136 +543,27 @@ bool TraceReader::DecodePoolFrame(std::string_view payload) {
       return false;
     }
     const std::string_view s = payload.substr(0, length);
-    if (external_base_ != nullptr) {
-      // Zero-copy mode: record the string as an offset into the caller's
-      // stable buffer. Empty and duplicate strings must fail exactly as
-      // copying mode's Intern check does, or the two paths diverge.
-      if (s.empty() || !external_seen_.insert(s).second) {
-        return false;
-      }
-      const size_t offset = static_cast<size_t>(s.data() - external_base_);
-      if (offset > UINT32_MAX || length > UINT32_MAX) {
-        return false;
-      }
-      pool_.AppendExternal(offset, length);
-    } else if (pool_.Intern(s) != first_id + i) {
-      return false;  // Duplicate or empty string would desynchronize ids.
+    // Zero-copy mode: record the string as an offset into the caller's
+    // stable buffer. Empty and duplicate strings must fail exactly as
+    // copying mode's Intern check does, or the two paths diverge.
+    if (s.empty() || !external_seen_.insert(s).second) {
+      return false;
     }
+    const size_t offset = static_cast<size_t>(s.data() - external_base_);
+    if (offset > UINT32_MAX || length > UINT32_MAX) {
+      return false;
+    }
+    pool_.AppendExternal(offset, length);
     payload.remove_prefix(length);
   }
   return payload.empty();
 }
 
 bool TraceReader::DecodeEventFrame(std::string_view payload) {
-  uint64_t count = 0;
-  if (!GetVarint(&payload, &count)) {
-    return false;
-  }
   frame_events_.clear();
-  frame_events_.reserve(count);
   frame_pos_ = 0;
-  for (uint64_t i = 0; i < count; i++) {
-    uint64_t raw = 0;
-    if (!GetVarint(&payload, &raw)) {
-      return false;
-    }
-    TraceEvent event;
-    event.ts = prev_ts_ + ZigZagDecode(raw);
-    prev_ts_ = event.ts;
-    if (payload.empty()) {
-      return false;
-    }
-    const auto type = static_cast<uint8_t>(payload[0]);
-    payload.remove_prefix(1);
-    if (type > static_cast<uint8_t>(EventType::kPS)) {
-      return false;
-    }
-    event.type = static_cast<EventType>(type);
-    if (!GetVarint(&payload, &raw)) {
-      return false;
-    }
-    event.node = static_cast<NodeId>(ZigZagDecode(raw));
-    switch (event.type) {
-      case EventType::kSCF: {
-        ScfInfo info;
-        uint64_t sys = 0;
-        uint64_t filename = 0;
-        uint64_t err = 0;
-        uint64_t pid = 0;
-        uint64_t fd = 0;
-        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &sys) ||
-            !GetVarint(&payload, &fd) || !GetVarint(&payload, &filename) ||
-            !GetVarint(&payload, &err) || filename >= pool_.size()) {
-          return false;
-        }
-        info.pid = static_cast<Pid>(ZigZagDecode(pid));
-        info.sys = static_cast<Sys>(sys);
-        info.fd = static_cast<int32_t>(ZigZagDecode(fd));
-        info.filename = static_cast<StrId>(filename);
-        info.err = static_cast<Err>(err);
-        if (format_version_ >= 2) {
-          uint64_t digest = 0;
-          uint64_t seq = 0;
-          if (!GetVarint(&payload, &digest) || !GetVarint(&payload, &seq)) {
-            return false;
-          }
-          info.ctx_digest = digest;
-          info.ctx_seq = static_cast<uint32_t>(seq);
-        }
-        event.info = info;
-        break;
-      }
-      case EventType::kAF: {
-        AfInfo info;
-        uint64_t pid = 0;
-        uint64_t fid = 0;
-        if (!GetVarint(&payload, &pid) || !GetVarint(&payload, &fid)) {
-          return false;
-        }
-        info.pid = static_cast<Pid>(ZigZagDecode(pid));
-        info.function_id = static_cast<int32_t>(ZigZagDecode(fid));
-        event.info = info;
-        break;
-      }
-      case EventType::kND: {
-        NdInfo info;
-        uint64_t src = 0;
-        uint64_t dst = 0;
-        uint64_t duration = 0;
-        uint64_t packets = 0;
-        if (!GetVarint(&payload, &src) || !GetVarint(&payload, &dst) ||
-            !GetVarint(&payload, &duration) || !GetVarint(&payload, &packets) ||
-            src >= pool_.size() || dst >= pool_.size()) {
-          return false;
-        }
-        info.src_ip = static_cast<StrId>(src);
-        info.dst_ip = static_cast<StrId>(dst);
-        info.duration = ZigZagDecode(duration);
-        info.packet_count = packets;
-        event.info = info;
-        break;
-      }
-      case EventType::kPS: {
-        PsInfo info;
-        uint64_t pid = 0;
-        uint64_t duration = 0;
-        if (!GetVarint(&payload, &pid) || payload.empty()) {
-          return false;
-        }
-        info.pid = static_cast<Pid>(ZigZagDecode(pid));
-        info.state = static_cast<ProcState>(payload[0]);
-        payload.remove_prefix(1);
-        if (!GetVarint(&payload, &duration)) {
-          return false;
-        }
-        info.duration = ZigZagDecode(duration);
-        event.info = info;
-        break;
-      }
-    }
-    frame_events_.push_back(std::move(event));
-  }
-  return payload.empty();
+  return DecodeRtrcEventFrame(payload, format_version_, pool_.size(), &prev_ts_,
+                              &frame_events_);
 }
 
 bool TraceReader::LoadFrame() {
@@ -503,7 +584,7 @@ bool TraceReader::LoadFrame() {
       done_ = true;
       return false;
     }
-    if (rest_.size() < kFrameHeaderSize) {
+    if (rest_.size() < kRtrcFrameHeaderSize) {
       Fail(DiagCode::kTruncatedTrace, Severity::kError,
            StrFormat("stream ends inside a frame header (%zu bytes left)", rest_.size()),
            "the dump was cut off mid-frame; events up to here are intact");
@@ -512,15 +593,15 @@ bool TraceReader::LoadFrame() {
     const auto kind = static_cast<uint8_t>(rest_[0]);
     const uint32_t payload_len = GetU32LE(rest_.substr(1, 4));
     const uint32_t crc = GetU32LE(rest_.substr(5, 4));
-    if (rest_.size() - kFrameHeaderSize < payload_len) {
+    if (rest_.size() - kRtrcFrameHeaderSize < payload_len) {
       Fail(DiagCode::kTruncatedTrace, Severity::kError,
            StrFormat("frame announces %u payload bytes but only %zu remain", payload_len,
-                     rest_.size() - kFrameHeaderSize),
+                     rest_.size() - kRtrcFrameHeaderSize),
            "the dump was cut off mid-frame; events up to here are intact");
       return false;
     }
-    const std::string_view payload = rest_.substr(kFrameHeaderSize, payload_len);
-    rest_.remove_prefix(kFrameHeaderSize + payload_len);
+    const std::string_view payload = rest_.substr(kRtrcFrameHeaderSize, payload_len);
+    rest_.remove_prefix(kRtrcFrameHeaderSize + payload_len);
     if (Crc32(payload) != crc) {
       Metrics().crc_failures->Inc();
       Fail(DiagCode::kCorruptTraceFrame, Severity::kError,
@@ -570,6 +651,106 @@ bool TraceReader::Next(TraceEvent* out) {
   }
   *out = frame_events_[frame_pos_++];
   return true;
+}
+
+// --- StreamDecoder ----------------------------------------------------------
+
+void StreamDecoder::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+StreamDecoder::Item StreamDecoder::Next() {
+  if (dead_) {
+    return Item::kBadStream;
+  }
+  for (;;) {
+    std::string_view rest(buffer_);
+    rest.remove_prefix(consumed_);
+    if (!header_done_) {
+      if (rest.size() < kRtrcStreamHeaderSize) {
+        return Item::kNeedMore;
+      }
+      if (!LooksLikeBinaryTrace(rest)) {
+        dead_ = true;
+        return Item::kBadStream;
+      }
+      const uint16_t version = GetU16LE(rest.substr(4, 2));
+      if (version == 0 || version > kTraceFormatVersion) {
+        dead_ = true;
+        return Item::kBadStream;
+      }
+      format_version_ = version;
+      header_done_ = true;
+      consumed_ += kRtrcStreamHeaderSize;
+      continue;
+    }
+    if (rest.size() < kRtrcFrameHeaderSize) {
+      break;
+    }
+    const auto kind = static_cast<uint8_t>(rest[0]);
+    const uint32_t payload_len = GetU32LE(rest.substr(1, 4));
+    const uint32_t crc = GetU32LE(rest.substr(5, 4));
+    if (payload_len > kMaxRtrcStreamFramePayload) {
+      // A length this absurd means the stream itself is desynchronized —
+      // frame-boundary resync is impossible, so the decoder dies.
+      dead_ = true;
+      return Item::kBadStream;
+    }
+    if (rest.size() - kRtrcFrameHeaderSize < payload_len) {
+      break;
+    }
+    const std::string_view payload = rest.substr(kRtrcFrameHeaderSize, payload_len);
+    consumed_ += kRtrcFrameHeaderSize + payload_len;
+    if (Crc32(payload) != crc) {
+      Metrics().crc_failures->Inc();
+      corrupt_frames_++;
+      return Item::kCorrupt;
+    }
+    switch (kind) {
+      case kFramePool:
+        if (!DecodeRtrcPoolFrame(payload, &pool_)) {
+          corrupt_frames_++;
+          return Item::kCorrupt;
+        }
+        break;  // Absorbed silently; keep scanning.
+      case kFrameEvents:
+        events_.clear();
+        if (!DecodeRtrcEventFrame(payload, format_version_, pool_.size(), &prev_ts_,
+                                  &events_)) {
+          events_.clear();
+          corrupt_frames_++;
+          return Item::kCorrupt;
+        }
+        if (events_.empty()) {
+          break;
+        }
+        return Item::kEvents;
+      case kFrameEnd:
+        return Item::kEnd;
+      case kFrameStreamEpoch:
+        if (!DecodeStreamEpoch(payload, &epoch_)) {
+          corrupt_frames_++;
+          return Item::kCorrupt;
+        }
+        return Item::kEpoch;
+      case kFrameOracleMark:
+        if (!DecodeOracleMark(payload, &oracle_)) {
+          corrupt_frames_++;
+          return Item::kCorrupt;
+        }
+        return Item::kOracleMark;
+      default:
+        // Unknown kinds are skippable by construction (forward compat).
+        break;
+    }
+  }
+  // Partial frame tail: compact the consumed prefix away once it dominates
+  // the buffer (same policy as the serve-protocol FrameDecoder).
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return Item::kNeedMore;
 }
 
 // --- Trace binary entry points ---------------------------------------------

@@ -41,6 +41,27 @@
 namespace rose {
 
 inline constexpr char kTraceMagic[4] = {'R', 'T', 'R', 'C'};
+
+// Frame kinds. 1..3 are the original dump-file grammar; 4..5 extend the
+// container to an append-only *streaming* mode (DESIGN.md §16): a stream
+// epoch frame announcing the sender's identity/restart generation, and an
+// explicit oracle-mark frame that tells an ingesting daemon "the failure
+// fired here — start diagnosis on what you hold". Readers skip kinds they
+// do not understand (the CRC already proved the payload intact), so dump
+// readers tolerate stream frames and vice versa.
+inline constexpr uint8_t kFramePool = 1;
+inline constexpr uint8_t kFrameEvents = 2;
+inline constexpr uint8_t kFrameEnd = 3;
+inline constexpr uint8_t kFrameStreamEpoch = 4;
+inline constexpr uint8_t kFrameOracleMark = 5;
+// u8 kind + u32 payload_len + u32 crc32.
+inline constexpr size_t kRtrcFrameHeaderSize = 1 + 4 + 4;
+// 'RTRC' + u16 version + u16 reserved.
+inline constexpr size_t kRtrcStreamHeaderSize = 4 + 2 + 2;
+// Streaming decoders bound the announced payload length (a dump reader has
+// the whole artifact in hand and needs no cap; a stream decoder must not
+// buffer unboundedly on a corrupted length field).
+inline constexpr size_t kMaxRtrcStreamFramePayload = 64u << 20;
 // Wire version 2 adds the execution index to SCF records: two varints
 // (context digest, in-context sequence number) appended after errno. The
 // reader auto-detects version 1 streams and decodes them exactly as before
@@ -72,6 +93,44 @@ uint32_t Crc32(std::string_view data);
 // True when `data` begins with the binary-trace magic (how Trace::Load picks
 // a parser).
 bool LooksLikeBinaryTrace(std::string_view data);
+
+// --- Streaming frame protocol (docs/wire_protocol.md) -----------------------
+
+// Payload of a kFrameStreamEpoch frame: sent first on every stream (and
+// again after a sender restart, with `epoch` bumped) so the ingestor can
+// tell a reconnect from interleaved garbage.
+struct StreamEpoch {
+  uint64_t epoch = 0;   // Sender restart generation, starts at 1.
+  SimTime start_ts = 0; // Virtual time when the sender attached.
+  std::string source;   // Free-form origin label, e.g. "zk-2247/tracer".
+};
+
+// Payload of a kFrameOracleMark frame: the in-band "failure fired" signal.
+struct OracleMark {
+  SimTime ts = 0;       // Virtual time the oracle fired.
+  std::string detail;   // Free-form oracle description.
+};
+
+std::string EncodeStreamEpoch(const StreamEpoch& epoch);
+bool DecodeStreamEpoch(std::string_view payload, StreamEpoch* out);
+std::string EncodeOracleMark(const OracleMark& mark);
+bool DecodeOracleMark(std::string_view payload, OracleMark* out);
+
+// Appends the 8-byte container header ('RTRC' + version + reserved).
+void AppendRtrcHeader(std::string* out, uint16_t format_version = kTraceFormatVersion);
+// Appends one CRC-framed container frame (the exact grammar TraceWriter
+// emits; exposed so streaming senders can interleave epoch/oracle frames
+// with writer-produced pool/event frames).
+void AppendRtrcFrame(std::string* out, uint8_t kind, std::string_view payload);
+
+// Decodes one string-pool delta frame payload into `*pool` (copying mode).
+// False on malformed payloads or ids out of stream order.
+bool DecodeRtrcPoolFrame(std::string_view payload, StringPool* pool);
+// Decodes one event frame payload, appending to `*out`. `*prev_ts` carries
+// the timestamp-delta base across frames (the writer's does too); events
+// referencing pool ids >= `pool_size` fail.
+bool DecodeRtrcEventFrame(std::string_view payload, uint16_t format_version,
+                          size_t pool_size, SimTime* prev_ts, std::vector<TraceEvent>* out);
 
 // --- File helpers -----------------------------------------------------------
 
@@ -105,6 +164,10 @@ class TraceWriter {
               uint16_t format_version = kTraceFormatVersion);
 
   void Add(const TraceEvent& event);
+  // Flushes buffered events (and any pool growth) into frames now, without
+  // ending the stream — the streaming sender's ship point. The caller may
+  // drain `*out` between flushes; the writer keeps no offsets into it.
+  void Flush();
   void Finish();
 
  private:
@@ -176,6 +239,58 @@ class TraceReader {
   SimTime prev_ts_ = 0;
   std::vector<TraceEvent> frame_events_;
   size_t frame_pos_ = 0;
+};
+
+// --- Incremental stream decoder ---------------------------------------------
+
+// Decodes an RTRC byte stream fed incrementally (a transport delivers bytes
+// in arbitrary chunks; frames reassemble here). Unlike TraceReader — which
+// wants the whole artifact up front and stops at the first error — the
+// stream decoder is built for an always-on data plane: a frame whose CRC or
+// body fails to decode is consumed by its announced length and surfaced as
+// kCorrupt, then decoding resynchronizes at the next frame boundary. Only a
+// bad magic/version or an absurd length field (> kMaxRtrcStreamFramePayload)
+// kills the stream. End-of-stream frames are reported but do not stop the
+// decoder: a live stream may append an oracle mark after a dump replay's
+// end frame.
+class StreamDecoder {
+ public:
+  enum class Item : uint8_t {
+    kNeedMore,    // No complete frame buffered; Feed() more bytes.
+    kEvents,      // events() holds the batch decoded from one event frame.
+    kEpoch,       // epoch() was updated from a stream-epoch frame.
+    kOracleMark,  // oracle() was updated from an oracle-mark frame.
+    kEnd,         // An end-of-stream frame was consumed.
+    kCorrupt,     // A frame failed CRC/decode and was skipped (resync done).
+    kBadStream,   // Unusable stream (magic/version/length); decoder is dead.
+  };
+
+  void Feed(std::string_view bytes);
+  // Consumes buffered frames until something reportable happens. Pool-delta
+  // and unknown-kind frames are absorbed silently.
+  Item Next();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const StreamEpoch& epoch() const { return epoch_; }
+  const OracleMark& oracle() const { return oracle_; }
+  const StringPool& pool() const { return pool_; }
+  uint16_t format_version() const { return format_version_; }
+  // Bytes fed but not yet consumed (partial frame tail).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  uint64_t corrupt_frames() const { return corrupt_frames_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool header_done_ = false;
+  bool dead_ = false;
+  uint16_t format_version_ = 0;
+  StringPool pool_;
+  SimTime prev_ts_ = 0;
+  std::vector<TraceEvent> events_;
+  StreamEpoch epoch_;
+  OracleMark oracle_;
+  uint64_t corrupt_frames_ = 0;
 };
 
 }  // namespace rose

@@ -274,13 +274,8 @@ std::string Tracer::ResolveFd(Pid pid, int32_t fd, SimTime at) const {
   return best == nullptr ? "" : *best;
 }
 
-Trace Tracer::Dump() {
-  const auto start = std::chrono::steady_clock::now();
-  std::vector<TraceEvent> events = window_.Snapshot();
-  const SimTime now = kernel_->now();
-
-  // Post-processing: resolve fd-based SCFs to pathnames.
-  for (TraceEvent& event : events) {
+void Tracer::ResolveEventFds(std::vector<TraceEvent>* events) {
+  for (TraceEvent& event : *events) {
     if (event.type != EventType::kSCF) {
       continue;
     }
@@ -289,9 +284,12 @@ Trace Tracer::Dump() {
       info.filename = pool_.Intern(ResolveFd(info.pid, info.fd, event.ts));
     }
   }
+}
 
-  // Flush events that had not terminated when the dump was requested:
-  // ongoing pauses...
+void Tracer::AppendOpenEndedEvents(std::vector<TraceEvent>* out) {
+  const SimTime now = kernel_->now();
+  // Events that have not terminated yet: ongoing pauses and crashes the
+  // poller has not caught up with...
   for (Pid pid : kernel_->AllPids()) {
     const Process* proc = kernel_->FindProcess(pid);
     if (proc == nullptr) {
@@ -305,7 +303,7 @@ Trace Tracer::Dump() {
         event.node = proc->node;
         event.type = EventType::kPS;
         event.info = PsInfo{pid, ProcState::kPaused, duration};
-        events.push_back(std::move(event));
+        out->push_back(std::move(event));
       }
     }
     if (proc->state == ProcState::kCrashed && crash_reported_.count(pid) == 0) {
@@ -314,7 +312,7 @@ Trace Tracer::Dump() {
       event.node = proc->node;
       event.type = EventType::kPS;
       event.info = PsInfo{pid, ProcState::kCrashed, 0};
-      events.push_back(std::move(event));
+      out->push_back(std::move(event));
     }
   }
   // ...and connections silent for longer than the ND threshold (but not so
@@ -328,9 +326,38 @@ Trace Tracer::Dump() {
       event.type = EventType::kND;
       event.info = NdInfo{pool_.Intern(key.first), pool_.Intern(key.second),
                           now - conn.last_packet, conn.packet_count};
-      events.push_back(std::move(event));
+      out->push_back(std::move(event));
     }
   }
+}
+
+uint64_t Tracer::TakeStreamDelta(std::vector<TraceEvent>* out) {
+  const uint64_t unshipped = events_seen_ - stream_shipped_;
+  stream_shipped_ = events_seen_;
+  if (unshipped == 0) {
+    return 0;
+  }
+  uint64_t lost = 0;
+  uint64_t take = unshipped;
+  if (take > window_.size()) {
+    lost = take - window_.size();  // Overwritten before they could ship.
+    take = window_.size();
+  }
+  std::vector<TraceEvent> delta = window_.SnapshotTail(static_cast<size_t>(take));
+  ResolveEventFds(&delta);
+  out->insert(out->end(), std::make_move_iterator(delta.begin()),
+              std::make_move_iterator(delta.end()));
+  return lost;
+}
+
+Trace Tracer::Dump() {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<TraceEvent> events = window_.Snapshot();
+
+  // Post-processing: resolve fd-based SCFs to pathnames, then flush events
+  // that had not terminated when the dump was requested.
+  ResolveEventFds(&events);
+  AppendOpenEndedEvents(&events);
 
   std::stable_sort(events.begin(), events.end(),
                    [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });

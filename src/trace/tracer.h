@@ -84,6 +84,25 @@ class Tracer : public KernelObserver, public IngressTap {
   // pauses / silent connections, resolves fd -> pathname, merges and sorts.
   Trace Dump();
 
+  // --- Streaming (DESIGN.md §16) --------------------------------------------
+  // Appends the window events recorded since the previous TakeStreamDelta
+  // call to `*out`, in recording order, with fd -> pathname resolution
+  // already applied. Resolution is timestamp-bounded and fd bindings only
+  // ever append, so resolving at ship time yields the same pathnames
+  // Dump() would resolve later — the property the streamed-vs-dumped
+  // byte-identity test rests on. Returns the number of events the ring
+  // overwrote before they could ship (0 when the sender keeps up).
+  // Deliberately charges no virtual time: shipping happens off the traced
+  // node, so a streamed run must replay identically to a dumped one.
+  uint64_t TakeStreamDelta(std::vector<TraceEvent>* out);
+  // Appends the open-ended events Dump() synthesizes when invoked (ongoing
+  // pauses, unreported crashes, silent connections), without mutating any
+  // reporting state. A streaming sender calls this when the oracle fires so
+  // the daemon materializes exactly what a dump would have contained.
+  void AppendOpenEndedEvents(std::vector<TraceEvent>* out);
+  // Pool the streamed events' StrIds resolve against (grow-only).
+  const StringPool& stream_pool() const { return pool_; }
+
   TracerStats stats() const;
 
   // --- KernelObserver --------------------------------------------------------
@@ -116,6 +135,8 @@ class Tracer : public KernelObserver, public IngressTap {
   bool QualifiesAsPartitionSilence(const ConnState& conn, SimTime gap) const;
 
   void RecordEvent(TraceEvent event);
+  // Dump-time fd -> pathname post-processing, shared with the stream path.
+  void ResolveEventFds(std::vector<TraceEvent>* events);
   std::string ResolveFd(Pid pid, int32_t fd, SimTime at) const;
   NodeId NodeOfPid(Pid pid) const;
   void PollProcessStates();
@@ -144,6 +165,8 @@ class Tracer : public KernelObserver, public IngressTap {
 
   uint64_t events_seen_ = 0;
   uint64_t events_dropped_ = 0;
+  // Events already handed to TakeStreamDelta (counted against events_seen_).
+  uint64_t stream_shipped_ = 0;
   uint64_t bytes_copied_ = 0;
   uint64_t syscalls_observed_ = 0;
   uint64_t function_probe_hits_ = 0;

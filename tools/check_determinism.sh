@@ -38,6 +38,13 @@
 #       and require byte-identical schedule YAML from both runs, and from a
 #       single rose_served daemon for the same (bug, seed). Registered as
 #       `cluster_determinism`.
+#   tools/check_determinism.sh --stream [build_dir]
+#       streaming ingestion determinism (DESIGN.md section 16): capture one
+#       production dump, stream it through rose_serve_cli --stream twice
+#       (fresh daemon each time), and require byte-identical confirmed-
+#       schedule YAML from both streamed runs AND from the classic dump-file
+#       submission of the same window — the tentpole byte-identity property,
+#       end to end over the wire. Registered as `stream_determinism`.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -187,6 +194,45 @@ if [ "${1:-lint}" = "--cluster" ] || [ "${1:-lint}" = "cluster" ]; then
   done
   echo "cluster determinism OK: 2-shard cluster twice (one mid-job kill) +" \
        "single daemon -> byte-identical schedule YAML; follower journal matches."
+  exit 0
+fi
+
+if [ "${1:-lint}" = "--stream" ] || [ "${1:-lint}" = "stream" ]; then
+  build_dir="${2:-build}"
+  cli="${build_dir}/examples/rose_serve_cli"
+  if [ ! -x "$cli" ]; then
+    echo "stream determinism: build rose_serve_cli first ($build_dir)" >&2
+    exit 1
+  fi
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  bug="${SERVE_DETERMINISM_BUG:-RedisRaft-42}"
+  seed="${SERVE_DETERMINISM_SEED:-42}"
+
+  # Capture one dump, then diagnose the same window three ways — streamed
+  # twice (independent daemons) and submitted classically once.
+  "$cli" "$bug" "$seed" --save-dump "$work/dump" --quiet > /dev/null \
+    || { echo "stream determinism: dump capture failed" >&2; exit 1; }
+  for run in 1 2; do
+    "$cli" "$bug" "$seed" --dump "$work/dump.trc" --profile "$work/dump.profile" \
+      --stream --yaml-out "$work/stream$run.yaml" --quiet > /dev/null \
+      || { echo "stream determinism: streamed run $run failed" >&2; exit 1; }
+  done
+  if ! cmp -s "$work/stream1.yaml" "$work/stream2.yaml"; then
+    echo "stream determinism FAILED: two streamed runs of the same dump disagree:" >&2
+    diff "$work/stream1.yaml" "$work/stream2.yaml" >&2 || true
+    exit 1
+  fi
+  "$cli" "$bug" "$seed" --dump "$work/dump.trc" --profile "$work/dump.profile" \
+    --yaml-out "$work/submit.yaml" --quiet > /dev/null \
+    || { echo "stream determinism: classic submit run failed" >&2; exit 1; }
+  if ! cmp -s "$work/stream1.yaml" "$work/submit.yaml"; then
+    echo "stream determinism FAILED: streamed and dump-submitted schedules disagree:" >&2
+    diff "$work/stream1.yaml" "$work/submit.yaml" >&2 || true
+    exit 1
+  fi
+  echo "stream determinism OK: streamed twice + classic submit -> byte-identical" \
+       "schedule YAML."
   exit 0
 fi
 

@@ -1,9 +1,17 @@
 #!/usr/bin/env bash
-# Docs-drift check: docs/cli.md embeds each CLI's --help output verbatim
-# (one fenced ```text block under the tool's "## <tool>" heading). This
-# script diffs every embedded block against the live binary's --help and
-# fails on any difference, so flag changes cannot land without the manual
-# following. Registered as the `docs_drift` ctest.
+# Docs-drift check, two halves:
+#
+#  1. docs/cli.md embeds each CLI's --help output verbatim (one fenced
+#     ```text block under the tool's "## <tool>" heading); every block is
+#     diffed against the live binary's --help, so flag changes cannot land
+#     without the manual following.
+#  2. docs/wire_protocol.md embeds the wire-level enums (RTRC frame kinds,
+#     RSRV serve frame kinds, RJNL journal record types) in "(generated)"
+#     ```text blocks; each is diffed against the defining header, so a new
+#     or renumbered frame kind cannot land without the protocol doc
+#     following.
+#
+# Registered as the `docs_drift` ctest.
 #
 # Usage: tools/check_docs.sh [build_dir]   (default: ./build)
 set -eu
@@ -12,10 +20,15 @@ cd "$(dirname "$0")/.."
 
 build_dir="${1:-build}"
 doc="docs/cli.md"
+wire_doc="docs/wire_protocol.md"
 tools="reproduce_bug trace_explorer lint_schedule rose_served rose_serve_cli rose_routerd"
 
 if [ ! -f "$doc" ]; then
   echo "check_docs: $doc not found"
+  exit 2
+fi
+if [ ! -f "$wire_doc" ]; then
+  echo "check_docs: $wire_doc not found"
   exit 2
 fi
 
@@ -47,8 +60,58 @@ for tool in $tools; do
   fi
 done
 
+# --- docs/wire_protocol.md: generated enum blocks vs the defining headers ---
+
+# First ```text fence under an exact heading line; the section ends at the
+# next heading of any level.
+doc_block() {
+  awk -v h="$2" '
+    $0 == h                       { in_section = 1; next }
+    in_section && /^#/            { exit }
+    in_section && $0 == "```text" { in_block = 1; next }
+    in_block && $0 == "```"       { exit }
+    in_block                      { print }
+  ' "$1"
+}
+
+# Enum body between "enum class <name>" and "};": entry lines only, leading
+# indentation and trailing // comments stripped.
+enum_body() {
+  awk -v e="$2" '
+    $0 ~ "^enum class " e { in_enum = 1; next }
+    in_enum && /^};/      { exit }
+    in_enum               { print }
+  ' "$1" | grep -E '^  k[A-Za-z0-9]+ = [0-9]+,' | sed -E 's/^ +//; s/, *\/\/.*$/,/'
+}
+
+check_wire_block() {
+  heading="$1"
+  source_desc="$2"
+  live="$3"
+  documented="$(doc_block "$wire_doc" "$heading")"
+  if [ -z "$documented" ]; then
+    echo "check_docs: no \`\`\`text block under \"$heading\" in $wire_doc"
+    fail=1
+    return
+  fi
+  if [ "$documented" != "$live" ]; then
+    echo "check_docs: $wire_doc is stale for \"$heading\" (docs vs $source_desc):"
+    diff <(printf '%s\n' "$documented") <(printf '%s\n' "$live") | sed 's/^/  /' || true
+    fail=1
+  fi
+}
+
+check_wire_block "### RTRC frame kinds (generated)" "src/trace/trace_io.h" \
+  "$(grep -E '^inline constexpr uint8_t kFrame' src/trace/trace_io.h |
+     sed 's/^inline constexpr uint8_t //')"
+check_wire_block "### RSRV frame kinds (generated)" "src/serve/protocol.h" \
+  "$(enum_body src/serve/protocol.h ServeFrame)"
+check_wire_block "### RJNL record types (generated)" "src/cluster/journal.h" \
+  "$(enum_body src/cluster/journal.h JournalRecordType)"
+
 if [ "$fail" -ne 0 ]; then
-  echo "check_docs: FAILED — update docs/cli.md to match the binaries' --help"
+  echo "check_docs: FAILED — update docs/cli.md / docs/wire_protocol.md to match the tree"
   exit 1
 fi
-echo "check_docs: docs/cli.md matches all $(echo $tools | wc -w) CLIs' --help"
+echo "check_docs: docs/cli.md matches all $(echo $tools | wc -w) CLIs' --help;" \
+     "docs/wire_protocol.md matches the wire enums"

@@ -7,6 +7,15 @@
 #   BENCH_serve_cluster.json — sharded serve cluster: jobs/sec vs shard count
 #                          and tail latency under a skewed tenant mix
 #                          (bench_serve, BM_Cluster* rows)
+#   BENCH_stream.json    — streaming trace ingestion (rose::stream): data-plane
+#                          bytes/sec at 1/4 stream sessions with the per-tenant
+#                          resident-memory bound asserted, plus the headline
+#                          latency pair — oracle-mark -> first progress on an
+#                          already-resident window (BM_StreamOracleLatency)
+#                          vs shipping the whole dump at oracle time
+#                          (BM_DumpSubmitBaseline); the stream row must be
+#                          strictly below the baseline (bench_serve,
+#                          BM_Stream* + BM_DumpSubmitBaseline rows)
 #   BENCH_obs.json       — rose::obs instrumentation cost: bench_obs run from
 #                          the default tree (ROSE_OBS=ON) and from a second
 #                          -DROSE_OBS=OFF tree, merged with the per-benchmark
@@ -54,6 +63,14 @@
 #    row (needs >= 4 real cores); BM_ServeCacheHit must show zero engine
 #    runs and sit far above cold throughput. p50_ms/p99_ms counters are
 #    submit-to-schedule latency.
+#  - BENCH_stream: BM_StreamIngest rows are concurrent stream sessions (1/4);
+#    the 4-session row self-asserts peak resident bytes <= sessions x 2 x
+#    window (the benchmark errors out otherwise — a bench failure IS the
+#    regression signal). BM_StreamOracleLatency vs BM_DumpSubmitBaseline is
+#    the paper's always-on claim: both diagnose the same (string-heavy)
+#    window cold, but the stream row ships an 18-byte oracle mark where the
+#    baseline ships the whole dump — the stream row's Time must be strictly
+#    below the baseline's.
 #  - BENCH_serve_cluster: per-arg rows of BM_ClusterCold are shard counts
 #    (1/2/4) with 8 clients of distinct dumps; the acceptance bar is the
 #    2-shard items_per_second >= 1.5x the 1-shard row on this cache-miss
@@ -110,6 +127,13 @@ echo "wrote ${out_dir}/BENCH_serve.json"
   --benchmark_out_format=json \
   ${BENCH_ARGS:-}
 echo "wrote ${out_dir}/BENCH_serve_cluster.json"
+
+"${build_dir}/bench/bench_serve" \
+  --benchmark_filter='BM_Stream|BM_DumpSubmitBaseline' \
+  --benchmark_out="${out_dir}/BENCH_stream.json" \
+  --benchmark_out_format=json \
+  ${BENCH_ARGS:-}
+echo "wrote ${out_dir}/BENCH_stream.json"
 
 "${build_dir}/bench/bench_causal" \
   --benchmark_out="${out_dir}/BENCH_causal.json" \
